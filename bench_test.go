@@ -1,0 +1,497 @@
+// Benchmarks regenerating every figure of the VP paper's evaluation
+// (Section 6) at a reduced, density-preserving scale, plus operation-level
+// micro-benchmarks and ablations of the design choices called out in
+// DESIGN.md. Each figure benchmark reports the series the paper plots as
+// custom metrics (queryIO/op = average buffer-pool misses per query).
+//
+// Paper-scale runs of the same experiments: cmd/vpbench -paper.
+package vpindex_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	vpindex "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sfc"
+	"repro/internal/workload"
+)
+
+// benchScale keeps figure benchmarks to a few seconds each.
+func benchScale() bench.Scale { return bench.ScaleFor(2500, 40, 25) }
+
+// reportSetupMetrics runs one setup over a fresh workload and reports its
+// metrics on the benchmark.
+func runSetup(b *testing.B, s bench.Setup, ds workload.Dataset, sc bench.Scale,
+	mut func(*workload.Params)) bench.Metrics {
+	b.Helper()
+	p := workload.DefaultParams(ds, sc.Objects)
+	p.Duration = sc.Duration
+	p.NumQueries = sc.Queries
+	p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+	p.SampleSize = sc.Objects
+	if mut != nil {
+		mut(&p)
+	}
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := bench.Run(s, gen, sc.Buffer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// --- Figure benchmarks ---------------------------------------------------------
+
+func BenchmarkFig07SearchSpaceExpansion(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		points, tab, err := bench.RunFig7(sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab.Format())
+			b.ReportMetric(float64(len(points)), "scatter-points")
+		}
+	}
+}
+
+func BenchmarkFig17TauSweep(b *testing.B) {
+	sc := bench.ScaleFor(1500, 25, 20)
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.RunFig17(workload.Chicago, sc, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab.Format())
+		}
+	}
+}
+
+func BenchmarkFig18AnalyzerOverhead(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.RunFig18(sc, 42, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab.Format())
+		}
+	}
+}
+
+func BenchmarkFig19VaryDataset(b *testing.B) {
+	sc := benchScale()
+	for _, ds := range workload.Datasets() {
+		for _, s := range bench.AllSetups() {
+			b.Run(fmt.Sprintf("%s/%s", ds, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := runSetup(b, s, ds, sc, nil)
+					b.ReportMetric(m.QueryIO, "queryIO/op")
+					b.ReportMetric(m.UpdateIO, "updateIO/op")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig20VaryDataSize(b *testing.B) {
+	for _, n := range []int{1000, 2000, 4000} {
+		sc := bench.ScaleFor(n, 30, 20)
+		for _, s := range bench.AllSetups() {
+			b.Run(fmt.Sprintf("n=%d/%s", n, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := runSetup(b, s, workload.Chicago, sc, nil)
+					b.ReportMetric(m.QueryIO, "queryIO/op")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig21VaryMaxSpeed(b *testing.B) {
+	sc := benchScale()
+	for _, speed := range []float64{20, 100, 200} {
+		for _, s := range bench.AllSetups() {
+			b.Run(fmt.Sprintf("v=%.0f/%s", speed, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := runSetup(b, s, workload.Chicago, sc,
+						func(p *workload.Params) { p.MaxSpeed = speed })
+					b.ReportMetric(m.QueryIO, "queryIO/op")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig22VaryQueryRadius(b *testing.B) {
+	sc := benchScale()
+	for _, r := range []float64{100, 500, 1000} {
+		for _, s := range bench.AllSetups() {
+			b.Run(fmt.Sprintf("r=%.0f/%s", r, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := runSetup(b, s, workload.Chicago, sc,
+						func(p *workload.Params) { p.QueryRadius = r })
+					b.ReportMetric(m.QueryIO, "queryIO/op")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig23VaryPredictiveTime(b *testing.B) {
+	sc := benchScale()
+	for _, h := range []float64{20, 60, 120} {
+		for _, s := range bench.AllSetups() {
+			b.Run(fmt.Sprintf("h=%.0f/%s", h, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := runSetup(b, s, workload.Chicago, sc,
+						func(p *workload.Params) { p.PredictiveTime = h })
+					b.ReportMetric(m.QueryIO, "queryIO/op")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig24RectPredictiveTime(b *testing.B) {
+	sc := benchScale()
+	for _, h := range []float64{20, 60, 120} {
+		for _, s := range bench.AllSetups() {
+			b.Run(fmt.Sprintf("h=%.0f/%s", h, s), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := runSetup(b, s, workload.Chicago, sc,
+						func(p *workload.Params) {
+							p.PredictiveTime = h
+							p.UseRectQueries = true
+						})
+					b.ReportMetric(m.QueryIO, "queryIO/op")
+				}
+			})
+		}
+	}
+}
+
+// --- Operation micro-benchmarks -------------------------------------------------
+
+func randomObjects(n int, seed int64) []vpindex.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]vpindex.Object, n)
+	for i := range objs {
+		speed := 20 + rng.Float64()*80
+		if rng.Intn(2) == 0 {
+			speed = -speed
+		}
+		vel := vpindex.V(speed, rng.NormFloat64()*2)
+		if i%2 == 0 {
+			vel = vpindex.V(rng.NormFloat64()*2, speed)
+		}
+		objs[i] = vpindex.Object{
+			ID:  vpindex.ObjectID(i + 1),
+			Pos: vpindex.V(rng.Float64()*100000, rng.Float64()*100000),
+			Vel: vel,
+			T:   0,
+		}
+	}
+	return objs
+}
+
+func benchInsert(b *testing.B, kind vpindex.Kind) {
+	objs := randomObjects(b.N, 1)
+	idx, err := vpindex.New(vpindex.Options{Kind: kind, BufferPages: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Insert(objs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertTPRStar(b *testing.B) { benchInsert(b, vpindex.TPRStar) }
+func BenchmarkInsertBx(b *testing.B)      { benchInsert(b, vpindex.Bx) }
+
+func benchQuery(b *testing.B, kind vpindex.Kind, vp bool) {
+	objs := randomObjects(20000, 2)
+	sample := make([]vpindex.Vec2, len(objs))
+	for i, o := range objs {
+		sample[i] = o.Vel
+	}
+	var idx vpindex.Searcher
+	if vp {
+		v, err := vpindex.NewVP(sample, vpindex.VPOptions{
+			Options: vpindex.Options{Kind: kind, BufferPages: 64}, K: 2, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx = v
+	} else {
+		v, err := vpindex.New(vpindex.Options{Kind: kind, BufferPages: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx = v
+	}
+	for _, o := range objs {
+		if err := idx.Insert(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := vpindex.V(rng.Float64()*100000, rng.Float64()*100000)
+		if _, err := idx.Search(vpindex.SliceQuery(vpindex.Circle{C: c, R: 500}, 0, 60)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryTPRStar(b *testing.B)   { benchQuery(b, vpindex.TPRStar, false) }
+func BenchmarkQueryTPRStarVP(b *testing.B) { benchQuery(b, vpindex.TPRStar, true) }
+func BenchmarkQueryBx(b *testing.B)        { benchQuery(b, vpindex.Bx, false) }
+func BenchmarkQueryBxVP(b *testing.B)      { benchQuery(b, vpindex.Bx, true) }
+
+func BenchmarkVelocityAnalyzer10K(b *testing.B) {
+	objs := randomObjects(10000, 4)
+	sample := make([]vpindex.Vec2, len(objs))
+	for i, o := range objs {
+		sample[i] = o.Vel
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(sample, core.AnalyzerConfig{K: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHilbertEncode(b *testing.B) {
+	h := sfc.MustHilbert(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Encode(uint32(i)&0xFFFF, uint32(i*2654435761)&0xFFFF)
+	}
+}
+
+func BenchmarkHilbertDecompose(b *testing.B) {
+	h := sfc.MustHilbert(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := uint32(i) % 900
+		h.DecomposeWindow(x, x/2, x+60, x/2+60)
+	}
+}
+
+// --- Ablation benches -----------------------------------------------------------
+
+// BenchmarkAblationCurve compares Hilbert against Z-order under the Bx-tree
+// (the paper permits either; its configuration uses Hilbert).
+func BenchmarkAblationCurve(b *testing.B) {
+	sc := benchScale()
+	for _, zorder := range []bool{false, true} {
+		name := "hilbert"
+		if zorder {
+			name = "zorder"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := workload.DefaultParams(workload.Chicago, sc.Objects)
+			p.Duration = sc.Duration
+			p.NumQueries = sc.Queries
+			p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+			for i := 0; i < b.N; i++ {
+				gen, err := workload.NewGenerator(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx, err := vpindex.New(vpindex.Options{
+					Kind: vpindex.Bx, Domain: p.Domain,
+					BufferPages: sc.Buffer, UseZOrder: zorder,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := bench.RunOn(idx, bench.SetupBx, gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.QueryIO, "queryIO/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOutlierPartition compares the automatic tau against
+// tau=infinity (no outlier partition at all): Section 5.2's design choice.
+func BenchmarkAblationOutlierPartition(b *testing.B) {
+	sc := benchScale()
+	for _, mode := range []string{"auto-tau", "no-outlier-partition"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := workload.DefaultParams(workload.SanFrancisco, sc.Objects)
+				p.Duration = sc.Duration
+				p.NumQueries = sc.Queries
+				p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+				p.SampleSize = sc.Objects
+				gen, err := workload.NewGenerator(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx, err := bench.Build(bench.SetupTPRVP, gen, sc.Buffer)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "no-outlier-partition" {
+					vp := idx.(*vpindex.VPIndex)
+					for pi := 0; pi < vp.NumPartitions()-1; pi++ {
+						vp.SetTau(pi, 1e18)
+					}
+				}
+				m, err := bench.RunOn(idx, bench.SetupTPRVP, gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.QueryIO, "queryIO/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHistogramResolution sweeps the Bx velocity-histogram
+// grid (the paper uses 1000x1000; resolution trades enlargement precision
+// against CPU).
+func BenchmarkAblationHistogramResolution(b *testing.B) {
+	sc := benchScale()
+	for _, cells := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("cells=%d", cells), func(b *testing.B) {
+			p := workload.DefaultParams(workload.Chicago, sc.Objects)
+			p.Duration = sc.Duration
+			p.NumQueries = sc.Queries
+			p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+			for i := 0; i < b.N; i++ {
+				gen, err := workload.NewGenerator(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx, err := vpindex.New(vpindex.Options{
+					Kind: vpindex.Bx, Domain: p.Domain,
+					BufferPages: sc.Buffer, HistogramCells: cells,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := bench.RunOn(idx, bench.SetupBx, gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.QueryIO, "queryIO/op")
+			}
+		})
+	}
+}
+
+// BenchmarkMovingRangeQueries exercises the third query type end to end
+// (the paper's evaluation shows time-slice; the system supports all three).
+func BenchmarkMovingRangeQueries(b *testing.B) {
+	sc := benchScale()
+	for _, s := range []bench.Setup{bench.SetupTPR, bench.SetupTPRVP} {
+		b.Run(string(s), func(b *testing.B) {
+			p := workload.DefaultParams(workload.Chicago, sc.Objects)
+			p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+			p.SampleSize = sc.Objects
+			gen, err := workload.NewGenerator(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			idx, err := bench.Build(s, gen, sc.Buffer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range gen.Initial() {
+				if err := idx.Insert(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := gen.MovingQueries(200, 30)
+			before := idx.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.Search(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			io := float64(idx.Stats().Reads-before.Reads) / float64(b.N)
+			b.ReportMetric(io, "queryIO/op")
+		})
+	}
+}
+
+// BenchmarkKNN measures k-nearest-neighbor search (the query type the
+// paper's circular ranges act as a filter step for) across all four index
+// configurations.
+func BenchmarkKNN(b *testing.B) {
+	objs := randomObjects(20000, 8)
+	sample := make([]vpindex.Vec2, len(objs))
+	for i, o := range objs {
+		sample[i] = o.Vel
+	}
+	type knnIndex interface {
+		Insert(vpindex.Object) error
+		SearchKNN(vpindex.KNNQuery) ([]vpindex.Neighbor, error)
+	}
+	builds := []struct {
+		name  string
+		build func() (knnIndex, error)
+	}{
+		{"TPR*", func() (knnIndex, error) {
+			return vpindex.New(vpindex.Options{Kind: vpindex.TPRStar, BufferPages: 64})
+		}},
+		{"TPR*(VP)", func() (knnIndex, error) {
+			return vpindex.NewVP(sample, vpindex.VPOptions{
+				Options: vpindex.Options{Kind: vpindex.TPRStar, BufferPages: 64}, K: 2, Seed: 1})
+		}},
+		{"Bx", func() (knnIndex, error) {
+			return vpindex.New(vpindex.Options{Kind: vpindex.Bx, BufferPages: 64})
+		}},
+		{"Bx(VP)", func() (knnIndex, error) {
+			return vpindex.NewVP(sample, vpindex.VPOptions{
+				Options: vpindex.Options{Kind: vpindex.Bx, BufferPages: 64}, K: 2, Seed: 1})
+		}},
+	}
+	for _, bd := range builds {
+		b.Run(bd.name, func(b *testing.B) {
+			idx, err := bd.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range objs {
+				if err := idx.Insert(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(9))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := vpindex.KNNQuery{
+					Center: vpindex.V(rng.Float64()*100000, rng.Float64()*100000),
+					K:      10, Now: 0, T: 60,
+				}
+				if _, err := idx.SearchKNN(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

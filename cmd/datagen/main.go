@@ -1,0 +1,91 @@
+// Command datagen dumps benchmark workload artifacts as CSV for inspection
+// or plotting: velocity samples (the scatter plots of Fig. 1b and 10-13 of
+// the VP paper), road networks (nodes and edges), initial object
+// populations, and update streams.
+//
+// Usage:
+//
+//	datagen -what velocities -dataset SA -n 10000 > sa_velocities.csv
+//	datagen -what network -dataset CH > ch_network.csv
+//	datagen -what objects -dataset NY -n 5000 > ny_objects.csv
+//	datagen -what updates -dataset MEL -n 2000 -duration 60 > mel_updates.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		what     = flag.String("what", "velocities", "velocities|network|objects|updates")
+		dataset  = flag.String("dataset", "SA", "CH|SA|MEL|NY|uniform")
+		n        = flag.Int("n", 10000, "objects / sample size")
+		duration = flag.Float64("duration", 60, "duration for -what updates (ts)")
+		side     = flag.Float64("side", 100000, "domain side length (m)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	p := workload.DefaultParams(workload.Dataset(*dataset), *n)
+	p.Seed = *seed
+	p.Duration = *duration
+	p.Domain = geom.R(0, 0, *side, *side)
+	p.SampleSize = *n
+
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *what {
+	case "velocities":
+		fmt.Fprintln(w, "vx,vy")
+		for _, v := range gen.VelocitySample(*n) {
+			fmt.Fprintf(w, "%g,%g\n", v.X, v.Y)
+		}
+	case "network":
+		net := gen.Network()
+		if net == nil {
+			fmt.Fprintln(os.Stderr, "datagen: uniform dataset has no network")
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, "x0,y0,x1,y1,limit")
+		for a, adj := range net.Adj {
+			pa := net.Nodes[a].Pos
+			for _, e := range adj {
+				if int(e.To) < a {
+					continue // each undirected segment once
+				}
+				pb := net.Nodes[e.To].Pos
+				fmt.Fprintf(w, "%g,%g,%g,%g,%g\n", pa.X, pa.Y, pb.X, pb.Y, e.Limit)
+			}
+		}
+	case "objects":
+		fmt.Fprintln(w, "id,x,y,vx,vy,t")
+		for _, o := range gen.Initial() {
+			fmt.Fprintf(w, "%d,%g,%g,%g,%g,%g\n", o.ID, o.Pos.X, o.Pos.Y, o.Vel.X, o.Vel.Y, o.T)
+		}
+	case "updates":
+		fmt.Fprintln(w, "t,id,x,y,vx,vy")
+		for {
+			ev, ok := gen.NextUpdate()
+			if !ok {
+				break
+			}
+			fmt.Fprintf(w, "%g,%d,%g,%g,%g,%g\n",
+				ev.T, ev.New.ID, ev.New.Pos.X, ev.New.Pos.Y, ev.New.Vel.X, ev.New.Vel.Y)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown -what %q\n", *what)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Fleet monitor: continuous situational awareness around a moving convoy —
+// the paper's moving range query ("a tank wants to know if there are any
+// other tanks within one kilometer of itself", Section 6). A convoy
+// travels a Chicago-style grid while the monitor asks which vehicles will
+// intersect a protective box translating with the convoy over the next
+// minute, re-issuing the query as updates stream in.
+//
+// Run with: go run ./examples/fleetmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vpindex "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	params := workload.DefaultParams(workload.Chicago, 6000)
+	params.Domain = vpindex.R(0, 0, 24000, 24000)
+	params.Duration = 120
+	gen, err := workload.NewGenerator(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx, err := vpindex.NewVP(gen.VelocitySample(5000), vpindex.VPOptions{
+		Options: vpindex.Options{Kind: vpindex.TPRStar, Domain: params.Domain, BufferPages: 50},
+		K:       2,
+		Seed:    params.Seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range gen.Initial() {
+		if err := idx.Insert(o); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The convoy: vehicle 1. Its protective zone is a 2 km box that
+	// translates with the convoy's current velocity.
+	convoy, ok := idx.Get(1)
+	if !ok {
+		log.Fatal("convoy vehicle missing")
+	}
+	fmt.Printf("convoy at %v moving %v\n\n", convoy.Pos, convoy.Vel)
+
+	// Stream updates; every 20 ts re-issue the moving range query for the
+	// next 30 ts of travel.
+	nextCheck := 20.0
+	checks := 0
+	for {
+		ev, okUpd := gen.NextUpdate()
+		if !okUpd {
+			break
+		}
+		if err := idx.Update(ev.Old, ev.New); err != nil {
+			log.Fatal(err)
+		}
+		if ev.T < nextCheck {
+			continue
+		}
+		nextCheck += 20
+		checks++
+		convoy, _ = idx.Get(1)
+		zone := vpindex.R(
+			convoy.PosAt(ev.T).X-1000, convoy.PosAt(ev.T).Y-1000,
+			convoy.PosAt(ev.T).X+1000, convoy.PosAt(ev.T).Y+1000,
+		)
+		q := vpindex.MovingQuery(zone, convoy.Vel, ev.T, ev.T, ev.T+30)
+		ids, err := idx.Search(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Exclude the convoy itself from its own alert list.
+		alerts := 0
+		for _, id := range ids {
+			if id != 1 {
+				alerts++
+			}
+		}
+		fmt.Printf("t=%6.1f  convoy zone %v: %d vehicles will enter within 30 ts\n",
+			ev.T, zone, alerts)
+	}
+	st := idx.Stats()
+	fmt.Printf("\n%d monitoring rounds; total simulated I/O: %d reads / %d writes\n",
+		checks, st.Reads, st.Writes)
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// twoAxisSample synthesizes a San-Francisco-like velocity distribution
+// (Fig. 1b of the paper): two dominant axes with bidirectional traffic,
+// Gaussian jitter across the axis, plus a fraction of outliers.
+func twoAxisSample(n int, ang1, ang2, jitter, outlierFrac float64, seed int64) []geom.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	dirs := []geom.Vec2{
+		{X: math.Cos(ang1), Y: math.Sin(ang1)},
+		{X: math.Cos(ang2), Y: math.Sin(ang2)},
+	}
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		if rng.Float64() < outlierFrac {
+			pts[i] = geom.V(rng.Float64()*200-100, rng.Float64()*200-100)
+			continue
+		}
+		d := dirs[rng.Intn(2)]
+		speed := 20 + rng.Float64()*80
+		if rng.Intn(2) == 0 {
+			speed = -speed
+		}
+		p := d.Scale(speed)
+		pts[i] = p.Add(d.Perp().Scale(rng.NormFloat64() * jitter))
+	}
+	return pts
+}
+
+// axisAngleDiff returns the angular distance between two axes (sign and
+// direction agnostic, in [0, pi/2]).
+func axisAngleDiff(a, b geom.Vec2) float64 {
+	cos := math.Abs(a.Normalize().Dot(b.Normalize()))
+	if cos > 1 {
+		cos = 1
+	}
+	return math.Acos(cos)
+}
+
+func TestKMeansAxesRecoversOrthogonalDVAs(t *testing.T) {
+	pts := twoAxisSample(5000, 0, math.Pi/2, 2.0, 0, 1)
+	clusters, assign, err := KMeansAxes(pts, 2, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != len(pts) {
+		t.Fatal("assignment length mismatch")
+	}
+	want := []geom.Vec2{{X: 1, Y: 0}, {X: 0, Y: 1}}
+	for _, w := range want {
+		found := false
+		for _, c := range clusters {
+			if axisAngleDiff(c.Axis, w) < 0.05 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no cluster axis near %v: got %v and %v",
+				w, clusters[0].Axis, clusters[1].Axis)
+		}
+	}
+	// Balanced memberships (roughly half each).
+	for _, c := range clusters {
+		if c.Count < len(pts)/4 {
+			t.Fatalf("unbalanced cluster: %d of %d", c.Count, len(pts))
+		}
+	}
+}
+
+func TestKMeansAxesRecoversNonOrthogonalDVAs(t *testing.T) {
+	// The paper stresses VP works "for any number of DVAs separated by any
+	// angle": axes at 10 and 55 degrees.
+	a1, a2 := 10*math.Pi/180, 55*math.Pi/180
+	pts := twoAxisSample(6000, a1, a2, 1.5, 0, 2)
+	clusters, _, err := KMeansAxes(pts, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ang := range []float64{a1, a2} {
+		w := geom.V(math.Cos(ang), math.Sin(ang))
+		found := false
+		for _, c := range clusters {
+			if axisAngleDiff(c.Axis, w) < 0.06 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("axis %g deg not recovered (got %v, %v)",
+				ang*180/math.Pi, clusters[0].Axis, clusters[1].Axis)
+		}
+	}
+}
+
+func TestKMeansAxesThreeDVAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	angles := []float64{0, math.Pi / 3, 2 * math.Pi / 3}
+	var pts []geom.Vec2
+	for i := 0; i < 6000; i++ {
+		ang := angles[rng.Intn(3)]
+		d := geom.V(math.Cos(ang), math.Sin(ang))
+		speed := 20 + rng.Float64()*80
+		if rng.Intn(2) == 0 {
+			speed = -speed
+		}
+		pts = append(pts, d.Scale(speed).Add(d.Perp().Scale(rng.NormFloat64()*1.5)))
+	}
+	clusters, _, err := KMeansAxes(pts, 3, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ang := range angles {
+		w := geom.V(math.Cos(ang), math.Sin(ang))
+		found := false
+		for _, c := range clusters {
+			if axisAngleDiff(c.Axis, w) < 0.08 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("axis %g deg not recovered", ang*180/math.Pi)
+		}
+	}
+}
+
+func TestKMeansAxesAssignmentConsistent(t *testing.T) {
+	pts := twoAxisSample(2000, 0, math.Pi/2, 2.0, 0.05, 4)
+	clusters, assign, err := KMeansAxes(pts, 2, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point must be assigned to the cluster whose axis is closest
+	// (the convergence condition of Algorithm 2).
+	for i, p := range pts {
+		d0 := p.PerpDistToAxis(clusters[0].Axis)
+		d1 := p.PerpDistToAxis(clusters[1].Axis)
+		got := assign[i]
+		want := 0
+		if d1 < d0 {
+			want = 1
+		}
+		if got != want && math.Abs(d0-d1) > 1e-9 {
+			t.Fatalf("point %d assigned to %d but axis %d is closer (%g vs %g)",
+				i, got, want, d0, d1)
+		}
+	}
+	// Cluster member lists mirror the assignment.
+	total := 0
+	for ci, c := range clusters {
+		total += c.Count
+		for _, m := range c.Members {
+			if assign[m] != ci {
+				t.Fatal("member list disagrees with assignment")
+			}
+		}
+	}
+	if total != len(pts) {
+		t.Fatalf("cluster counts sum to %d, want %d", total, len(pts))
+	}
+}
+
+func TestKMeansAxesSingleCluster(t *testing.T) {
+	pts := twoAxisSample(500, math.Pi/4, math.Pi/4, 1.0, 0, 6)
+	clusters, _, err := KMeansAxes(pts, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := axisAngleDiff(clusters[0].Axis, geom.V(1, 1)); d > 0.05 {
+		t.Fatalf("single-cluster axis off by %g rad", d)
+	}
+}
+
+func TestKMeansAxesErrors(t *testing.T) {
+	pts := []geom.Vec2{{X: 1, Y: 1}}
+	if _, _, err := KMeansAxes(pts, 0, Options{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, _, err := KMeansAxes(pts, 2, Options{}); err == nil {
+		t.Fatal("more clusters than points should fail")
+	}
+}
+
+func TestKMeansAxesDegenerateInputs(t *testing.T) {
+	// All-zero velocities (stationary fleet): must not crash, axes default.
+	pts := make([]geom.Vec2, 100)
+	clusters, assign, err := KMeansAxes(pts, 2, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 100 || len(clusters) != 2 {
+		t.Fatal("degenerate input mishandled")
+	}
+	// Identical nonzero points.
+	for i := range pts {
+		pts[i] = geom.V(10, 5)
+	}
+	if _, _, err := KMeansAxes(pts, 2, Options{Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansAxesDeterministicForSeed(t *testing.T) {
+	pts := twoAxisSample(1000, 0, math.Pi/2, 2.0, 0.02, 10)
+	c1, a1, err := KMeansAxes(pts, 2, Options{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, a2, err := KMeansAxes(pts, 2, Options{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+	for i := range c1 {
+		if c1[i].Axis != c2[i].Axis {
+			t.Fatal("same seed produced different axes")
+		}
+	}
+}
+
+func TestCentroidKMeansFailsToFindDVAs(t *testing.T) {
+	// Reproduces the paper's Fig. 10b observation: centroid k-means on a
+	// two-axis bidirectional distribution does NOT recover the axes, while
+	// KMeansAxes does. We assert the perpendicular-scatter objective of the
+	// axis method is materially better.
+	pts := twoAxisSample(4000, 0, math.Pi/2, 2.0, 0, 20)
+	axClusters, axAssign, err := KMeansAxes(pts, 2, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cenClusters, cenAssign, err := KMeansCentroids(pts, 2, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perpCost := func(assign []int, axes []geom.Vec2) float64 {
+		var s float64
+		for i, p := range pts {
+			d := p.PerpDistToAxis(axes[assign[i]])
+			s += d * d
+		}
+		return s
+	}
+	axCost := perpCost(axAssign, []geom.Vec2{axClusters[0].Axis, axClusters[1].Axis})
+	cenCost := perpCost(cenAssign, []geom.Vec2{cenClusters[0].Axis, cenClusters[1].Axis})
+	if axCost*3 > cenCost {
+		t.Fatalf("axis k-means (%g) should beat centroid k-means (%g) by >3x on perpendicular scatter",
+			axCost, cenCost)
+	}
+}
+
+func TestCentroidKMeansBasic(t *testing.T) {
+	// Two well-separated blobs: centroid k-means must separate them.
+	rng := rand.New(rand.NewSource(14))
+	var pts []geom.Vec2
+	for i := 0; i < 500; i++ {
+		pts = append(pts, geom.V(rng.NormFloat64()+20, rng.NormFloat64()))
+		pts = append(pts, geom.V(rng.NormFloat64()-20, rng.NormFloat64()))
+	}
+	clusters, assign, err := KMeansCentroids(pts, 2, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != len(pts) {
+		t.Fatal("bad assignment length")
+	}
+	var hasLeft, hasRight bool
+	for _, c := range clusters {
+		if c.Centroid.X > 15 {
+			hasRight = true
+		}
+		if c.Centroid.X < -15 {
+			hasLeft = true
+		}
+	}
+	if !hasLeft || !hasRight {
+		t.Fatalf("centroids did not separate blobs: %v, %v",
+			clusters[0].Centroid, clusters[1].Centroid)
+	}
+}
+
+func TestCentroidKMeansErrors(t *testing.T) {
+	if _, _, err := KMeansCentroids(nil, 1, Options{}); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, _, err := KMeansCentroids([]geom.Vec2{{X: 1}}, 0, Options{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}

@@ -1,0 +1,121 @@
+// Package pca implements 2-D principal components analysis (Section 2.2 of
+// the VP paper). It is deliberately specialized: the VP technique only ever
+// analyzes 2-D velocity points, so the eigen-decomposition of the symmetric
+// 2x2 scatter matrix is closed-form.
+//
+// Two scatter conventions are provided. Centered is textbook PCA (variance
+// about the mean). Uncentered uses the second moment about the origin; its
+// first eigenvector is the axis through the origin minimizing the summed
+// squared perpendicular distances of the points — precisely the objective
+// Algorithm 2 of the paper minimizes when clustering velocity points around
+// dominant velocity axes, and identical to centered PCA when traffic flows
+// both ways along each road (mean velocity ~ 0).
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Mode selects the scatter matrix convention.
+type Mode int
+
+const (
+	// Centered computes variance about the sample mean (textbook PCA).
+	Centered Mode = iota
+	// Uncentered computes the second moment about the origin; the first
+	// PC is then the best-fit axis through the origin.
+	Uncentered
+)
+
+// Result is the outcome of a 2-D PCA.
+type Result struct {
+	Mean    geom.Vec2 // sample mean (zero vector for Uncentered mode)
+	PC1     geom.Vec2 // first principal component, unit length
+	PC2     geom.Vec2 // second principal component, unit length, PC1.Perp()
+	Lambda1 float64   // variance along PC1 (>= Lambda2 >= 0)
+	Lambda2 float64   // variance along PC2
+}
+
+// ErrTooFewPoints is returned when fewer than one point is supplied.
+var ErrTooFewPoints = fmt.Errorf("pca: need at least one point")
+
+// Analyze runs PCA over the points. For degenerate inputs (all points
+// identical, or all at the origin in Uncentered mode) the principal
+// directions default to the standard axes with zero variance.
+func Analyze(points []geom.Vec2, mode Mode) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, ErrTooFewPoints
+	}
+	var mean geom.Vec2
+	if mode == Centered {
+		for _, p := range points {
+			mean = mean.Add(p)
+		}
+		mean = mean.Scale(1 / float64(len(points)))
+	}
+	// Scatter matrix [[sxx, sxy], [sxy, syy]].
+	var sxx, sxy, syy float64
+	for _, p := range points {
+		d := p.Sub(mean)
+		sxx += d.X * d.X
+		sxy += d.X * d.Y
+		syy += d.Y * d.Y
+	}
+	n := float64(len(points))
+	sxx /= n
+	sxy /= n
+	syy /= n
+
+	l1, l2, v1 := eigenSym2(sxx, sxy, syy)
+	res := Result{
+		Mean:    mean,
+		PC1:     v1,
+		PC2:     v1.Perp(),
+		Lambda1: l1,
+		Lambda2: l2,
+	}
+	return res, nil
+}
+
+// eigenSym2 returns the eigenvalues (descending) and the unit eigenvector of
+// the larger eigenvalue for the symmetric matrix [[a, b], [b, c]].
+func eigenSym2(a, b, c float64) (l1, l2 float64, v1 geom.Vec2) {
+	tr := a + c
+	disc := math.Sqrt((a-c)*(a-c) + 4*b*b)
+	l1 = (tr + disc) / 2
+	l2 = (tr - disc) / 2
+	// Eigenvector for l1: rows of (M - l1*I) are orthogonal to it, so v1 is
+	// proportional to (b, l1-a) or (l1-c, b); pick the numerically larger.
+	u := geom.Vec2{X: b, Y: l1 - a}
+	w := geom.Vec2{X: l1 - c, Y: b}
+	if w.NormSq() > u.NormSq() {
+		u = w
+	}
+	if u.NormSq() == 0 {
+		// Isotropic (or zero) scatter: any direction is principal; use x.
+		u = geom.Vec2{X: 1, Y: 0}
+	}
+	u = u.Normalize()
+	// Canonical sign: make the representative direction point into the
+	// right half-plane (x > 0, ties broken by y > 0) so axes compare
+	// stably across runs. An axis and its negation are the same DVA.
+	if u.X < 0 || (u.X == 0 && u.Y < 0) {
+		u = u.Scale(-1)
+	}
+	return l1, l2, u
+}
+
+// Axis reports PC1 as the dominant axis with its "dominance" ratio
+// lambda1/(lambda1+lambda2) in [0.5, 1]; 1 means perfectly 1-D data. The
+// velocity analyzer uses the ratio as a diagnostic of how 1-D a partition
+// has become after outlier removal.
+func (r Result) Axis() (dir geom.Vec2, dominance float64) {
+	total := r.Lambda1 + r.Lambda2
+	if total <= 0 {
+		return r.PC1, 0.5
+	}
+	return r.PC1, r.Lambda1 / total
+}

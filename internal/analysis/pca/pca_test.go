@@ -1,0 +1,174 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil, Centered); err != ErrTooFewPoints {
+		t.Fatalf("err = %v, want ErrTooFewPoints", err)
+	}
+}
+
+func TestAnalyzeDegenerateSinglePoint(t *testing.T) {
+	res, err := Analyze([]geom.Vec2{{X: 3, Y: 4}}, Centered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lambda1 != 0 || res.Lambda2 != 0 {
+		t.Fatalf("single centered point should have zero variance: %+v", res)
+	}
+	// Uncentered: the single point defines the axis through the origin.
+	res, err = Analyze([]geom.Vec2{{X: 3, Y: 4}}, Uncentered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.V(3, 4).Normalize()
+	if math.Abs(res.PC1.Dot(want))+1e-9 < 1 {
+		t.Fatalf("PC1 = %v, want +-%v", res.PC1, want)
+	}
+}
+
+func TestPCUnitAndOrthogonal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Vec2, 50)
+		for i := range pts {
+			pts[i] = geom.V(rng.NormFloat64()*10, rng.NormFloat64()*3)
+		}
+		for _, mode := range []Mode{Centered, Uncentered} {
+			res, err := Analyze(pts, mode)
+			if err != nil {
+				return false
+			}
+			if math.Abs(res.PC1.Norm()-1) > 1e-9 || math.Abs(res.PC2.Norm()-1) > 1e-9 {
+				return false
+			}
+			if math.Abs(res.PC1.Dot(res.PC2)) > 1e-9 {
+				return false
+			}
+			if res.Lambda1 < res.Lambda2 || res.Lambda2 < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownAxis(t *testing.T) {
+	// Points spread along the diagonal with small perpendicular noise.
+	rng := rand.New(rand.NewSource(11))
+	dir := geom.V(1, 1).Normalize()
+	perp := dir.Perp()
+	pts := make([]geom.Vec2, 500)
+	for i := range pts {
+		along := rng.NormFloat64() * 20
+		across := rng.NormFloat64() * 0.5
+		pts[i] = dir.Scale(along).Add(perp.Scale(across))
+	}
+	for _, mode := range []Mode{Centered, Uncentered} {
+		res, err := Analyze(pts, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := math.Abs(res.PC1.Dot(dir)); got < 0.999 {
+			t.Fatalf("mode %v: PC1 %v not aligned with diagonal (|cos| = %g)", mode, res.PC1, got)
+		}
+		if res.Lambda1 < 100*res.Lambda2 {
+			t.Fatalf("mode %v: eigenvalue gap too small: %g vs %g", mode, res.Lambda1, res.Lambda2)
+		}
+		_, dom := res.Axis()
+		if dom < 0.98 {
+			t.Fatalf("mode %v: dominance %g, want near 1", mode, dom)
+		}
+	}
+}
+
+func TestVarianceDecomposition(t *testing.T) {
+	// lambda1 + lambda2 must equal total variance (trace invariance).
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Vec2, 300)
+	for i := range pts {
+		pts[i] = geom.V(rng.NormFloat64()*7, rng.NormFloat64()*2+1)
+	}
+	res, err := Analyze(pts, Centered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean geom.Vec2
+	for _, p := range pts {
+		mean = mean.Add(p)
+	}
+	mean = mean.Scale(1 / float64(len(pts)))
+	var total float64
+	for _, p := range pts {
+		total += p.Sub(mean).NormSq()
+	}
+	total /= float64(len(pts))
+	if math.Abs(res.Lambda1+res.Lambda2-total) > 1e-9*total {
+		t.Fatalf("trace mismatch: %g vs %g", res.Lambda1+res.Lambda2, total)
+	}
+}
+
+func TestUncenteredMinimizesPerpDist(t *testing.T) {
+	// The first uncentered PC must beat (or match) any other axis through
+	// the origin on summed squared perpendicular distance.
+	rng := rand.New(rand.NewSource(17))
+	pts := make([]geom.Vec2, 200)
+	for i := range pts {
+		ang := 0.3 + rng.NormFloat64()*0.1
+		r := rng.Float64()*50 - 25
+		pts[i] = geom.V(r*math.Cos(ang), r*math.Sin(ang))
+	}
+	res, err := Analyze(pts, Uncentered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(axis geom.Vec2) float64 {
+		var s float64
+		for _, p := range pts {
+			d := p.PerpDistToAxis(axis)
+			s += d * d
+		}
+		return s
+	}
+	best := cost(res.PC1)
+	for a := 0.0; a < math.Pi; a += 0.01 {
+		if c := cost(geom.V(math.Cos(a), math.Sin(a))); c < best-1e-6 {
+			t.Fatalf("axis at angle %g beats PC1: %g < %g", a, c, best)
+		}
+	}
+}
+
+func TestCanonicalSign(t *testing.T) {
+	// PC1 must land in the right half-plane regardless of data sign.
+	pts := []geom.Vec2{{X: -5, Y: -5}, {X: 5, Y: 5}, {X: -10, Y: -10}}
+	res, err := Analyze(pts, Uncentered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PC1.X < 0 {
+		t.Fatalf("PC1 %v not sign-canonical", res.PC1)
+	}
+}
+
+func TestIsotropicData(t *testing.T) {
+	// Perfectly isotropic scatter: any axis is fine; dominance ~ 0.5.
+	pts := []geom.Vec2{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
+	res, err := Analyze(pts, Uncentered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dom := res.Axis()
+	if math.Abs(dom-0.5) > 1e-9 {
+		t.Fatalf("dominance = %g, want 0.5", dom)
+	}
+}

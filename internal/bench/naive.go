@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"repro/internal/analysis/cluster"
+	"repro/internal/analysis/pca"
+	"repro/internal/geom"
+)
+
+// pcaAnalyze returns the first principal component of the whole sample —
+// naive approach I of Section 5.1 (Fig. 10a): a single PCA averages the
+// DVAs together.
+func pcaAnalyze(sample []geom.Vec2) (geom.Vec2, error) {
+	res, err := pca.Analyze(sample, pca.Uncentered)
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	return res.PC1, nil
+}
+
+// centroidAxes returns the per-cluster 1st PCs found by centroid k-means —
+// naive approach II of Section 5.1 (Fig. 10b): clustering by distance to a
+// point produces clusters centered on centroids, not axes.
+func centroidAxes(sample []geom.Vec2, seed int64) ([]geom.Vec2, error) {
+	clusters, _, err := cluster.KMeansCentroids(sample, 2, cluster.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geom.Vec2, len(clusters))
+	for i, c := range clusters {
+		out[i] = c.Axis
+	}
+	return out, nil
+}

@@ -1,0 +1,698 @@
+// Package bptree implements a disk-paged B+-tree keyed by (uint64 key,
+// uint64 object id) composite keys, storing fixed-size moving-object
+// records in its leaves. It is the substrate under the Bx-tree (Section 3.2
+// of the VP paper), which maps 2-D positions to 1-D keys and relies on the
+// B+-tree for paged storage, logarithmic point operations and leaf-chained
+// range scans.
+//
+// Nodes live on 4 KB pages behind a storage.BufferPool, so every traversal
+// is charged through the same I/O accounting the paper measures. Duplicate
+// keys are supported naturally because the object id participates in the
+// ordering, keeping every composite key unique.
+package bptree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Key is the composite B+-tree key: K orders first, ID breaks ties (and
+// makes composite keys unique — multiple objects may share a Bx cell).
+type Key struct {
+	K  uint64
+	ID model.ObjectID
+}
+
+// Less reports k < o in lexicographic order.
+func (k Key) Less(o Key) bool {
+	if k.K != o.K {
+		return k.K < o.K
+	}
+	return k.ID < o.ID
+}
+
+// Entry is a leaf record: the key plus the object state needed to answer
+// predictive queries (position/velocity/reference time).
+type Entry struct {
+	Key Key
+	Pos geom.Vec2
+	Vel geom.Vec2
+	T   float64
+}
+
+// Object converts the entry back into a model.Object.
+func (e Entry) Object() model.Object {
+	return model.Object{ID: e.Key.ID, Pos: e.Pos, Vel: e.Vel, T: e.T}
+}
+
+// Page layout constants. A leaf page is:
+//
+//	[0]    tag (tagLeaf)
+//	[1:3]  count (uint16)
+//	[3:11] next leaf PageID
+//	then count * entrySize records
+//
+// An internal page is:
+//
+//	[0]    tag (tagInternal)
+//	[1:3]  count = number of separator keys (children = count+1)
+//	then (count+1) * 8 child PageIDs, then count * keySize separators
+const (
+	tagLeaf     = byte(0xB1) // distinct page tags; values arbitrary
+	tagInternal = byte(0xB2)
+
+	entrySize = 16 + 16 + 16 + 8 // key(16) + pos(16) + vel(16) + t(8)
+	keySize   = 16
+
+	leafHeader = 1 + 2 + 8
+	// LeafCap is the maximum number of entries per leaf page.
+	LeafCap = (storage.PageSize - leafHeader) / entrySize // 72
+	// InternalCap is the maximum number of separator keys per internal page.
+	InternalCap = (storage.PageSize - 3 - 8) / (8 + keySize) // 170
+
+	leafMin     = LeafCap / 2
+	internalMin = InternalCap / 2
+)
+
+// node is the decoded in-memory form of a page.
+type node struct {
+	id       storage.PageID
+	leaf     bool
+	entries  []Entry          // leaf only
+	next     storage.PageID   // leaf only
+	keys     []Key            // internal only
+	children []storage.PageID // internal only, len(keys)+1
+}
+
+// Tree is the B+-tree handle. It is not safe for concurrent use; callers
+// (the Bx-tree, which is itself wrapped by the VP manager's lock) serialize
+// access.
+type Tree struct {
+	pool   *storage.BufferPool
+	root   storage.PageID
+	height int // 1 = root is a leaf
+	size   int // number of entries
+}
+
+// New creates an empty tree whose nodes are allocated from pool.
+func New(pool *storage.BufferPool) (*Tree, error) {
+	t := &Tree{pool: pool, height: 1}
+	id, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	t.root = id
+	if err := t.writeNode(&node{id: id, leaf: true}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 = single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// --- serialization ---------------------------------------------------------
+
+func putKey(b []byte, k Key) {
+	binary.LittleEndian.PutUint64(b[0:8], k.K)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(k.ID))
+}
+
+func getKey(b []byte) Key {
+	return Key{
+		K:  binary.LittleEndian.Uint64(b[0:8]),
+		ID: model.ObjectID(binary.LittleEndian.Uint64(b[8:16])),
+	}
+}
+
+func putF64(b []byte, f float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(f))
+}
+
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func encodeEntry(b []byte, e Entry) {
+	putKey(b[0:16], e.Key)
+	putF64(b[16:24], e.Pos.X)
+	putF64(b[24:32], e.Pos.Y)
+	putF64(b[32:40], e.Vel.X)
+	putF64(b[40:48], e.Vel.Y)
+	putF64(b[48:56], e.T)
+}
+
+func decodeEntry(b []byte) Entry {
+	return Entry{
+		Key: getKey(b[0:16]),
+		Pos: geom.Vec2{X: getF64(b[16:24]), Y: getF64(b[24:32])},
+		Vel: geom.Vec2{X: getF64(b[32:40]), Y: getF64(b[40:48])},
+		T:   getF64(b[48:56]),
+	}
+}
+
+// readNode decodes the page into a node.
+func (t *Tree) readNode(id storage.PageID) (*node, error) {
+	n := &node{id: id}
+	err := t.pool.Read(id, func(data []byte) {
+		switch data[0] {
+		case tagLeaf:
+			n.leaf = true
+			count := int(binary.LittleEndian.Uint16(data[1:3]))
+			n.next = storage.PageID(binary.LittleEndian.Uint64(data[3:11]))
+			n.entries = make([]Entry, count)
+			off := leafHeader
+			for i := 0; i < count; i++ {
+				n.entries[i] = decodeEntry(data[off : off+entrySize])
+				off += entrySize
+			}
+		case tagInternal:
+			count := int(binary.LittleEndian.Uint16(data[1:3]))
+			n.children = make([]storage.PageID, count+1)
+			off := 3
+			for i := 0; i <= count; i++ {
+				n.children[i] = storage.PageID(binary.LittleEndian.Uint64(data[off : off+8]))
+				off += 8
+			}
+			n.keys = make([]Key, count)
+			for i := 0; i < count; i++ {
+				n.keys[i] = getKey(data[off : off+keySize])
+				off += keySize
+			}
+		default:
+			// Signal through the closure by leaving n.leaf and counts zeroed;
+			// detect below via the tag copy.
+			n.entries = nil
+			n.children = nil
+			n.id = storage.NilPage
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n.id == storage.NilPage {
+		return nil, fmt.Errorf("bptree: page %d has unknown tag", id)
+	}
+	return n, nil
+}
+
+// writeNode encodes the node onto its page.
+func (t *Tree) writeNode(n *node) error {
+	return t.pool.Write(n.id, func(data []byte) {
+		if n.leaf {
+			data[0] = tagLeaf
+			binary.LittleEndian.PutUint16(data[1:3], uint16(len(n.entries)))
+			binary.LittleEndian.PutUint64(data[3:11], uint64(n.next))
+			off := leafHeader
+			for _, e := range n.entries {
+				encodeEntry(data[off:off+entrySize], e)
+				off += entrySize
+			}
+		} else {
+			data[0] = tagInternal
+			binary.LittleEndian.PutUint16(data[1:3], uint16(len(n.keys)))
+			off := 3
+			for _, c := range n.children {
+				binary.LittleEndian.PutUint64(data[off:off+8], uint64(c))
+				off += 8
+			}
+			for _, k := range n.keys {
+				putKey(data[off:off+keySize], k)
+				off += keySize
+			}
+		}
+	})
+}
+
+// --- search helpers --------------------------------------------------------
+
+// childIndex returns the child slot to descend for key k: the first i with
+// k < keys[i], else the last child. Separator keys[i] is the smallest key
+// in children[i+1].
+func childIndex(keys []Key, k Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k.Less(keys[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// leafLowerBound returns the first entry index with entries[i].Key >= k.
+func leafLowerBound(entries []Entry, k Key) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].Key.Less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- insert ----------------------------------------------------------------
+
+// Insert adds an entry. Inserting an existing composite key returns an
+// error (updates are delete+insert, per the moving-object model).
+func (t *Tree) Insert(e Entry) error {
+	split, err := t.insertRec(t.root, t.height, e)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Grow a new root.
+		id, err := t.pool.Allocate()
+		if err != nil {
+			return err
+		}
+		newRoot := &node{
+			id:       id,
+			keys:     []Key{split.key},
+			children: []storage.PageID{t.root, split.right},
+		}
+		if err := t.writeNode(newRoot); err != nil {
+			return err
+		}
+		t.root = id
+		t.height++
+	}
+	t.size++
+	return nil
+}
+
+// splitResult propagates a child split to the parent.
+type splitResult struct {
+	key   Key            // smallest key of (or separator for) the right node
+	right storage.PageID // new right sibling
+}
+
+func (t *Tree) insertRec(id storage.PageID, level int, e Entry) (*splitResult, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	if level == 1 {
+		if !n.leaf {
+			return nil, fmt.Errorf("bptree: expected leaf at page %d", id)
+		}
+		i := leafLowerBound(n.entries, e.Key)
+		if i < len(n.entries) && n.entries[i].Key == e.Key {
+			return nil, fmt.Errorf("bptree: duplicate key (%d,%d)", e.Key.K, e.Key.ID)
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		if len(n.entries) <= LeafCap {
+			return nil, t.writeNode(n)
+		}
+		return t.splitLeaf(n)
+	}
+	ci := childIndex(n.keys, e.Key)
+	split, err := t.insertRec(n.children[ci], level-1, e)
+	if err != nil || split == nil {
+		return nil, err
+	}
+	// Insert the separator and right child at slot ci.
+	n.keys = append(n.keys, Key{})
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = split.key
+	n.children = append(n.children, storage.NilPage)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = split.right
+	if len(n.keys) <= InternalCap {
+		return nil, t.writeNode(n)
+	}
+	return t.splitInternal(n)
+}
+
+func (t *Tree) splitLeaf(n *node) (*splitResult, error) {
+	mid := len(n.entries) / 2
+	rid, err := t.pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	right := &node{
+		id:      rid,
+		leaf:    true,
+		entries: append([]Entry(nil), n.entries[mid:]...),
+		next:    n.next,
+	}
+	n.entries = n.entries[:mid]
+	n.next = rid
+	if err := t.writeNode(n); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: right.entries[0].Key, right: rid}, nil
+}
+
+func (t *Tree) splitInternal(n *node) (*splitResult, error) {
+	mid := len(n.keys) / 2
+	upKey := n.keys[mid]
+	rid, err := t.pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	right := &node{
+		id:       rid,
+		keys:     append([]Key(nil), n.keys[mid+1:]...),
+		children: append([]storage.PageID(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.writeNode(n); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: upKey, right: rid}, nil
+}
+
+// --- delete ----------------------------------------------------------------
+
+// Delete removes the entry with the given composite key; model.ErrNotFound
+// if absent.
+func (t *Tree) Delete(k Key) error {
+	found, err := t.deleteRec(t.root, t.height, k)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return model.ErrNotFound
+	}
+	t.size--
+	// Collapse the root if it became a trivial internal node.
+	if t.height > 1 {
+		root, err := t.readNode(t.root)
+		if err != nil {
+			return err
+		}
+		if len(root.keys) == 0 {
+			old := t.root
+			t.root = root.children[0]
+			t.height--
+			if err := t.pool.Free(old); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Tree) deleteRec(id storage.PageID, level int, k Key) (bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	if level == 1 {
+		i := leafLowerBound(n.entries, k)
+		if i >= len(n.entries) || n.entries[i].Key != k {
+			return false, nil
+		}
+		n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		return true, t.writeNode(n)
+	}
+	ci := childIndex(n.keys, k)
+	found, err := t.deleteRec(n.children[ci], level-1, k)
+	if err != nil || !found {
+		return found, err
+	}
+	// Rebalance child ci if it underflowed.
+	if err := t.fixChild(n, ci, level-1); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// fixChild rebalances n.children[ci] (at the given level) if underfull,
+// borrowing from or merging with a sibling, then rewrites n.
+func (t *Tree) fixChild(n *node, ci, childLevel int) error {
+	child, err := t.readNode(n.children[ci])
+	if err != nil {
+		return err
+	}
+	if !t.underfull(child) {
+		return nil
+	}
+	// Prefer the left sibling, else the right.
+	var li, ri int // indexes of left/right pair to work with
+	if ci > 0 {
+		li, ri = ci-1, ci
+	} else if ci < len(n.children)-1 {
+		li, ri = ci, ci+1
+	} else {
+		return nil // root's only child; nothing to do
+	}
+	left, err := t.readNode(n.children[li])
+	if err != nil {
+		return err
+	}
+	right, err := t.readNode(n.children[ri])
+	if err != nil {
+		return err
+	}
+	sep := n.keys[li] // separator between left and right
+
+	if child.leaf {
+		if len(left.entries)+len(right.entries) <= LeafCap {
+			// Merge right into left.
+			left.entries = append(left.entries, right.entries...)
+			left.next = right.next
+			n.keys = append(n.keys[:li], n.keys[li+1:]...)
+			n.children = append(n.children[:ri], n.children[ri+1:]...)
+			if err := t.writeNode(left); err != nil {
+				return err
+			}
+			if err := t.pool.Free(right.id); err != nil {
+				return err
+			}
+			return t.writeNode(n)
+		}
+		// Borrow: even out the two leaves.
+		all := append(left.entries, right.entries...)
+		mid := len(all) / 2
+		left.entries = append([]Entry(nil), all[:mid]...)
+		right.entries = append([]Entry(nil), all[mid:]...)
+		n.keys[li] = right.entries[0].Key
+		if err := t.writeNode(left); err != nil {
+			return err
+		}
+		if err := t.writeNode(right); err != nil {
+			return err
+		}
+		return t.writeNode(n)
+	}
+
+	// Internal children.
+	if len(left.keys)+1+len(right.keys) <= InternalCap {
+		// Merge: left + sep + right.
+		left.keys = append(append(left.keys, sep), right.keys...)
+		left.children = append(left.children, right.children...)
+		n.keys = append(n.keys[:li], n.keys[li+1:]...)
+		n.children = append(n.children[:ri], n.children[ri+1:]...)
+		if err := t.writeNode(left); err != nil {
+			return err
+		}
+		if err := t.pool.Free(right.id); err != nil {
+			return err
+		}
+		return t.writeNode(n)
+	}
+	// Rotate one key through the parent toward the underfull side.
+	if len(left.keys) < len(right.keys) {
+		// Move right's first key/child to left.
+		left.keys = append(left.keys, sep)
+		left.children = append(left.children, right.children[0])
+		n.keys[li] = right.keys[0]
+		right.keys = right.keys[1:]
+		right.children = right.children[1:]
+	} else {
+		// Move left's last key/child to right.
+		right.keys = append([]Key{sep}, right.keys...)
+		right.children = append([]storage.PageID{left.children[len(left.children)-1]}, right.children...)
+		n.keys[li] = left.keys[len(left.keys)-1]
+		left.keys = left.keys[:len(left.keys)-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+	if err := t.writeNode(left); err != nil {
+		return err
+	}
+	if err := t.writeNode(right); err != nil {
+		return err
+	}
+	return t.writeNode(n)
+}
+
+func (t *Tree) underfull(n *node) bool {
+	if n.leaf {
+		return len(n.entries) < leafMin
+	}
+	return len(n.keys) < internalMin
+}
+
+// --- scans -----------------------------------------------------------------
+
+// Scan visits entries with loKey <= Key.K < hiKey in key order, following
+// the leaf chain. visit returning false stops the scan early.
+func (t *Tree) Scan(loKey, hiKey uint64, visit func(Entry) bool) error {
+	if hiKey <= loKey {
+		return nil
+	}
+	lo := Key{K: loKey, ID: 0}
+	id := t.root
+	level := t.height
+	for level > 1 {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		id = n.children[childIndex(n.keys, lo)]
+		level--
+	}
+	for id != storage.NilPage {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		i := leafLowerBound(n.entries, lo)
+		for ; i < len(n.entries); i++ {
+			e := n.entries[i]
+			if e.Key.K >= hiKey {
+				return nil
+			}
+			if !visit(e) {
+				return nil
+			}
+		}
+		id = n.next
+	}
+	return nil
+}
+
+// Get returns the entry with the exact composite key.
+func (t *Tree) Get(k Key) (Entry, bool, error) {
+	id := t.root
+	level := t.height
+	for level > 1 {
+		n, err := t.readNode(id)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		id = n.children[childIndex(n.keys, k)]
+		level--
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	i := leafLowerBound(n.entries, k)
+	if i < len(n.entries) && n.entries[i].Key == k {
+		return n.entries[i], true, nil
+	}
+	return Entry{}, false, nil
+}
+
+// --- invariants (tests) ----------------------------------------------------
+
+// CheckInvariants validates structural invariants: key ordering within and
+// across nodes, separator correctness, fill factors, uniform leaf depth and
+// the leaf chain. Used by tests; O(n).
+func (t *Tree) CheckInvariants() error {
+	count, _, err := t.check(t.root, t.height, nil, nil)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("bptree: size %d but found %d entries", t.size, count)
+	}
+	return nil
+}
+
+// check returns (entry count, leftmost leaf id) for the subtree.
+func (t *Tree) check(id storage.PageID, level int, lo, hi *Key) (int, storage.PageID, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, storage.NilPage, err
+	}
+	inBounds := func(k Key) bool {
+		if lo != nil && k.Less(*lo) {
+			return false
+		}
+		if hi != nil && !k.Less(*hi) {
+			return false
+		}
+		return true
+	}
+	if level == 1 {
+		if !n.leaf {
+			return 0, storage.NilPage, fmt.Errorf("bptree: non-leaf at leaf level (page %d)", id)
+		}
+		if id != t.root && len(n.entries) < leafMin {
+			return 0, storage.NilPage, fmt.Errorf("bptree: underfull leaf %d (%d entries)", id, len(n.entries))
+		}
+		for i, e := range n.entries {
+			if i > 0 && !n.entries[i-1].Key.Less(e.Key) {
+				return 0, storage.NilPage, fmt.Errorf("bptree: leaf %d keys out of order", id)
+			}
+			if !inBounds(e.Key) {
+				return 0, storage.NilPage, fmt.Errorf("bptree: leaf %d key out of separator bounds", id)
+			}
+		}
+		return len(n.entries), id, nil
+	}
+	if n.leaf {
+		return 0, storage.NilPage, fmt.Errorf("bptree: leaf at internal level (page %d)", id)
+	}
+	if id != t.root && len(n.keys) < internalMin {
+		return 0, storage.NilPage, fmt.Errorf("bptree: underfull internal %d (%d keys)", id, len(n.keys))
+	}
+	for i, k := range n.keys {
+		if i > 0 && !n.keys[i-1].Less(k) {
+			return 0, storage.NilPage, fmt.Errorf("bptree: internal %d keys out of order", id)
+		}
+		if !inBounds(k) {
+			return 0, storage.NilPage, fmt.Errorf("bptree: internal %d separator out of bounds", id)
+		}
+	}
+	total := 0
+	var first storage.PageID
+	for i, c := range n.children {
+		var clo, chi *Key
+		if i == 0 {
+			clo = lo
+		} else {
+			clo = &n.keys[i-1]
+		}
+		if i == len(n.keys) {
+			chi = hi
+		} else {
+			chi = &n.keys[i]
+		}
+		cnt, leftmost, err := t.check(c, level-1, clo, chi)
+		if err != nil {
+			return 0, storage.NilPage, err
+		}
+		if i == 0 {
+			first = leftmost
+		}
+		total += cnt
+	}
+	return total, first, nil
+}

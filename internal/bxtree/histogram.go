@@ -1,0 +1,126 @@
+package bxtree
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// velocityHistogram is the grid-based min/max velocity summary the Bx-tree
+// consults to enlarge query windows (Section 3.2: "histograms on a grid
+// base are maintained for the maximum/minimum velocity of different
+// portions of the data space"). Each cell keeps the componentwise min and
+// max velocity of the objects whose reference position falls in it.
+//
+// The histogram is insert-only; the owning bucket's bounded lifetime keeps
+// it from going stale (see Tree.Delete).
+type velocityHistogram struct {
+	domain geom.Rect
+	cells  int
+	// min/max velocity per cell, row-major; count tracks occupancy.
+	minVX, maxVX []float64
+	minVY, maxVY []float64
+	count        []int32
+	// global fallbacks for windows that clip nothing.
+	gMin, gMax geom.Vec2
+	total      int
+}
+
+func newVelocityHistogram(domain geom.Rect, cells int) *velocityHistogram {
+	n := cells * cells
+	h := &velocityHistogram{
+		domain: domain,
+		cells:  cells,
+		minVX:  make([]float64, n),
+		maxVX:  make([]float64, n),
+		minVY:  make([]float64, n),
+		maxVY:  make([]float64, n),
+		count:  make([]int32, n),
+	}
+	return h
+}
+
+// cellIndex maps a position to its histogram cell (clamped).
+func (h *velocityHistogram) cellIndex(p geom.Vec2) int {
+	fx := (p.X - h.domain.MinX) / h.domain.Width() * float64(h.cells)
+	fy := (p.Y - h.domain.MinY) / h.domain.Height() * float64(h.cells)
+	cx := clampInt(int(fx), 0, h.cells-1)
+	cy := clampInt(int(fy), 0, h.cells-1)
+	return cy*h.cells + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Add records an object's velocity at its reference position.
+func (h *velocityHistogram) Add(pos, vel geom.Vec2) {
+	i := h.cellIndex(pos)
+	if h.count[i] == 0 {
+		h.minVX[i], h.maxVX[i] = vel.X, vel.X
+		h.minVY[i], h.maxVY[i] = vel.Y, vel.Y
+	} else {
+		h.minVX[i] = math.Min(h.minVX[i], vel.X)
+		h.maxVX[i] = math.Max(h.maxVX[i], vel.X)
+		h.minVY[i] = math.Min(h.minVY[i], vel.Y)
+		h.maxVY[i] = math.Max(h.maxVY[i], vel.Y)
+	}
+	h.count[i]++
+	if h.total == 0 {
+		h.gMin, h.gMax = vel, vel
+	} else {
+		h.gMin = geom.Vec2{X: math.Min(h.gMin.X, vel.X), Y: math.Min(h.gMin.Y, vel.Y)}
+		h.gMax = geom.Vec2{X: math.Max(h.gMax.X, vel.X), Y: math.Max(h.gMax.Y, vel.Y)}
+	}
+	h.total++
+}
+
+// Range returns the componentwise min/max velocity over the cells that
+// intersect region r. ok is false when the histogram is empty; when r
+// covers no occupied cell the global bounds are returned (conservative:
+// an expanding window must not under-estimate velocities just because its
+// current footprint is sparse).
+func (h *velocityHistogram) Range(r geom.Rect) (vmin, vmax geom.Vec2, ok bool) {
+	if h.total == 0 {
+		return geom.Vec2{}, geom.Vec2{}, false
+	}
+	clipped := r.Intersect(h.domain)
+	if clipped.IsEmpty() {
+		return h.gMin, h.gMax, true
+	}
+	x0 := clampInt(int((clipped.MinX-h.domain.MinX)/h.domain.Width()*float64(h.cells)), 0, h.cells-1)
+	x1 := clampInt(int((clipped.MaxX-h.domain.MinX)/h.domain.Width()*float64(h.cells)), 0, h.cells-1)
+	y0 := clampInt(int((clipped.MinY-h.domain.MinY)/h.domain.Height()*float64(h.cells)), 0, h.cells-1)
+	y1 := clampInt(int((clipped.MaxY-h.domain.MinY)/h.domain.Height()*float64(h.cells)), 0, h.cells-1)
+
+	found := false
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * h.cells
+		for cx := x0; cx <= x1; cx++ {
+			i := row + cx
+			if h.count[i] == 0 {
+				continue
+			}
+			if !found {
+				vmin = geom.Vec2{X: h.minVX[i], Y: h.minVY[i]}
+				vmax = geom.Vec2{X: h.maxVX[i], Y: h.maxVY[i]}
+				found = true
+				continue
+			}
+			vmin.X = math.Min(vmin.X, h.minVX[i])
+			vmin.Y = math.Min(vmin.Y, h.minVY[i])
+			vmax.X = math.Max(vmax.X, h.maxVX[i])
+			vmax.Y = math.Max(vmax.Y, h.maxVY[i])
+		}
+	}
+	if !found {
+		return h.gMin, h.gMax, true
+	}
+	return vmin, vmax, true
+}

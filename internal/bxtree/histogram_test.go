@@ -1,0 +1,100 @@
+package bxtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testHist() *velocityHistogram {
+	return newVelocityHistogram(geom.R(0, 0, 1000, 1000), 10)
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := testHist()
+	if _, _, ok := h.Range(geom.R(0, 0, 1000, 1000)); ok {
+		t.Fatal("empty histogram should report no data")
+	}
+}
+
+func TestHistogramSingleCell(t *testing.T) {
+	h := testHist()
+	h.Add(geom.V(50, 50), geom.V(10, -5)) // cell (0,0)
+	h.Add(geom.V(60, 60), geom.V(-3, 7))  // same cell
+	vmin, vmax, ok := h.Range(geom.R(0, 0, 99, 99))
+	if !ok {
+		t.Fatal("no data")
+	}
+	if vmin != geom.V(-3, -5) || vmax != geom.V(10, 7) {
+		t.Fatalf("bounds: %v %v", vmin, vmax)
+	}
+}
+
+func TestHistogramDisjointCells(t *testing.T) {
+	h := testHist()
+	h.Add(geom.V(50, 50), geom.V(100, 0))   // cell (0,0)
+	h.Add(geom.V(950, 950), geom.V(0, 100)) // cell (9,9)
+	// A window over only the first cell must not see the second's velocity.
+	_, vmax, ok := h.Range(geom.R(0, 0, 99, 99))
+	if !ok || vmax.Y != 0 {
+		t.Fatalf("leaked velocity from remote cell: %v", vmax)
+	}
+	// A window over everything sees both.
+	_, vmax, ok = h.Range(geom.R(0, 0, 1000, 1000))
+	if !ok || vmax != geom.V(100, 100) {
+		t.Fatalf("global window: %v", vmax)
+	}
+}
+
+func TestHistogramWindowOverEmptyCellsFallsBackGlobally(t *testing.T) {
+	h := testHist()
+	h.Add(geom.V(50, 50), geom.V(42, -42))
+	// Window over occupied-free cells: must return the global bounds, not
+	// claim emptiness (conservative for the enlargement iteration).
+	vmin, vmax, ok := h.Range(geom.R(500, 500, 600, 600))
+	if !ok {
+		t.Fatal("should fall back to global bounds")
+	}
+	if vmax.X != 42 || vmin.Y != -42 {
+		t.Fatalf("fallback bounds: %v %v", vmin, vmax)
+	}
+	// Window fully outside the domain: same fallback.
+	if _, _, ok := h.Range(geom.R(5000, 5000, 6000, 6000)); !ok {
+		t.Fatal("outside-domain window should fall back")
+	}
+}
+
+func TestHistogramClampsOutOfDomainPositions(t *testing.T) {
+	h := testHist()
+	h.Add(geom.V(-100, 2000), geom.V(5, 5)) // clamps to cell (0, 9)
+	_, vmax, ok := h.Range(geom.R(0, 900, 100, 1000))
+	if !ok || vmax != geom.V(5, 5) {
+		t.Fatalf("clamped add not visible: %v ok=%v", vmax, ok)
+	}
+}
+
+func TestHistogramMonotoneWindows(t *testing.T) {
+	// Growing the window can only widen (never shrink) the velocity
+	// bounds — the property the downward enlargement iteration needs.
+	h := testHist()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		h.Add(geom.V(rng.Float64()*1000, rng.Float64()*1000),
+			geom.V(rng.Float64()*200-100, rng.Float64()*200-100))
+	}
+	for trial := 0; trial < 200; trial++ {
+		x, y := rng.Float64()*800, rng.Float64()*800
+		small := geom.R(x, y, x+rng.Float64()*100, y+rng.Float64()*100)
+		big := small.Expand(rng.Float64() * 200)
+		smin, smax, ok1 := h.Range(small)
+		bmin, bmax, ok2 := h.Range(big)
+		if !ok1 || !ok2 {
+			t.Fatal("no data")
+		}
+		if bmin.X > smin.X || bmin.Y > smin.Y || bmax.X < smax.X || bmax.Y < smax.Y {
+			t.Fatalf("window growth narrowed bounds: small [%v,%v] big [%v,%v]",
+				smin, smax, bmin, bmax)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package core implements the velocity partitioning (VP) technique — the
+// contribution of "Boosting Moving Object Indexing through Velocity
+// Partitioning" (Nguyen, He, Zhang, Ward; PVLDB 5(9), 2012).
+//
+// The package has the paper's two components (Fig. 9):
+//
+//   - the velocity analyzer (this file): finds the dominant velocity axes
+//     (DVAs) of a velocity-point sample with the PCA-guided k-means of
+//     Algorithm 2, and derives each partition's outlier threshold tau by
+//     minimizing the search-area expansion objective of Section 5.2
+//     (Eq. 10);
+//   - the index manager (manager.go): maintains one moving-object index per
+//     DVA — built over the coordinate frame rotated so the DVA is the
+//     x-axis — plus one outlier index in the standard frame, and routes
+//     inserts, deletes, updates and range queries across them
+//     (Algorithms 1 and 3).
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/analysis/cluster"
+	"repro/internal/analysis/pca"
+	"repro/internal/geom"
+)
+
+// AnalyzerConfig parameterizes the velocity analyzer. Zero values take the
+// paper's settings.
+type AnalyzerConfig struct {
+	// K is the number of DVA partitions. The paper sets 2 for road
+	// networks ("most road networks have two dominant traffic directions").
+	K int
+	// TauBuckets is the resolution of the cumulative |v_perp| histogram
+	// used to pick tau (paper: "a velocity histogram containing 100
+	// buckets for determining tau").
+	TauBuckets int
+	// Cluster carries the k-means iteration bounds and seed.
+	Cluster cluster.Options
+}
+
+func (c AnalyzerConfig) withDefaults() AnalyzerConfig {
+	if c.K <= 0 {
+		c.K = 2
+	}
+	if c.TauBuckets <= 0 {
+		c.TauBuckets = 100
+	}
+	return c
+}
+
+// DVA describes one dominant velocity axis found by the analyzer.
+type DVA struct {
+	// Axis is the unit direction of the DVA (sign-canonical: x >= 0).
+	Axis geom.Vec2
+	// Tau is the outlier threshold: an object whose velocity's
+	// perpendicular distance to Axis exceeds Tau is routed to the outlier
+	// partition (Section 5.2).
+	Tau float64
+	// Count is the number of sample points retained in this partition
+	// after outlier removal; OutlierCount is how many it shed.
+	Count        int
+	OutlierCount int
+	// Dominance is lambda1/(lambda1+lambda2) of the retained points: 1.0
+	// means the partition moves in a perfectly 1-D velocity space.
+	Dominance float64
+}
+
+// Rotation returns the world->DVA-frame rotation matrix [PC1; PC2].
+func (d DVA) Rotation() geom.Mat2 { return geom.RotationTo(d.Axis) }
+
+// Analysis is the velocity analyzer's output: the partition boundaries the
+// index manager needs, plus diagnostics.
+type Analysis struct {
+	DVAs []DVA
+	// TotalOutliers counts sample points assigned to the outlier
+	// partition.
+	TotalOutliers int
+	// SampleSize is the number of velocity points analyzed.
+	SampleSize int
+	// Elapsed is the analyzer's wall-clock run time (Fig. 18 measures it).
+	Elapsed time.Duration
+}
+
+// Analyze runs Algorithm 1 (VelocityPartitioning) over a sample of velocity
+// points: find the DVAs with the PC-distance k-means, derive tau per
+// partition, shed outliers, and recompute each DVA over the survivors.
+func Analyze(sample []geom.Vec2, cfg AnalyzerConfig) (Analysis, error) {
+	start := time.Now()
+	cfg = cfg.withDefaults()
+	if len(sample) < cfg.K {
+		return Analysis{}, fmt.Errorf("core: sample of %d points cannot form %d partitions", len(sample), cfg.K)
+	}
+	// Line 2: find the DVA partitions.
+	clusters, _, err := cluster.KMeansAxes(sample, cfg.K, cfg.Cluster)
+	if err != nil {
+		return Analysis{}, err
+	}
+	out := Analysis{DVAs: make([]DVA, cfg.K), SampleSize: len(sample)}
+	for ci, cl := range clusters {
+		member := make([]geom.Vec2, 0, cl.Count)
+		for _, idx := range cl.Members {
+			member = append(member, sample[idx])
+		}
+		d := DVA{Axis: cl.Axis}
+		if len(member) == 0 {
+			out.DVAs[ci] = d
+			continue
+		}
+		// Line 4: tau from the perpendicular-speed distribution (Sec. 5.2).
+		perp := make([]float64, len(member))
+		for i, v := range member {
+			perp[i] = v.PerpDistToAxis(cl.Axis)
+		}
+		d.Tau = OptimalTau(perp, cfg.TauBuckets)
+		// Line 5: shed the outliers.
+		kept := member[:0]
+		for i, v := range member {
+			if perp[i] <= d.Tau {
+				kept = append(kept, v)
+			} else {
+				d.OutlierCount++
+			}
+		}
+		d.Count = len(kept)
+		out.TotalOutliers += d.OutlierCount
+		// Line 6: recompute the DVA over the survivors for a more precise
+		// axis (and the dominance diagnostic).
+		if len(kept) > 0 {
+			if res, err := pca.Analyze(kept, pca.Uncentered); err == nil {
+				d.Axis = res.PC1
+				_, d.Dominance = res.Axis()
+			}
+		}
+		out.DVAs[ci] = d
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// OptimalTau picks the outlier threshold for one DVA partition by
+// minimizing Eq. 10 of the paper, n_d(tau) * (v_yd(tau) - v_ymax), over an
+// equal-width cumulative histogram of the partition's perpendicular speeds
+// (v_yd(tau) = tau itself: the maximum perpendicular speed retained).
+//
+// Intuition: retaining more objects (larger n_d) is good only while the
+// retained perpendicular speed stays well below the partition-wide maximum;
+// the product trades the DVA partition's own expansion rate against pushing
+// everything to the 2-D outlier partition.
+func OptimalTau(perpSpeeds []float64, buckets int) float64 {
+	if len(perpSpeeds) == 0 {
+		return 0
+	}
+	if buckets <= 0 {
+		buckets = 100
+	}
+	vymax := 0.0
+	for _, v := range perpSpeeds {
+		if v > vymax {
+			vymax = v
+		}
+	}
+	if vymax == 0 {
+		// Perfectly 1-D partition: nothing to shed.
+		return 0
+	}
+	// Cumulative histogram over [0, vymax].
+	counts := make([]int, buckets)
+	for _, v := range perpSpeeds {
+		b := int(v / vymax * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	bestTau := vymax
+	bestCost := math.Inf(1)
+	cum := 0
+	for b := 0; b < buckets; b++ {
+		cum += counts[b]
+		tau := vymax * float64(b+1) / float64(buckets)
+		cost := float64(cum) * (tau - vymax)
+		if cost < bestCost {
+			bestCost = cost
+			bestTau = tau
+		}
+	}
+	return bestTau
+}
+
+// TauCost evaluates the Eq. 10 objective for a specific tau over the given
+// perpendicular speeds; exposed for the experiments that sweep fixed tau
+// values (Fig. 17) and for property tests against OptimalTau.
+func TauCost(perpSpeeds []float64, tau float64) float64 {
+	vymax := 0.0
+	for _, v := range perpSpeeds {
+		if v > vymax {
+			vymax = v
+		}
+	}
+	nd := 0
+	for _, v := range perpSpeeds {
+		if v <= tau {
+			nd++
+		}
+	}
+	return float64(nd) * (tau - vymax)
+}
+
+// tauHistogram is the online |v_perp| histogram kept per DVA partition so
+// tau can be recomputed as the speed distribution drifts (Section 5.5:
+// "we handle this situation by continuously updating the histogram used to
+// determine tau, and then periodically computing an updated tau").
+//
+// The histogram range is fixed at creation (from the analysis sample's
+// maximum, padded); values beyond it saturate into the last bucket, which
+// only makes tau conservative.
+type tauHistogram struct {
+	limit  float64
+	counts []int
+	total  int
+	maxVal float64
+}
+
+func newTauHistogram(limit float64, buckets int) *tauHistogram {
+	if limit <= 0 {
+		limit = 1
+	}
+	if buckets <= 0 {
+		buckets = 100
+	}
+	return &tauHistogram{limit: limit, counts: make([]int, buckets)}
+}
+
+func (h *tauHistogram) Add(v float64) {
+	b := int(v / h.limit * float64(len(h.counts)))
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	h.counts[b]++
+	h.total++
+	if v > h.maxVal {
+		h.maxVal = v
+	}
+}
+
+// Optimal recomputes tau from the accumulated distribution (same objective
+// as OptimalTau, evaluated on bucket upper edges).
+func (h *tauHistogram) Optimal() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	vymax := math.Min(h.maxVal, h.limit)
+	if vymax == 0 {
+		return 0
+	}
+	bestTau := vymax
+	bestCost := math.Inf(1)
+	cum := 0
+	for b := range h.counts {
+		cum += h.counts[b]
+		tau := h.limit * float64(b+1) / float64(len(h.counts))
+		if tau > vymax {
+			tau = vymax
+		}
+		cost := float64(cum) * (tau - vymax)
+		if cost < bestCost {
+			bestCost = cost
+			bestTau = tau
+		}
+	}
+	return bestTau
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// SearchKNN implements model.KNNIndex for the partitioned index: each
+// partition answers the kNN query in its own coordinate frame — rotations
+// are isometries, so the per-partition distances are directly comparable —
+// and the manager merges the per-partition top-k lists into the global one.
+// Every underlying index must itself support kNN.
+func (m *Manager) SearchKNN(q model.KNNQuery) ([]model.Neighbor, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	lists := make([][]model.Neighbor, 0, len(m.pars))
+	for i := range m.pars {
+		p := &m.pars[i]
+		knn, ok := p.idx.(model.KNNIndex)
+		if !ok {
+			return nil, fmt.Errorf("core: partition %s index %T does not support kNN",
+				p.spec.Name, p.idx)
+		}
+		pq := q
+		if !p.spec.IsOutlier {
+			pq.Center = p.rot.Apply(q.Center)
+		}
+		ns, err := knn.SearchKNN(pq)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, ns)
+	}
+	return model.MergeNeighbors(q.K, lists...), nil
+}
+
+var _ model.KNNIndex = (*Manager)(nil)

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// PartitionSpec describes one partition to the index factory.
+type PartitionSpec struct {
+	// Name labels the partition ("dva0", "dva1", ..., "outlier").
+	Name string
+	// Domain is the data-space bound in the partition's own coordinate
+	// frame: the rotated bound of the world domain for DVA partitions, the
+	// world domain itself for the outlier partition. Grid-based indexes
+	// (the Bx-tree) size their grids from it.
+	Domain geom.Rect
+	// Axis is the DVA direction (zero vector for the outlier partition).
+	Axis geom.Vec2
+	// IsOutlier marks the outlier partition.
+	IsOutlier bool
+}
+
+// IndexFactory builds the underlying moving-object index for one partition.
+// All partitions of one manager conventionally share a buffer pool so the
+// paper's 50-page RAM budget covers the whole structure.
+type IndexFactory func(spec PartitionSpec) (model.Index, error)
+
+// ManagerConfig parameterizes the VP index manager.
+type ManagerConfig struct {
+	// Domain is the world data space (Table 1: 100,000 x 100,000 m).
+	Domain geom.Rect
+	// TauRefreshInterval recomputes each partition's tau after this many
+	// routed inserts (Section 5.5). <= 0 disables refresh.
+	TauRefreshInterval int
+	// TauBuckets sizes the online tau histograms (default 100).
+	TauBuckets int
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.Domain.IsEmpty() || c.Domain.Area() == 0 {
+		c.Domain = geom.R(0, 0, 100000, 100000)
+	}
+	if c.TauBuckets <= 0 {
+		c.TauBuckets = 100
+	}
+	return c
+}
+
+// partition is one live partition: the underlying index plus the frame
+// transform and routing state.
+type partition struct {
+	spec PartitionSpec
+	idx  model.Index
+	rot  geom.Mat2 // world -> partition frame (identity for outlier)
+	axis geom.Vec2
+	tau  float64
+	hist *tauHistogram // online |v_perp| distribution (DVA partitions)
+}
+
+// record tracks where an object lives and its last known state; the paper's
+// "simple lookup table" used by deletion (Section 5.3) and by the exact
+// refinement step of Algorithm 3.
+type record struct {
+	obj  model.Object
+	part int
+}
+
+// Manager is the VP technique's index manager: k DVA indexes plus an
+// outlier index behind the model.Index interface. It is safe for concurrent
+// use; updates that migrate an object between partitions hold the manager
+// lock for the whole delete+insert so queries never observe the object as
+// missing (the locking concern of Section 5.3).
+type Manager struct {
+	mu   sync.RWMutex
+	cfg  ManagerConfig
+	pars []partition // DVA partitions first, outlier last
+	objs map[model.ObjectID]record
+
+	insertsSinceRefresh int
+	name                string
+}
+
+var _ model.Index = (*Manager)(nil)
+
+// NewManager builds the partition set from a completed velocity analysis.
+func NewManager(an Analysis, cfg ManagerConfig, factory IndexFactory) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if len(an.DVAs) == 0 {
+		return nil, fmt.Errorf("core: analysis has no DVAs")
+	}
+	m := &Manager{
+		cfg:  cfg,
+		objs: make(map[model.ObjectID]record),
+		name: "vp",
+	}
+	for i, d := range an.DVAs {
+		rot := d.Rotation()
+		spec := PartitionSpec{
+			Name:   fmt.Sprintf("dva%d", i),
+			Domain: cfg.Domain.BoundOfTransformed(rot),
+			Axis:   d.Axis,
+		}
+		idx, err := factory(spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: building %s: %w", spec.Name, err)
+		}
+		// The online tau histogram spans up to the world-domain diagonal
+		// speed scale: use 4x the analysis tau (or 1 if zero) padded; the
+		// exact limit only affects resolution, not correctness.
+		limit := d.Tau * 4
+		if limit <= 0 {
+			limit = 1
+		}
+		m.pars = append(m.pars, partition{
+			spec: spec, idx: idx, rot: rot, axis: d.Axis, tau: d.Tau,
+			hist: newTauHistogram(limit, cfg.TauBuckets),
+		})
+	}
+	outSpec := PartitionSpec{Name: "outlier", Domain: cfg.Domain, IsOutlier: true}
+	outIdx, err := factory(outSpec)
+	if err != nil {
+		return nil, fmt.Errorf("core: building outlier partition: %w", err)
+	}
+	m.pars = append(m.pars, partition{spec: outSpec, idx: outIdx, rot: geom.Identity2})
+	return m, nil
+}
+
+// SetName overrides the reported index name.
+func (m *Manager) SetName(s string) { m.name = s }
+
+// Name implements model.Index.
+func (m *Manager) Name() string { return m.name }
+
+// Len implements model.Index.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.objs)
+}
+
+// IO implements model.Index: all partitions share a pool, so any
+// partition's counters are the manager's (the outlier partition is used as
+// the representative).
+func (m *Manager) IO() model.IOStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.pars[len(m.pars)-1].idx.IO()
+}
+
+// NumPartitions returns the number of partitions including the outlier.
+func (m *Manager) NumPartitions() int { return len(m.pars) }
+
+// PartitionInfo is the read-only view of one partition used by experiments
+// and diagnostics.
+type PartitionInfo struct {
+	Spec  PartitionSpec
+	Index model.Index
+	Rot   geom.Mat2
+	Tau   float64
+	Size  int
+}
+
+// Partitions snapshots the partition set.
+func (m *Manager) Partitions() []PartitionInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]PartitionInfo, len(m.pars))
+	for i, p := range m.pars {
+		out[i] = PartitionInfo{Spec: p.spec, Index: p.idx, Rot: p.rot, Tau: p.tau, Size: p.idx.Len()}
+	}
+	return out
+}
+
+// route decides the partition for an object: the DVA whose axis is closest
+// in perpendicular velocity distance, or the outlier partition when that
+// distance exceeds the DVA's tau (Section 5.3). It also feeds the online
+// tau histogram of the chosen DVA.
+func (m *Manager) route(o model.Object) int {
+	best := -1
+	bestDist := 0.0
+	for i := range m.pars {
+		p := &m.pars[i]
+		if p.spec.IsOutlier {
+			continue
+		}
+		d := o.Vel.PerpDistToAxis(p.axis)
+		if best == -1 || d < bestDist {
+			best = i
+			bestDist = d
+		}
+	}
+	if best == -1 {
+		return len(m.pars) - 1
+	}
+	m.pars[best].hist.Add(bestDist)
+	if bestDist > m.pars[best].tau {
+		return len(m.pars) - 1 // outlier partition
+	}
+	return best
+}
+
+// maybeRefreshTau recomputes every DVA's tau from its online histogram
+// after TauRefreshInterval routed inserts (Section 5.5). Caller holds mu.
+func (m *Manager) maybeRefreshTau() {
+	if m.cfg.TauRefreshInterval <= 0 {
+		return
+	}
+	m.insertsSinceRefresh++
+	if m.insertsSinceRefresh < m.cfg.TauRefreshInterval {
+		return
+	}
+	m.insertsSinceRefresh = 0
+	for i := range m.pars {
+		if m.pars[i].spec.IsOutlier || m.pars[i].hist.total == 0 {
+			continue
+		}
+		m.pars[i].tau = m.pars[i].hist.Optimal()
+	}
+}
+
+// Insert implements model.Index.
+func (m *Manager) Insert(o model.Object) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.objs[o.ID]; dup {
+		return fmt.Errorf("core: duplicate insert of object %d", o.ID)
+	}
+	pi := m.route(o)
+	if err := m.insertInto(pi, o); err != nil {
+		return err
+	}
+	m.objs[o.ID] = record{obj: o, part: pi}
+	m.maybeRefreshTau()
+	return nil
+}
+
+// insertInto stores o (world frame) into partition pi, transforming into
+// its coordinate frame first ("a simple matrix multiplication between the
+// coordinates of o and the 1st PC of imin").
+func (m *Manager) insertInto(pi int, o model.Object) error {
+	p := &m.pars[pi]
+	if p.spec.IsOutlier {
+		return p.idx.Insert(o)
+	}
+	return p.idx.Insert(o.Transform(p.rot))
+}
+
+// deleteFrom removes o (world frame) from partition pi.
+func (m *Manager) deleteFrom(pi int, o model.Object) error {
+	p := &m.pars[pi]
+	if p.spec.IsOutlier {
+		return p.idx.Delete(o)
+	}
+	return p.idx.Delete(o.Transform(p.rot))
+}
+
+// Delete implements model.Index. Only the ID is consulted: the partition
+// and exact stored record come from the lookup table.
+func (m *Manager) Delete(o model.Object) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.objs[o.ID]
+	if !ok {
+		return model.ErrNotFound
+	}
+	if err := m.deleteFrom(rec.part, rec.obj); err != nil {
+		return err
+	}
+	delete(m.objs, o.ID)
+	return nil
+}
+
+// Update implements model.Index: deletion followed by insertion, possibly
+// migrating the object to a different partition when its direction of
+// travel changed (Section 5.3). The whole move happens under one lock.
+func (m *Manager) Update(old, new model.Object) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.objs[old.ID]
+	if !ok {
+		return model.ErrNotFound
+	}
+	if new.ID != old.ID {
+		return fmt.Errorf("core: update changes object id %d -> %d", old.ID, new.ID)
+	}
+	if err := m.deleteFrom(rec.part, rec.obj); err != nil {
+		return err
+	}
+	pi := m.route(new)
+	if err := m.insertInto(pi, new); err != nil {
+		// Best-effort rollback: put the old record back so the index and
+		// the lookup table stay consistent; surface both errors if even
+		// that fails.
+		if rerr := m.insertInto(rec.part, rec.obj); rerr != nil {
+			return fmt.Errorf("core: update failed (%w) and rollback failed (%v)", err, rerr)
+		}
+		return err
+	}
+	m.objs[new.ID] = record{obj: new, part: pi}
+	m.maybeRefreshTau()
+	return nil
+}
+
+// UpdateByID is a convenience for callers that only track current state:
+// the old record comes from the lookup table.
+func (m *Manager) UpdateByID(new model.Object) error {
+	m.mu.RLock()
+	rec, ok := m.objs[new.ID]
+	m.mu.RUnlock()
+	if !ok {
+		return model.ErrNotFound
+	}
+	return m.Update(rec.obj, new)
+}
+
+// Search implements model.Index: Algorithm 3. The query is transformed into
+// each DVA frame (its region bounded by an axis-aligned MBR there), run
+// against the partition index, and candidates are re-checked *exactly*
+// against the original query in the world frame via the lookup table —
+// line 8's filter step. The outlier partition takes the query unchanged.
+func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []model.ObjectID
+	seen := make(map[model.ObjectID]struct{})
+	for i := range m.pars {
+		p := &m.pars[i]
+		pq := q
+		if !p.spec.IsOutlier {
+			pq = q.Transform(p.rot)
+		}
+		ids, err := p.idx.Search(pq)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			rec, ok := m.objs[id]
+			if !ok {
+				continue
+			}
+			if model.Matches(rec.obj, q) {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Get returns the current world-frame record for an object.
+func (m *Manager) Get(id model.ObjectID) (model.Object, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rec, ok := m.objs[id]
+	return rec.obj, ok
+}
+
+// Tau returns the current outlier threshold of DVA partition i.
+func (m *Manager) Tau(i int) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.pars[i].tau
+}
+
+// SetTau overrides the outlier threshold of DVA partition i; used by the
+// fixed-tau sweep experiment (Fig. 17). It affects future routing only.
+func (m *Manager) SetTau(i int, tau float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pars[i].tau = tau
+}
+
+// AxisDrift returns, for each DVA partition, the angle (radians) between
+// its current axis and the matching axis of a fresh analysis — the signal
+// Section 5.5 says should trigger re-partitioning when "the dominant
+// direction of object travel changes significantly". Each new axis is
+// matched to the closest current one.
+func (m *Manager) AxisDrift(an Analysis) []float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]float64, 0, len(m.pars)-1)
+	for i := range m.pars {
+		if m.pars[i].spec.IsOutlier {
+			continue
+		}
+		best := math.Pi / 2
+		for _, d := range an.DVAs {
+			cos := math.Abs(m.pars[i].axis.Normalize().Dot(d.Axis.Normalize()))
+			if cos > 1 {
+				cos = 1
+			}
+			if a := math.Acos(cos); a < best {
+				best = a
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// Reanalyze rebuilds the partition set from a fresh velocity analysis
+// (Section 5.5's "rerun the velocity analyzer ... and readjust the
+// indexes"): new partition indexes are created through the factory and
+// every live object is re-routed and re-inserted. The manager is locked
+// for the duration (a rebuild is a rare, heavyweight maintenance action —
+// the paper argues directions are stable enough that this almost never
+// fires; tau refresh handles the common speed-only drift).
+func (m *Manager) Reanalyze(an Analysis, factory IndexFactory) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(an.DVAs) == 0 {
+		return fmt.Errorf("core: analysis has no DVAs")
+	}
+	fresh := make([]partition, 0, len(an.DVAs)+1)
+	for i, d := range an.DVAs {
+		rot := d.Rotation()
+		spec := PartitionSpec{
+			Name:   fmt.Sprintf("dva%d", i),
+			Domain: m.cfg.Domain.BoundOfTransformed(rot),
+			Axis:   d.Axis,
+		}
+		idx, err := factory(spec)
+		if err != nil {
+			return fmt.Errorf("core: rebuilding %s: %w", spec.Name, err)
+		}
+		limit := d.Tau * 4
+		if limit <= 0 {
+			limit = 1
+		}
+		fresh = append(fresh, partition{
+			spec: spec, idx: idx, rot: rot, axis: d.Axis, tau: d.Tau,
+			hist: newTauHistogram(limit, m.cfg.TauBuckets),
+		})
+	}
+	outSpec := PartitionSpec{Name: "outlier", Domain: m.cfg.Domain, IsOutlier: true}
+	outIdx, err := factory(outSpec)
+	if err != nil {
+		return fmt.Errorf("core: rebuilding outlier partition: %w", err)
+	}
+	fresh = append(fresh, partition{spec: outSpec, idx: outIdx, rot: geom.Identity2})
+
+	old := m.pars
+	m.pars = fresh
+	for id, rec := range m.objs {
+		pi := m.route(rec.obj)
+		if err := m.insertInto(pi, rec.obj); err != nil {
+			m.pars = old // restore; fresh partitions are discarded
+			return fmt.Errorf("core: re-routing object %d: %w", id, err)
+		}
+		m.objs[id] = record{obj: rec.obj, part: pi}
+	}
+	m.insertsSinceRefresh = 0
+	return nil
+}

@@ -1,0 +1,266 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// MovingRect is a time-parameterized rectangle: the MBR/VBR pair of the
+// TPR-tree family (Section 3.1 of the VP paper). At time t >= Ref the
+// rectangle is
+//
+//	[MBR.MinX + VBR.MinX*(t-Ref), MBR.MaxX + VBR.MaxX*(t-Ref)] x (same in y)
+//
+// VBR.Min* are the (signed) speeds of the lower boundaries and VBR.Max* of
+// the upper boundaries. For a conservative bounding rectangle VBR.Min <=
+// VBR.Max per axis, so the rectangle never shrinks; transformed rectangles
+// used by the cost model keep the same property.
+type MovingRect struct {
+	MBR Rect    // reference rectangle at time Ref
+	VBR Rect    // boundary velocities
+	Ref float64 // reference time
+}
+
+// MovingPointRect returns the degenerate moving rectangle tracking a point
+// with position p and velocity v at reference time ref.
+func MovingPointRect(p, v Vec2, ref float64) MovingRect {
+	return MovingRect{MBR: RectFromPoint(p), VBR: Rect{v.X, v.Y, v.X, v.Y}, Ref: ref}
+}
+
+// AtTime returns the rectangle occupied at time t (t may precede Ref; the
+// expansion is applied linearly in both directions, which callers use for
+// rewinding reference times).
+func (m MovingRect) AtTime(t float64) Rect {
+	dt := t - m.Ref
+	out := Rect{
+		m.MBR.MinX + m.VBR.MinX*dt,
+		m.MBR.MinY + m.VBR.MinY*dt,
+		m.MBR.MaxX + m.VBR.MaxX*dt,
+		m.MBR.MaxY + m.VBR.MaxY*dt,
+	}
+	if out.MinX > out.MaxX {
+		out.MinX, out.MaxX = out.MaxX, out.MinX
+	}
+	if out.MinY > out.MaxY {
+		out.MinY, out.MaxY = out.MaxY, out.MinY
+	}
+	return out
+}
+
+// Rebase returns an equivalent MovingRect whose reference time is t.
+func (m MovingRect) Rebase(t float64) MovingRect {
+	return MovingRect{MBR: m.AtTime(t), VBR: m.VBR, Ref: t}
+}
+
+// Union returns the tightest MovingRect (at reference time ref) that
+// contains both operands for every t >= ref: the MBR is the union of the
+// operand rectangles at ref and each VBR boundary takes the more permissive
+// speed. This is how TPR-tree nodes bound their children.
+func (m MovingRect) Union(o MovingRect, ref float64) MovingRect {
+	a, b := m.Rebase(ref), o.Rebase(ref)
+	return MovingRect{
+		MBR: a.MBR.Union(b.MBR),
+		VBR: Rect{
+			math.Min(a.VBR.MinX, b.VBR.MinX),
+			math.Min(a.VBR.MinY, b.VBR.MinY),
+			math.Max(a.VBR.MaxX, b.VBR.MaxX),
+			math.Max(a.VBR.MaxY, b.VBR.MaxY),
+		},
+		Ref: ref,
+	}
+}
+
+// UnionAll returns the bounding MovingRect of rs at reference time ref.
+// It panics on an empty slice.
+func UnionAll(rs []MovingRect, ref float64) MovingRect {
+	if len(rs) == 0 {
+		panic("geom: UnionAll of empty slice")
+	}
+	out := rs[0].Rebase(ref)
+	for _, r := range rs[1:] {
+		out = out.Union(r, ref)
+	}
+	return out
+}
+
+// Contains reports whether m contains o for every time in [t0, t1].
+// Because boundaries move linearly, containment at both endpoints implies
+// containment throughout.
+func (m MovingRect) Contains(o MovingRect, t0, t1 float64) bool {
+	return m.AtTime(t0).ContainsRect(o.AtTime(t0)) && m.AtTime(t1).ContainsRect(o.AtTime(t1))
+}
+
+// IntersectsDuring reports whether m and o share a point at some time in
+// [t0, t1]. Each axis contributes two linear constraints (lower of one below
+// upper of the other); the rectangles intersect when the intersection of the
+// four constraint intervals with [t0, t1] is non-empty. This is the exact
+// time-parameterized intersection test used by TPR-tree queries and the
+// "transformed node" trick of Fig. 3.
+func (m MovingRect) IntersectsDuring(o MovingRect, t0, t1 float64) bool {
+	if t1 < t0 {
+		return false
+	}
+	lo, hi := t0, t1
+	// Constraint: mLow(t) <= oHigh(t)  ==>  (mLow0 - oHigh0) + (mLowV - oHighV)*(t-base) <= 0
+	// All constraints are expressed relative to base time t0.
+	ma, oa := m.Rebase(t0), o.Rebase(t0)
+	type lin struct{ c0, cv float64 } // c0 + cv*(t - t0) <= 0
+	cons := [4]lin{
+		{ma.MBR.MinX - oa.MBR.MaxX, ma.VBR.MinX - oa.VBR.MaxX},
+		{oa.MBR.MinX - ma.MBR.MaxX, oa.VBR.MinX - ma.VBR.MaxX},
+		{ma.MBR.MinY - oa.MBR.MaxY, ma.VBR.MinY - oa.VBR.MaxY},
+		{oa.MBR.MinY - ma.MBR.MaxY, oa.VBR.MinY - ma.VBR.MaxY},
+	}
+	for _, c := range cons {
+		if c.cv == 0 {
+			if c.c0 > 0 {
+				return false
+			}
+			continue
+		}
+		// c.c0 + c.cv * s <= 0, s = t - t0 in [0, t1-t0]
+		bound := -c.c0 / c.cv
+		if c.cv > 0 {
+			// satisfied for s <= bound
+			hi = math.Min(hi, t0+bound)
+		} else {
+			// satisfied for s >= bound
+			lo = math.Max(lo, t0+bound)
+		}
+		if lo > hi {
+			return false
+		}
+	}
+	return lo <= hi
+}
+
+// IntersectionInterval returns the sub-interval of [t0, t1] during which m
+// and o intersect, and ok=false if they never do. Used by interval queries
+// to report first-contact times and by tests as an oracle.
+func (m MovingRect) IntersectionInterval(o MovingRect, t0, t1 float64) (lo, hi float64, ok bool) {
+	if t1 < t0 {
+		return 0, 0, false
+	}
+	lo, hi = t0, t1
+	ma, oa := m.Rebase(t0), o.Rebase(t0)
+	type lin struct{ c0, cv float64 }
+	cons := [4]lin{
+		{ma.MBR.MinX - oa.MBR.MaxX, ma.VBR.MinX - oa.VBR.MaxX},
+		{oa.MBR.MinX - ma.MBR.MaxX, oa.VBR.MinX - ma.VBR.MaxX},
+		{ma.MBR.MinY - oa.MBR.MaxY, ma.VBR.MinY - oa.VBR.MaxY},
+		{oa.MBR.MinY - ma.MBR.MaxY, oa.VBR.MinY - ma.VBR.MaxY},
+	}
+	for _, c := range cons {
+		if c.cv == 0 {
+			if c.c0 > 0 {
+				return 0, 0, false
+			}
+			continue
+		}
+		bound := t0 - c.c0/c.cv
+		if c.cv > 0 {
+			hi = math.Min(hi, bound)
+		} else {
+			lo = math.Max(lo, bound)
+		}
+		if lo > hi {
+			return 0, 0, false
+		}
+	}
+	return lo, hi, true
+}
+
+// SweepVolume returns the integral of Area(t) dt for t in [t0, t1]: the
+// "volume of the sweeping region" V_N'(qT) of the TPR* cost model (Eq. 1).
+// Widths are clamped at zero, handling transformed rectangles that start
+// empty and grow (or shrink to nothing).
+//
+// The integrand is a piecewise quadratic w(t)*h(t) with w, h linear and
+// clamped at 0; we split [t0,t1] at the (at most two) clamp roots and
+// integrate each quadratic piece exactly.
+func (m MovingRect) SweepVolume(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	a := m.Rebase(t0)
+	w0 := a.MBR.Width()
+	h0 := a.MBR.Height()
+	dw := a.VBR.MaxX - a.VBR.MinX
+	dh := a.VBR.MaxY - a.VBR.MinY
+	T := t1 - t0
+
+	// Collect breakpoints where w or h crosses zero inside (0, T).
+	breaks := []float64{0, T}
+	addRoot := func(v0, dv float64) {
+		if dv != 0 {
+			r := -v0 / dv
+			if r > 0 && r < T {
+				breaks = append(breaks, r)
+			}
+		}
+	}
+	addRoot(w0, dw)
+	addRoot(h0, dh)
+	sortFloats(breaks)
+
+	total := 0.0
+	for i := 0; i+1 < len(breaks); i++ {
+		s0, s1 := breaks[i], breaks[i+1]
+		if s1 <= s0 {
+			continue
+		}
+		mid := (s0 + s1) / 2
+		if w0+dw*mid <= 0 || h0+dh*mid <= 0 {
+			continue // area is zero on this piece
+		}
+		// Integrate (w0+dw*s)(h0+dh*s) ds from s0 to s1.
+		ii := func(s float64) float64 {
+			return w0*h0*s + (w0*dh+h0*dw)*s*s/2 + dw*dh*s*s*s/3
+		}
+		total += ii(s1) - ii(s0)
+	}
+	return total
+}
+
+// sortFloats is a tiny insertion sort; the slices here have <= 4 elements.
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Transformed returns the "transformed node" N' of m with respect to the
+// moving query q, per Section 3.1: the MBR is inflated by half the query
+// extent per axis and the VBR takes the relative velocities, so that m
+// intersects q during [t0,t1] iff N' contains the (moving) center point of
+// q. Both operands are rebased to ref first.
+func (m MovingRect) Transformed(q MovingRect, ref float64) MovingRect {
+	a, b := m.Rebase(ref), q.Rebase(ref)
+	hx := b.MBR.Width() / 2
+	hy := b.MBR.Height() / 2
+	return MovingRect{
+		MBR: a.MBR.ExpandXY(hx, hy),
+		VBR: Rect{
+			a.VBR.MinX - b.VBR.MaxX,
+			a.VBR.MinY - b.VBR.MaxY,
+			a.VBR.MaxX - b.VBR.MinX,
+			a.VBR.MaxY - b.VBR.MinY,
+		},
+		Ref: ref,
+	}
+}
+
+// EnlargedSweep returns the integrated sweeping volume over [t0, t1] of the
+// union of m with o, minus that of m alone: the ChooseSubtree metric of the
+// TPR*-tree ("minimal increase in integrated area").
+func (m MovingRect) EnlargedSweep(o MovingRect, t0, t1 float64) float64 {
+	u := m.Union(o, t0)
+	return u.SweepVolume(t0, t1) - m.Rebase(t0).SweepVolume(t0, t1)
+}
+
+// String implements fmt.Stringer.
+func (m MovingRect) String() string {
+	return fmt.Sprintf("{MBR:%v VBR:%v @%g}", m.MBR, m.VBR, m.Ref)
+}

@@ -1,0 +1,319 @@
+// Package model defines the moving-object data model shared by every index
+// in this repository: linear-motion object records, the three predictive
+// range query types of the VP paper (Section 2.1), the common Index
+// interface implemented by the TPR*-tree, the Bx-tree and the VP-partitioned
+// manager, and an exact brute-force oracle used both for the refinement
+// (filter) step of query processing and for correctness testing.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// ObjectID identifies a moving object. IDs are assigned by the application;
+// indexes treat them as opaque.
+type ObjectID uint64
+
+// Object is a linear-motion moving point (Section 2.1): at time t >= T its
+// position is Pos + Vel*(t - T). An update replaces the whole record.
+type Object struct {
+	ID  ObjectID
+	Pos geom.Vec2 // reference position at time T
+	Vel geom.Vec2 // velocity (m/ts)
+	T   float64   // reference timestamp of Pos
+}
+
+// PosAt returns the extrapolated position at time t.
+func (o Object) PosAt(t float64) geom.Vec2 {
+	return o.Pos.Add(o.Vel.Scale(t - o.T))
+}
+
+// AsMovingRect returns the degenerate moving rectangle tracking o.
+func (o Object) AsMovingRect() geom.MovingRect {
+	return geom.MovingPointRect(o.Pos, o.Vel, o.T)
+}
+
+// Transform returns the object expressed in the rotated coordinate frame m
+// (both position and velocity rotate; reference time is unchanged). Used by
+// the VP index manager when inserting into a DVA index.
+func (o Object) Transform(m geom.Mat2) Object {
+	return Object{ID: o.ID, Pos: m.Apply(o.Pos), Vel: m.Apply(o.Vel), T: o.T}
+}
+
+// String implements fmt.Stringer.
+func (o Object) String() string {
+	return fmt.Sprintf("obj %d pos%v vel%v @%g", o.ID, o.Pos, o.Vel, o.T)
+}
+
+// QueryKind distinguishes the three range query types of Section 2.1.
+type QueryKind int
+
+const (
+	// TimeSlice reports objects inside the region at one timestamp (T0).
+	TimeSlice QueryKind = iota
+	// TimeInterval reports objects inside the (static) region at any time
+	// in [T0, T1].
+	TimeInterval
+	// MovingRange reports objects that intersect the region as it
+	// translates with velocity Vel during [T0, T1].
+	MovingRange
+)
+
+// String implements fmt.Stringer.
+func (k QueryKind) String() string {
+	switch k {
+	case TimeSlice:
+		return "time-slice"
+	case TimeInterval:
+		return "time-interval"
+	case MovingRange:
+		return "moving-range"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", int(k))
+	}
+}
+
+// RangeQuery is a predictive range query. The region is either a rectangle
+// (Circle.R == 0 and Rect non-empty) or a circle (Circle.R > 0); circular
+// queries are the paper's default since they resemble "objects within d of
+// me" requests and the kNN filter step.
+//
+// Now is the time the query is issued (all indexes contain objects whose
+// reference times are <= Now); T0 >= Now is the (future) query time, and T1
+// >= T0 closes the interval for interval/moving queries. For TimeSlice
+// queries T1 is ignored and treated as T0.
+type RangeQuery struct {
+	Kind   QueryKind
+	Rect   geom.Rect   // rectangular region (region at time T0 for MovingRange)
+	Circle geom.Circle // circular region if Circle.R > 0
+	Vel    geom.Vec2   // region velocity (MovingRange only)
+	Now    float64
+	T0, T1 float64
+}
+
+// IsCircle reports whether the query region is circular.
+func (q RangeQuery) IsCircle() bool { return q.Circle.R > 0 }
+
+// EndTime returns the effective end of the query time range.
+func (q RangeQuery) EndTime() float64 {
+	if q.Kind == TimeSlice {
+		return q.T0
+	}
+	return math.Max(q.T0, q.T1)
+}
+
+// Region returns the axis-aligned bounding rectangle of the query region at
+// its initial time T0.
+func (q RangeQuery) Region() geom.Rect {
+	if q.IsCircle() {
+		return q.Circle.Bound()
+	}
+	return q.Rect
+}
+
+// AsMovingRect returns the query region as a moving rectangle over
+// [T0, EndTime]: static for slice/interval queries, translating with Vel
+// for moving queries. Circular regions are bounded by their MBR (exact
+// refinement happens in Matches).
+func (q RangeQuery) AsMovingRect() geom.MovingRect {
+	r := q.Region()
+	v := geom.Vec2{}
+	if q.Kind == MovingRange {
+		v = q.Vel
+	}
+	vbr := geom.Rect{MinX: v.X, MinY: v.Y, MaxX: v.X, MaxY: v.Y}
+	return geom.MovingRect{MBR: r, VBR: vbr, Ref: q.T0}
+}
+
+// Transform returns the query expressed in the rotated frame m: the
+// rectangular region becomes the axis-aligned bound of its rotated corners
+// (Algorithm 3 line 4); circle centers rotate with the radius preserved
+// (rotations are isometries); velocities rotate. The transformed query is a
+// *superset* test — exact containment is re-checked by Matches in the
+// original frame.
+func (q RangeQuery) Transform(m geom.Mat2) RangeQuery {
+	out := q
+	if q.IsCircle() {
+		out.Circle = geom.Circle{C: m.Apply(q.Circle.C), R: q.Circle.R}
+		out.Rect = out.Circle.Bound()
+	} else {
+		out.Rect = q.Rect.BoundOfTransformed(m)
+	}
+	out.Vel = m.Apply(q.Vel)
+	return out
+}
+
+// Validate reports a descriptive error for malformed queries.
+func (q RangeQuery) Validate() error {
+	if q.Circle.R < 0 {
+		return fmt.Errorf("model: negative query radius %g", q.Circle.R)
+	}
+	if !q.IsCircle() && q.Rect.IsEmpty() {
+		return fmt.Errorf("model: empty query rectangle")
+	}
+	if q.T0 < q.Now {
+		return fmt.Errorf("model: query time T0=%g precedes issue time Now=%g", q.T0, q.Now)
+	}
+	if q.Kind != TimeSlice && q.T1 < q.T0 {
+		return fmt.Errorf("model: query interval [%g,%g] is inverted", q.T0, q.T1)
+	}
+	return nil
+}
+
+// Matches is the exact predicate: does object o satisfy q? It is used as
+// the refinement step after every index probe (Algorithm 3 line 8) and as
+// the test oracle. The math is closed-form: linear motion against a static
+// or linearly translating rectangle reduces to interval intersection per
+// axis; against a circle it reduces to a quadratic in t.
+func Matches(o Object, q RangeQuery) bool {
+	t0, t1 := q.T0, q.EndTime()
+	var regionVel geom.Vec2
+	if q.Kind == MovingRange {
+		regionVel = q.Vel
+	}
+	if q.IsCircle() {
+		return circleHit(o, q.Circle, regionVel, t0, t1)
+	}
+	// Relative motion of the object with respect to the (possibly moving)
+	// rectangle.
+	rel := geom.MovingPointRect(o.PosAt(t0), o.Vel.Sub(regionVel), t0)
+	static := geom.MovingRect{MBR: q.Rect, VBR: geom.Rect{}, Ref: t0}
+	return rel.IntersectsDuring(static, t0, t1)
+}
+
+// circleHit solves |p(t) - c(t)| <= r for t in [t0, t1] where both p and c
+// move linearly.
+func circleHit(o Object, c geom.Circle, cVel geom.Vec2, t0, t1 float64) bool {
+	// d(t) = d0 + dv*(t - t0)
+	d0 := o.PosAt(t0).Sub(c.C)
+	dv := o.Vel.Sub(cVel)
+	// |d0 + dv*s|^2 <= r^2 for some s in [0, t1-t0]: a quadratic in s whose
+	// minimum over the closed interval decides the predicate.
+	a := dv.NormSq()
+	b := 2 * d0.Dot(dv)
+	cc := d0.NormSq() - c.R*c.R
+	S := t1 - t0
+	if a == 0 {
+		// No relative motion (then b = 2*d0.(0) = 0 as well): constant gap.
+		return cc <= 0
+	}
+	sMin := -b / (2 * a)
+	if sMin < 0 {
+		sMin = 0
+	} else if sMin > S {
+		sMin = S
+	}
+	return a*sMin*sMin+b*sMin+cc <= 0
+}
+
+// IOStats aggregates simulated disk activity; indexes report deltas of
+// these counters around each operation. Reads are buffer-pool misses (the
+// paper's "I/O" metric), Hits are buffer-pool hits, Writes are dirty page
+// write-backs.
+type IOStats struct {
+	Reads  int64
+	Writes int64
+	Hits   int64
+}
+
+// Add returns the component-wise sum.
+func (s IOStats) Add(o IOStats) IOStats {
+	return IOStats{s.Reads + o.Reads, s.Writes + o.Writes, s.Hits + o.Hits}
+}
+
+// Sub returns the component-wise difference.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{s.Reads - o.Reads, s.Writes - o.Writes, s.Hits - o.Hits}
+}
+
+// Total returns reads+writes: total simulated disk accesses.
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// Index is the operation set common to all moving-object indexes here: the
+// TPR*-tree, the Bx-tree, and the VP-partitioned wrapper around either.
+//
+// Insert adds a (new) object record. Delete removes the record previously
+// inserted for the object — the full record is required because both base
+// indexes locate entries by position/velocity/time, not by ID alone (the VP
+// manager keeps the id->record table so callers can use UpdateByID). Update
+// is delete-then-insert, as in the paper.
+type Index interface {
+	Insert(o Object) error
+	Delete(o Object) error
+	Update(old, new Object) error
+	Search(q RangeQuery) ([]ObjectID, error)
+	Len() int
+	IO() IOStats
+	Name() string
+}
+
+// ErrNotFound is returned by Delete/Update when the record is absent.
+var ErrNotFound = fmt.Errorf("model: object not found")
+
+// BruteForce is a trivially correct Index used as the oracle in tests and
+// as the reference "linear scan" baseline. It is not paged and reports zero
+// I/O.
+type BruteForce struct {
+	objs map[ObjectID]Object
+}
+
+// NewBruteForce returns an empty oracle index.
+func NewBruteForce() *BruteForce { return &BruteForce{objs: make(map[ObjectID]Object)} }
+
+// Insert implements Index.
+func (b *BruteForce) Insert(o Object) error {
+	if _, dup := b.objs[o.ID]; dup {
+		return fmt.Errorf("model: duplicate insert of object %d", o.ID)
+	}
+	b.objs[o.ID] = o
+	return nil
+}
+
+// Delete implements Index.
+func (b *BruteForce) Delete(o Object) error {
+	if _, ok := b.objs[o.ID]; !ok {
+		return ErrNotFound
+	}
+	delete(b.objs, o.ID)
+	return nil
+}
+
+// Update implements Index.
+func (b *BruteForce) Update(old, new Object) error {
+	if err := b.Delete(old); err != nil {
+		return err
+	}
+	return b.Insert(new)
+}
+
+// Search implements Index.
+func (b *BruteForce) Search(q RangeQuery) ([]ObjectID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var out []ObjectID
+	for _, o := range b.objs {
+		if Matches(o, q) {
+			out = append(out, o.ID)
+		}
+	}
+	return out, nil
+}
+
+// Len implements Index.
+func (b *BruteForce) Len() int { return len(b.objs) }
+
+// IO implements Index.
+func (b *BruteForce) IO() IOStats { return IOStats{} }
+
+// Name implements Index.
+func (b *BruteForce) Name() string { return "scan" }
+
+// Get returns the stored record for id.
+func (b *BruteForce) Get(id ObjectID) (Object, bool) {
+	o, ok := b.objs[id]
+	return o, ok
+}

@@ -1,0 +1,269 @@
+// Package monitor layers continuous (standing) range queries over any
+// moving-object index. This is the service shape the VP paper's
+// introduction motivates: GPS devices "report their locations to a server
+// in order to get location based services", and those services watch
+// regions — a dispatch zone, a geofence, a protective box — continuously
+// rather than asking one-shot queries.
+//
+// A subscription is a region plus a prediction horizon h. At evaluation
+// time t its result set is every object that satisfies the region at t+h.
+// The monitor maintains result sets incrementally: an object update only
+// re-evaluates that object against each subscription (O(#subscriptions)
+// exact predicate tests, no index I/O), while Refresh re-runs the full
+// index query per subscription to pick up membership changes caused purely
+// by the passage of time.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// SubscriptionID identifies a standing query.
+type SubscriptionID uint64
+
+// EventKind says how a result set changed.
+type EventKind int
+
+const (
+	// Enter: the object joined the subscription's result set.
+	Enter EventKind = iota
+	// Leave: the object left the result set.
+	Leave
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if k == Enter {
+		return "enter"
+	}
+	return "leave"
+}
+
+// Event is one result-set delta.
+type Event struct {
+	Sub  SubscriptionID
+	ID   model.ObjectID
+	Kind EventKind
+	T    float64 // evaluation time that produced the delta
+}
+
+// Subscription describes a standing query.
+type Subscription struct {
+	// Query is the region template. Kind/T0/T1 are managed by the
+	// monitor: at evaluation time t the query is executed as a time-slice
+	// (or interval of length Window) at t+Horizon.
+	Query model.RangeQuery
+	// Horizon is the prediction lookahead (ts).
+	Horizon float64
+	// Window extends the evaluation to an interval [t+Horizon,
+	// t+Horizon+Window]; 0 means a pure time-slice.
+	Window float64
+}
+
+// Monitor maintains standing queries over an index.
+type Monitor struct {
+	mu     sync.Mutex
+	idx    model.Index
+	nextID SubscriptionID
+	subs   map[SubscriptionID]Subscription
+	// results holds the current membership per subscription.
+	results map[SubscriptionID]map[model.ObjectID]bool
+	now     float64
+}
+
+// New wraps an index (which may already contain objects; call Refresh to
+// seed result sets).
+func New(idx model.Index) *Monitor {
+	return &Monitor{
+		idx:     idx,
+		subs:    make(map[SubscriptionID]Subscription),
+		results: make(map[SubscriptionID]map[model.ObjectID]bool),
+	}
+}
+
+// Index returns the wrapped index.
+func (m *Monitor) Index() model.Index { return m.idx }
+
+// Subscribe registers a standing query and returns its id. The initial
+// result set is computed immediately at the monitor's current time.
+func (m *Monitor) Subscribe(s Subscription, now float64) (SubscriptionID, []Event, error) {
+	if s.Horizon < 0 || s.Window < 0 {
+		return 0, nil, fmt.Errorf("monitor: negative horizon/window")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance(now)
+	m.nextID++
+	id := m.nextID
+	m.subs[id] = s
+	m.results[id] = make(map[model.ObjectID]bool)
+	evs, err := m.refreshLocked(id, now)
+	if err != nil {
+		delete(m.subs, id)
+		delete(m.results, id)
+		return 0, nil, err
+	}
+	return id, evs, nil
+}
+
+// Unsubscribe removes a standing query.
+func (m *Monitor) Unsubscribe(id SubscriptionID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.subs, id)
+	delete(m.results, id)
+}
+
+// Results snapshots the current result set of a subscription.
+func (m *Monitor) Results(id SubscriptionID) []model.ObjectID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.results[id]
+	out := make([]model.ObjectID, 0, len(set))
+	for oid := range set {
+		out = append(out, oid)
+	}
+	return out
+}
+
+// queryAt instantiates the subscription's query for evaluation time t.
+func (s Subscription) queryAt(t float64) model.RangeQuery {
+	q := s.Query
+	q.Now = t
+	q.T0 = t + s.Horizon
+	if s.Window > 0 {
+		q.Kind = model.TimeInterval
+		q.T1 = q.T0 + s.Window
+	} else if q.Kind != model.MovingRange {
+		q.Kind = model.TimeSlice
+	} else {
+		q.T1 = q.T0
+	}
+	return q
+}
+
+// ProcessUpdate applies the object update to the index and incrementally
+// re-evaluates the updated object against every subscription, emitting
+// enter/leave deltas. The update's reference time advances the monitor
+// clock.
+func (m *Monitor) ProcessUpdate(old, new model.Object) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.idx.Update(old, new); err != nil {
+		return nil, err
+	}
+	m.advance(new.T)
+	var evs []Event
+	for id, s := range m.subs {
+		member := m.results[id][new.ID]
+		q := s.queryAt(m.now)
+		matches := model.Matches(new, q)
+		switch {
+		case matches && !member:
+			m.results[id][new.ID] = true
+			evs = append(evs, Event{Sub: id, ID: new.ID, Kind: Enter, T: m.now})
+		case !matches && member:
+			delete(m.results[id], new.ID)
+			evs = append(evs, Event{Sub: id, ID: new.ID, Kind: Leave, T: m.now})
+		}
+	}
+	return evs, nil
+}
+
+// ProcessInsert indexes a new object and evaluates it against every
+// subscription.
+func (m *Monitor) ProcessInsert(o model.Object) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.idx.Insert(o); err != nil {
+		return nil, err
+	}
+	m.advance(o.T)
+	var evs []Event
+	for id, s := range m.subs {
+		if model.Matches(o, s.queryAt(m.now)) {
+			m.results[id][o.ID] = true
+			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Enter, T: m.now})
+		}
+	}
+	return evs, nil
+}
+
+// ProcessDelete removes an object; it leaves every result set it was in.
+func (m *Monitor) ProcessDelete(o model.Object) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.idx.Delete(o); err != nil {
+		return nil, err
+	}
+	var evs []Event
+	for id := range m.subs {
+		if m.results[id][o.ID] {
+			delete(m.results[id], o.ID)
+			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Leave, T: m.now})
+		}
+	}
+	return evs, nil
+}
+
+// Refresh re-runs every subscription's query at the given time, emitting
+// deltas caused by the passage of time (objects drifting in or out of the
+// predicted region without reporting updates).
+func (m *Monitor) Refresh(now float64) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance(now)
+	var evs []Event
+	for id := range m.subs {
+		e, err := m.refreshLocked(id, now)
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, e...)
+	}
+	return evs, nil
+}
+
+// refreshLocked recomputes one subscription's result set via the index.
+func (m *Monitor) refreshLocked(id SubscriptionID, now float64) ([]Event, error) {
+	s := m.subs[id]
+	ids, err := m.idx.Search(s.queryAt(now))
+	if err != nil {
+		return nil, err
+	}
+	fresh := make(map[model.ObjectID]bool, len(ids))
+	for _, oid := range ids {
+		fresh[oid] = true
+	}
+	old := m.results[id]
+	var evs []Event
+	for oid := range fresh {
+		if !old[oid] {
+			evs = append(evs, Event{Sub: id, ID: oid, Kind: Enter, T: now})
+		}
+	}
+	for oid := range old {
+		if !fresh[oid] {
+			evs = append(evs, Event{Sub: id, ID: oid, Kind: Leave, T: now})
+		}
+	}
+	m.results[id] = fresh
+	return evs, nil
+}
+
+// advance moves the monitor clock monotonically forward.
+func (m *Monitor) advance(t float64) {
+	if t > m.now {
+		m.now = t
+	}
+}
+
+// Now returns the monitor's current clock.
+func (m *Monitor) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}

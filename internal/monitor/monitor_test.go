@@ -1,0 +1,234 @@
+package monitor
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/tprtree"
+)
+
+func newMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	pool := storage.NewBufferPool(storage.NewDisk(), 100)
+	tr, err := tprtree.NewTree(pool, tprtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(tr)
+}
+
+func circleSub(c geom.Vec2, r, horizon float64) Subscription {
+	return Subscription{
+		Query:   model.RangeQuery{Circle: geom.Circle{C: c, R: r}, Rect: geom.Circle{C: c, R: r}.Bound()},
+		Horizon: horizon,
+	}
+}
+
+func TestSubscribeSeedsResults(t *testing.T) {
+	m := newMonitor(t)
+	// Object heading toward the watched zone: at t=0+h(10) it is at x=100.
+	o := model.Object{ID: 1, Pos: geom.V(0, 0), Vel: geom.V(10, 0), T: 0}
+	if _, err := m.ProcessInsert(o); err != nil {
+		t.Fatal(err)
+	}
+	id, evs, err := m.Subscribe(circleSub(geom.V(100, 0), 20, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != Enter || evs[0].ID != 1 {
+		t.Fatalf("seed events: %v", evs)
+	}
+	if got := m.Results(id); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("results: %v", got)
+	}
+}
+
+func TestUpdateEmitsEnterLeave(t *testing.T) {
+	m := newMonitor(t)
+	o := model.Object{ID: 1, Pos: geom.V(0, 0), Vel: geom.V(10, 0), T: 0}
+	if _, err := m.ProcessInsert(o); err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := m.Subscribe(circleSub(geom.V(100, 0), 20, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Turn the object away: at t=0 it reports velocity -10; predicted
+	// position at t+10 is x=-100 -> leave.
+	turned := model.Object{ID: 1, Pos: geom.V(0, 0), Vel: geom.V(-10, 0), T: 0}
+	evs, err := m.ProcessUpdate(o, turned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != Leave {
+		t.Fatalf("events: %v", evs)
+	}
+	if len(m.Results(id)) != 0 {
+		t.Fatal("result set should be empty")
+	}
+	// Turn it back -> enter again.
+	back := model.Object{ID: 1, Pos: geom.V(0, 0), Vel: geom.V(10, 0), T: 0}
+	evs, err = m.ProcessUpdate(turned, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != Enter {
+		t.Fatalf("events: %v", evs)
+	}
+}
+
+func TestRefreshCatchesTimeDrift(t *testing.T) {
+	m := newMonitor(t)
+	// Object moving through the zone: inside the prediction at t=0
+	// (predicted x=100), far past it by t=20 (predicted x=300).
+	o := model.Object{ID: 1, Pos: geom.V(0, 0), Vel: geom.V(10, 0), T: 0}
+	if _, err := m.ProcessInsert(o); err != nil {
+		t.Fatal(err)
+	}
+	id, evs, err := m.Subscribe(circleSub(geom.V(100, 0), 20, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("seed: %v", evs)
+	}
+	// No updates happen; time passes.
+	evs, err = m.Refresh(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != Leave || evs[0].T != 20 {
+		t.Fatalf("refresh events: %v", evs)
+	}
+	if len(m.Results(id)) != 0 {
+		t.Fatal("drifted object should have left")
+	}
+}
+
+func TestDeleteLeavesAllSets(t *testing.T) {
+	m := newMonitor(t)
+	o := model.Object{ID: 7, Pos: geom.V(100, 0), Vel: geom.V(0, 0), T: 0}
+	if _, err := m.ProcessInsert(o); err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := m.Subscribe(circleSub(geom.V(100, 0), 50, 0), 0)
+	b, _, _ := m.Subscribe(circleSub(geom.V(120, 0), 50, 0), 0)
+	evs, err := m.ProcessDelete(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("expected 2 leave events, got %v", evs)
+	}
+	for _, e := range evs {
+		if e.Kind != Leave {
+			t.Fatalf("expected leave: %v", e)
+		}
+	}
+	if len(m.Results(a))+len(m.Results(b)) != 0 {
+		t.Fatal("result sets not emptied")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	m := newMonitor(t)
+	id, _, err := m.Subscribe(circleSub(geom.V(0, 0), 10, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Unsubscribe(id)
+	o := model.Object{ID: 1, Pos: geom.V(0, 0), Vel: geom.V(0, 0), T: 0}
+	evs, err := m.ProcessInsert(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("events after unsubscribe: %v", evs)
+	}
+}
+
+func TestSubscriptionValidation(t *testing.T) {
+	m := newMonitor(t)
+	if _, _, err := m.Subscribe(Subscription{Horizon: -1}, 0); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+}
+
+// TestMonitorConsistencyUnderStream drives a random update stream and
+// checks after every batch that the incrementally maintained result sets
+// equal a from-scratch evaluation.
+func TestMonitorConsistencyUnderStream(t *testing.T) {
+	m := newMonitor(t)
+	rng := rand.New(rand.NewSource(9))
+	objs := make([]model.Object, 300)
+	for i := range objs {
+		objs[i] = model.Object{
+			ID:  model.ObjectID(i + 1),
+			Pos: geom.V(rng.Float64()*10000, rng.Float64()*10000),
+			Vel: geom.V(rng.Float64()*100-50, rng.Float64()*100-50),
+			T:   0,
+		}
+		if _, err := m.ProcessInsert(objs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subs := []SubscriptionID{}
+	for i := 0; i < 5; i++ {
+		id, _, err := m.Subscribe(circleSub(
+			geom.V(rng.Float64()*10000, rng.Float64()*10000), 1500, 30), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, id)
+	}
+	check := func(now float64) {
+		for _, id := range subs {
+			got := m.Results(id)
+			s := m.subs[id]
+			want := []model.ObjectID{}
+			for _, o := range objs {
+				if model.Matches(o, s.queryAt(now)) {
+					want = append(want, o.ID)
+				}
+			}
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(got) != len(want) {
+				t.Fatalf("sub %d at t=%g: %d vs %d members", id, now, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("sub %d at t=%g: member %d differs", id, now, i)
+				}
+			}
+		}
+	}
+	for round := 1; round <= 5; round++ {
+		now := float64(round) * 10
+		for i := range objs {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			upd := objs[i]
+			upd.Pos = upd.PosAt(now)
+			upd.Vel = geom.V(rng.Float64()*100-50, rng.Float64()*100-50)
+			upd.T = now
+			if _, err := m.ProcessUpdate(objs[i], upd); err != nil {
+				t.Fatal(err)
+			}
+			objs[i] = upd
+		}
+		// Incremental sets may lag time drift until Refresh.
+		if _, err := m.Refresh(now); err != nil {
+			t.Fatal(err)
+		}
+		check(now)
+	}
+	if m.Now() != 50 {
+		t.Fatalf("clock: %g", m.Now())
+	}
+}

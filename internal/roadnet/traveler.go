@@ -1,0 +1,241 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// Traveler simulates one object moving through the network with
+// piecewise-linear motion: between events it moves at constant velocity
+// along its current edge, exactly matching the linear-motion record the
+// index holds (Section 2.1 of the paper). An event — and hence an index
+// update — happens when the object reaches a node and turns, or when the
+// maximum update interval forces a report.
+type Traveler struct {
+	net      *Network
+	rng      *rand.Rand
+	maxSpeed float64 // workload-wide maximum speed (m/ts)
+	ownCap   float64 // this object's personal cap <= maxSpeed
+
+	state  model.Object
+	target NodeID  // node being driven toward
+	arrive float64 // arrival time at target
+
+	// Off-road travelers (the outlier population) move freely and
+	// re-randomize direction at every update.
+	offRoad bool
+	domain  geom.Rect
+}
+
+// NewTraveler places an object on a random edge (or off-road) at time t0.
+// offRoad objects form the outlier population: they move in arbitrary
+// directions inside the domain.
+func NewTraveler(net *Network, id model.ObjectID, rng *rand.Rand, maxSpeed float64,
+	offRoad bool, domain geom.Rect, t0 float64) *Traveler {
+
+	tr := &Traveler{
+		net:      net,
+		rng:      rng,
+		maxSpeed: maxSpeed,
+		ownCap:   maxSpeed * (0.4 + 0.6*rng.Float64()),
+		offRoad:  offRoad,
+		domain:   domain,
+	}
+	if offRoad || net == nil {
+		tr.offRoad = true
+		pos := geom.V(
+			domain.MinX+rng.Float64()*domain.Width(),
+			domain.MinY+rng.Float64()*domain.Height(),
+		)
+		tr.state = model.Object{ID: id, Pos: pos, Vel: tr.randomFreeVelocity(), T: t0}
+		tr.arrive = t0 + tr.freeLegDuration()
+		return tr
+	}
+	// Pick a random node with at least one neighbor, a random incident
+	// edge, and a random fraction along it.
+	var from NodeID
+	for tries := 0; ; tries++ {
+		from = NodeID(rng.Intn(len(net.Nodes)))
+		if len(net.Adj[from]) > 0 {
+			break
+		}
+		if tries > 1000 {
+			// Pathological network; fall back to off-road.
+			return NewTraveler(nil, id, rng, maxSpeed, true, domain, t0)
+		}
+	}
+	e := net.Adj[from][rng.Intn(len(net.Adj[from]))]
+	a := net.Nodes[from].Pos
+	b := net.Nodes[e.To].Pos
+	frac := rng.Float64()
+	pos := a.Lerp(b, frac)
+	speed := tr.drawSpeed(e.Limit)
+	dir := b.Sub(a).Normalize()
+	tr.state = model.Object{ID: id, Pos: pos, Vel: dir.Scale(speed), T: t0}
+	tr.target = e.To
+	dist := b.Sub(pos).Norm()
+	tr.arrive = t0 + safeDiv(dist, speed)
+	return tr
+}
+
+// State returns the object's current linear-motion record.
+func (tr *Traveler) State() model.Object { return tr.state }
+
+// drawSpeed samples a speed for an edge with the given limit fraction.
+func (tr *Traveler) drawSpeed(limit float64) float64 {
+	cap := tr.ownCap * limit
+	s := cap * (0.5 + 0.5*tr.rng.Float64())
+	if s <= 0 {
+		s = tr.maxSpeed * 0.05
+	}
+	return s
+}
+
+func (tr *Traveler) randomFreeVelocity() geom.Vec2 {
+	ang := tr.rng.Float64() * 2 * math.Pi
+	speed := tr.ownCap * (0.3 + 0.7*tr.rng.Float64())
+	return geom.V(speed*math.Cos(ang), speed*math.Sin(ang))
+}
+
+func (tr *Traveler) freeLegDuration() float64 {
+	return 10 + tr.rng.Float64()*40
+}
+
+// NextEvent advances the traveler to its next update at or before
+// tr.state.T + maxUI and returns the new record. The returned time is when
+// the update is issued; the old record is whatever State() held before the
+// call.
+func (tr *Traveler) NextEvent(maxUI float64) (model.Object, float64) {
+	deadline := tr.state.T + maxUI
+	if tr.offRoad {
+		t := tr.arrive
+		if t > deadline {
+			t = deadline
+		}
+		pos := tr.state.PosAt(t)
+		pos, vel := bounce(pos, tr.randomFreeVelocity(), tr.domain)
+		tr.state = model.Object{ID: tr.state.ID, Pos: pos, Vel: vel, T: t}
+		tr.arrive = t + tr.freeLegDuration()
+		return tr.state, t
+	}
+	if tr.arrive > deadline {
+		// Forced report mid-edge: same velocity, fresh reference time
+		// (keeps the maximum-update-interval guarantee the Bx-tree's
+		// bucket scheme relies on).
+		pos := tr.state.PosAt(deadline)
+		tr.state = model.Object{ID: tr.state.ID, Pos: pos, Vel: tr.state.Vel, T: deadline}
+		return tr.state, deadline
+	}
+	// Arrived at the target node: turn onto a next edge.
+	t := tr.arrive
+	node := tr.target
+	pos := tr.net.Nodes[node].Pos
+	cameFrom := tr.state.Vel.Scale(-1).Normalize()
+	next := tr.chooseNextEdge(node, cameFrom)
+	if next == nil {
+		// Dead end: U-turn along the only edge, or stall briefly.
+		tr.state = model.Object{ID: tr.state.ID, Pos: pos, Vel: tr.state.Vel.Scale(-1), T: t}
+		tr.target = tr.findNodeBack(node)
+		tr.arrive = t + safeDiv(tr.net.Nodes[tr.target].Pos.Sub(pos).Norm(), tr.state.Vel.Norm())
+		return tr.state, t
+	}
+	b := tr.net.Nodes[next.To].Pos
+	dir := b.Sub(pos).Normalize()
+	speed := tr.drawSpeed(next.Limit)
+	tr.state = model.Object{ID: tr.state.ID, Pos: pos, Vel: dir.Scale(speed), T: t}
+	tr.target = next.To
+	tr.arrive = t + safeDiv(b.Sub(pos).Norm(), speed)
+	return tr.state, t
+}
+
+// chooseNextEdge picks the outgoing edge at node: with high probability the
+// straightest continuation (drivers mostly go straight, which is what keeps
+// road velocities skewed), otherwise uniformly, avoiding an immediate
+// U-turn when alternatives exist.
+func (tr *Traveler) chooseNextEdge(node NodeID, cameFrom geom.Vec2) *Edge {
+	adj := tr.net.Adj[node]
+	if len(adj) == 0 {
+		return nil
+	}
+	pos := tr.net.Nodes[node].Pos
+	// Candidates that are not the reverse of where we came from.
+	var candidates []int
+	for i, e := range adj {
+		d := tr.net.Nodes[e.To].Pos.Sub(pos).Normalize()
+		if d.Dot(cameFrom) > 0.98 { // essentially a U-turn
+			continue
+		}
+		candidates = append(candidates, i)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	if tr.rng.Float64() < 0.75 {
+		// Straightest continuation: maximize dot with current heading.
+		heading := cameFrom.Scale(-1)
+		best := candidates[0]
+		bestDot := -2.0
+		for _, i := range candidates {
+			d := tr.net.Nodes[adj[i].To].Pos.Sub(pos).Normalize()
+			if dot := d.Dot(heading); dot > bestDot {
+				bestDot = dot
+				best = i
+			}
+		}
+		return &adj[best]
+	}
+	return &adj[candidates[tr.rng.Intn(len(candidates))]]
+}
+
+// findNodeBack returns the node at the other end of the reversed heading
+// (used for dead-end U-turns): the neighbor whose direction best matches
+// the new velocity.
+func (tr *Traveler) findNodeBack(node NodeID) NodeID {
+	adj := tr.net.Adj[node]
+	if len(adj) == 0 {
+		return node
+	}
+	pos := tr.net.Nodes[node].Pos
+	dir := tr.state.Vel.Normalize()
+	best := adj[0].To
+	bestDot := -2.0
+	for _, e := range adj {
+		d := tr.net.Nodes[e.To].Pos.Sub(pos).Normalize()
+		if dot := d.Dot(dir); dot > bestDot {
+			bestDot = dot
+			best = e.To
+		}
+	}
+	return best
+}
+
+// bounce redirects a free mover that overshot the domain back toward it.
+// The position is NOT clamped: the linear-motion contract (Section 2.1)
+// requires the object to be exactly where its last reported trajectory put
+// it, so only the new velocity changes; the overshoot is bounded by one
+// leg's travel.
+func bounce(pos geom.Vec2, vel geom.Vec2, domain geom.Rect) (geom.Vec2, geom.Vec2) {
+	if pos.X < domain.MinX && vel.X < 0 {
+		vel.X = -vel.X
+	}
+	if pos.X > domain.MaxX && vel.X > 0 {
+		vel.X = -vel.X
+	}
+	if pos.Y < domain.MinY && vel.Y < 0 {
+		vel.Y = -vel.Y
+	}
+	if pos.Y > domain.MaxY && vel.Y > 0 {
+		vel.Y = -vel.Y
+	}
+	return pos, vel
+}
+
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return a / b
+}

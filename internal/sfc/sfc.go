@@ -1,0 +1,124 @@
+// Package sfc implements the space-filling curves the Bx-tree uses to
+// linearize 2-D grid cells into B+-tree keys (Section 3.2 of the VP paper:
+// "a space-filling curve (Hilbert-curve or Z-curve) to map the location of
+// each grid cell to a 1D space where 2D proximity is approximately
+// preserved").
+//
+// Both curves expose the same interface: a bijection between (x, y) cells of
+// a 2^order x 2^order grid and [0, 4^order), plus an exact decomposition of
+// an axis-aligned cell window into maximal runs of consecutive curve values.
+// The decomposition drives Bx-tree range scans; a post-pass can merge
+// nearby runs to trade a few extra scanned keys for fewer B+-tree probes.
+package sfc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxOrder bounds the grid resolution so that curve values fit comfortably
+// in a uint64 alongside the Bx-tree's bucket prefix.
+const MaxOrder = 24
+
+// Curve is a 2-D space-filling curve over a 2^Order x 2^Order grid.
+type Curve interface {
+	// Order returns the number of bits per axis.
+	Order() uint
+	// Size returns the grid side length, 2^Order.
+	Size() uint32
+	// Encode maps a cell to its curve value. Coordinates must be < Size.
+	Encode(x, y uint32) uint64
+	// Decode inverts Encode.
+	Decode(d uint64) (x, y uint32)
+	// DecomposeWindow returns the sorted, disjoint, maximal half-open
+	// intervals [Lo, Hi) of curve values covering the inclusive cell
+	// window [x0, x1] x [y0, y1] (clipped to the grid).
+	DecomposeWindow(x0, y0, x1, y1 uint32) []Interval
+	// Name identifies the curve ("hilbert" or "zorder").
+	Name() string
+}
+
+// Interval is a half-open range [Lo, Hi) of curve values.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Len returns the number of values in the interval.
+func (iv Interval) Len() uint64 { return iv.Hi - iv.Lo }
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+// MergeIntervals coalesces a sorted interval list down to at most max
+// entries by repeatedly bridging the smallest gaps between consecutive
+// intervals. The result covers a superset of the input (callers filter
+// exactly afterwards). max <= 0 or max >= len(ivs) returns ivs unchanged.
+func MergeIntervals(ivs []Interval, max int) []Interval {
+	if max <= 0 || len(ivs) <= max {
+		return ivs
+	}
+	type gap struct {
+		idx  int
+		size uint64
+	}
+	gaps := make([]gap, 0, len(ivs)-1)
+	for i := 0; i+1 < len(ivs); i++ {
+		gaps = append(gaps, gap{idx: i, size: ivs[i+1].Lo - ivs[i].Hi})
+	}
+	sort.Slice(gaps, func(a, b int) bool { return gaps[a].size < gaps[b].size })
+	// Bridge the len(ivs)-max smallest gaps.
+	bridge := make(map[int]bool, len(ivs)-max)
+	for i := 0; i < len(ivs)-max; i++ {
+		bridge[gaps[i].idx] = true
+	}
+	out := make([]Interval, 0, max)
+	cur := ivs[0]
+	for i := 0; i+1 < len(ivs); i++ {
+		if bridge[i] {
+			cur.Hi = ivs[i+1].Hi
+		} else {
+			out = append(out, cur)
+			cur = ivs[i+1]
+		}
+	}
+	out = append(out, cur)
+	return out
+}
+
+// normalizeWindow clips the inclusive window to the grid and reports
+// whether anything remains.
+func normalizeWindow(size uint32, x0, y0, x1, y1 *uint32) bool {
+	if *x0 > *x1 || *y0 > *y1 {
+		return false
+	}
+	if *x0 >= size || *y0 >= size {
+		return false
+	}
+	if *x1 >= size {
+		*x1 = size - 1
+	}
+	if *y1 >= size {
+		*y1 = size - 1
+	}
+	return true
+}
+
+// compactIntervals sorts and merges touching/overlapping intervals.
+func compactIntervals(ivs []Interval) []Interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Lo < ivs[b].Lo })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}

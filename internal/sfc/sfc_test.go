@@ -1,0 +1,254 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func curves(order uint) []Curve {
+	return []Curve{MustHilbert(order), MustZOrder(order)}
+}
+
+func TestBijectionSmallGrids(t *testing.T) {
+	for order := uint(1); order <= 6; order++ {
+		for _, c := range curves(order) {
+			size := c.Size()
+			seen := make(map[uint64]bool, int(size)*int(size))
+			for x := uint32(0); x < size; x++ {
+				for y := uint32(0); y < size; y++ {
+					d := c.Encode(x, y)
+					if d >= uint64(size)*uint64(size) {
+						t.Fatalf("%s order %d: value %d out of range", c.Name(), order, d)
+					}
+					if seen[d] {
+						t.Fatalf("%s order %d: duplicate value %d", c.Name(), order, d)
+					}
+					seen[d] = true
+					gx, gy := c.Decode(d)
+					if gx != x || gy != y {
+						t.Fatalf("%s order %d: decode(%d) = (%d,%d), want (%d,%d)",
+							c.Name(), order, d, gx, gy, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive Hilbert values must be 4-adjacent cells — the defining
+	// locality property (Z-order does not have it).
+	for order := uint(1); order <= 7; order++ {
+		h := MustHilbert(order)
+		n := uint64(h.Size()) * uint64(h.Size())
+		px, py := h.Decode(0)
+		for d := uint64(1); d < n; d++ {
+			x, y := h.Decode(d)
+			dx := int64(x) - int64(px)
+			dy := int64(y) - int64(py)
+			if dx*dx+dy*dy != 1 {
+				t.Fatalf("order %d: step %d->%d jumps (%d,%d)->(%d,%d)",
+					order, d-1, d, px, py, x, y)
+			}
+			px, py = x, y
+		}
+	}
+}
+
+func TestBijectionPropertyLargeOrder(t *testing.T) {
+	for _, c := range curves(16) {
+		c := c
+		f := func(x, y uint32) bool {
+			x %= c.Size()
+			y %= c.Size()
+			gx, gy := c.Decode(c.Encode(x, y))
+			return gx == x && gy == y
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestEncodePanicsOutOfRange(t *testing.T) {
+	for _, c := range curves(4) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic for out-of-range encode", c.Name())
+				}
+			}()
+			c.Encode(c.Size(), 0)
+		}()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewHilbert(0); err == nil {
+		t.Fatal("order 0 should fail")
+	}
+	if _, err := NewHilbert(MaxOrder + 1); err == nil {
+		t.Fatal("order > MaxOrder should fail")
+	}
+	if _, err := NewZOrder(0); err == nil {
+		t.Fatal("z-order 0 should fail")
+	}
+}
+
+// windowOracle computes the exact value set of a window by brute force.
+func windowOracle(c Curve, x0, y0, x1, y1 uint32) map[uint64]bool {
+	out := make(map[uint64]bool)
+	size := c.Size()
+	for x := x0; x <= x1 && x < size; x++ {
+		for y := y0; y <= y1 && y < size; y++ {
+			out[c.Encode(x, y)] = true
+		}
+	}
+	return out
+}
+
+func TestDecomposeWindowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, order := range []uint{3, 5, 7} {
+		for _, c := range curves(order) {
+			size := c.Size()
+			for trial := 0; trial < 200; trial++ {
+				x0 := uint32(rng.Intn(int(size)))
+				y0 := uint32(rng.Intn(int(size)))
+				x1 := x0 + uint32(rng.Intn(int(size-x0)))
+				y1 := y0 + uint32(rng.Intn(int(size-y0)))
+				ivs := c.DecomposeWindow(x0, y0, x1, y1)
+				want := windowOracle(c, x0, y0, x1, y1)
+				var total uint64
+				prevHi := uint64(0)
+				for i, iv := range ivs {
+					if iv.Hi <= iv.Lo {
+						t.Fatalf("%s: empty interval %v", c.Name(), iv)
+					}
+					if i > 0 && iv.Lo <= prevHi {
+						t.Fatalf("%s: intervals not disjoint/sorted", c.Name())
+					}
+					prevHi = iv.Hi
+					total += iv.Len()
+					for d := iv.Lo; d < iv.Hi; d++ {
+						if !want[d] {
+							t.Fatalf("%s: window [%d,%d]x[%d,%d] decomposition includes stray %d",
+								c.Name(), x0, x1, y0, y1, d)
+						}
+					}
+				}
+				if total != uint64(len(want)) {
+					t.Fatalf("%s: decomposition covers %d values, want %d", c.Name(), total, len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeWindowFullGrid(t *testing.T) {
+	for _, c := range curves(6) {
+		size := c.Size()
+		ivs := c.DecomposeWindow(0, 0, size-1, size-1)
+		if len(ivs) != 1 || ivs[0].Lo != 0 || ivs[0].Hi != uint64(size)*uint64(size) {
+			t.Fatalf("%s: full grid should be one interval, got %v", c.Name(), ivs)
+		}
+	}
+}
+
+func TestDecomposeWindowClipsAndRejects(t *testing.T) {
+	c := MustHilbert(4)
+	if ivs := c.DecomposeWindow(20, 20, 30, 30); ivs != nil {
+		t.Fatalf("fully outside window should be nil, got %v", ivs)
+	}
+	if ivs := c.DecomposeWindow(3, 3, 2, 2); ivs != nil {
+		t.Fatalf("inverted window should be nil, got %v", ivs)
+	}
+	// Clipped window equals clamped oracle.
+	ivs := c.DecomposeWindow(10, 10, 99, 99)
+	want := windowOracle(c, 10, 10, 15, 15)
+	var total uint64
+	for _, iv := range ivs {
+		total += iv.Len()
+		for d := iv.Lo; d < iv.Hi; d++ {
+			if !want[d] {
+				t.Fatalf("stray value %d", d)
+			}
+		}
+	}
+	if total != uint64(len(want)) {
+		t.Fatalf("covered %d, want %d", total, len(want))
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	ivs := []Interval{{0, 2}, {5, 6}, {7, 9}, {100, 110}}
+	// Merging to 2 should bridge the two smallest gaps (5..7 area first,
+	// then 2..5), keeping the 9..100 chasm.
+	got := MergeIntervals(append([]Interval(nil), ivs...), 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d intervals: %v", len(got), got)
+	}
+	if got[0] != (Interval{0, 9}) || got[1] != (Interval{100, 110}) {
+		t.Fatalf("unexpected merge: %v", got)
+	}
+	// max <= 0 and max >= len are no-ops.
+	if out := MergeIntervals(ivs, 0); len(out) != len(ivs) {
+		t.Fatal("max=0 should be a no-op")
+	}
+	if out := MergeIntervals(ivs, 10); len(out) != len(ivs) {
+		t.Fatal("large max should be a no-op")
+	}
+}
+
+func TestMergeIntervalsCoversInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		var ivs []Interval
+		cursor := uint64(0)
+		for i := 0; i < 20; i++ {
+			cursor += uint64(rng.Intn(50)) + 1
+			lo := cursor
+			cursor += uint64(rng.Intn(30)) + 1
+			ivs = append(ivs, Interval{lo, cursor})
+		}
+		max := 1 + rng.Intn(20)
+		merged := MergeIntervals(append([]Interval(nil), ivs...), max)
+		if len(merged) > max {
+			t.Fatalf("merged to %d > max %d", len(merged), max)
+		}
+		// Every original value must remain covered.
+		for _, iv := range ivs {
+			for d := iv.Lo; d < iv.Hi; d++ {
+				covered := false
+				for _, m := range merged {
+					if d >= m.Lo && d < m.Hi {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("value %d lost in merge", d)
+				}
+			}
+		}
+	}
+}
+
+func TestHilbertLocalityBeatsZOrder(t *testing.T) {
+	// Sanity for the paper's choice: average number of intervals per window
+	// should be no worse for Hilbert than Z-order on random windows.
+	rng := rand.New(rand.NewSource(77))
+	h, z := MustHilbert(8), MustZOrder(8)
+	var hTotal, zTotal int
+	for trial := 0; trial < 300; trial++ {
+		x0 := uint32(rng.Intn(200))
+		y0 := uint32(rng.Intn(200))
+		w := uint32(rng.Intn(40) + 1)
+		hTotal += len(h.DecomposeWindow(x0, y0, x0+w, y0+w))
+		zTotal += len(z.DecomposeWindow(x0, y0, x0+w, y0+w))
+	}
+	if hTotal > zTotal*12/10 {
+		t.Fatalf("hilbert fragmentation %d should not be much worse than z-order %d", hTotal, zTotal)
+	}
+}

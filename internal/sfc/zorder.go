@@ -1,0 +1,116 @@
+package sfc
+
+import "fmt"
+
+// ZOrder is the Z-order (Morton) curve over a 2^order x 2^order grid: the
+// curve value interleaves the bits of x and y (x in the even positions).
+// The VP paper's Bx-tree configuration uses the Hilbert curve; the Z-curve
+// is provided because the Bx-tree definition admits either, and the
+// repository's ablation benches compare the two.
+type ZOrder struct {
+	order uint
+}
+
+// NewZOrder returns the Z-order curve with the given bits per axis.
+func NewZOrder(order uint) (*ZOrder, error) {
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("sfc: z-order order %d out of range [1,%d]", order, MaxOrder)
+	}
+	return &ZOrder{order: order}, nil
+}
+
+// MustZOrder is NewZOrder that panics on error.
+func MustZOrder(order uint) *ZOrder {
+	z, err := NewZOrder(order)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// Order implements Curve.
+func (z *ZOrder) Order() uint { return z.order }
+
+// Size implements Curve.
+func (z *ZOrder) Size() uint32 { return uint32(1) << z.order }
+
+// Name implements Curve.
+func (z *ZOrder) Name() string { return "zorder" }
+
+// spread2 spaces the low 32 bits of v apart with zero bits in between.
+func spread2(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// squash2 inverts spread2.
+func squash2(x uint64) uint32 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}
+
+// Encode implements Curve.
+func (z *ZOrder) Encode(x, y uint32) uint64 {
+	size := z.Size()
+	if x >= size || y >= size {
+		panic(fmt.Sprintf("sfc: z-order cell (%d,%d) outside %dx%d grid", x, y, size, size))
+	}
+	return spread2(x) | spread2(y)<<1
+}
+
+// Decode implements Curve.
+func (z *ZOrder) Decode(d uint64) (uint32, uint32) {
+	size := z.Size()
+	if d >= uint64(size)*uint64(size) {
+		panic(fmt.Sprintf("sfc: z-order value %d outside %dx%d grid", d, size, size))
+	}
+	return squash2(d), squash2(d >> 1)
+}
+
+// DecomposeWindow implements Curve via quadtree recursion. Z-order needs no
+// frame rotation: quadrants are visited in (y,x) bit order.
+func (z *ZOrder) DecomposeWindow(x0, y0, x1, y1 uint32) []Interval {
+	size := z.Size()
+	if !normalizeWindow(size, &x0, &y0, &x1, &y1) {
+		return nil
+	}
+	var out []Interval
+	z.decompose(x0, y0, x1, y1, size, 0, &out)
+	return compactIntervals(out)
+}
+
+func (z *ZOrder) decompose(x0, y0, x1, y1, size uint32, base uint64, out *[]Interval) {
+	if x0 == 0 && y0 == 0 && x1 == size-1 && y1 == size-1 {
+		*out = append(*out, Interval{base, base + uint64(size)*uint64(size)})
+		return
+	}
+	if size == 1 {
+		*out = append(*out, Interval{base, base + 1})
+		return
+	}
+	s := size / 2
+	area := uint64(s) * uint64(s)
+	// Z-curve quadrant rank: q = ry<<1 | rx.
+	for q := uint64(0); q < 4; q++ {
+		rx := uint32(q & 1)
+		ry := uint32(q >> 1)
+		qx0, qy0 := rx*s, ry*s
+		qx1, qy1 := qx0+s-1, qy0+s-1
+		ix0, iy0 := maxU32(x0, qx0), maxU32(y0, qy0)
+		ix1, iy1 := minU32(x1, qx1), minU32(y1, qy1)
+		if ix0 > ix1 || iy0 > iy1 {
+			continue
+		}
+		z.decompose(ix0-qx0, iy0-qy0, ix1-qx0, iy1-qy0, s, base+q*area, out)
+	}
+}

@@ -1,0 +1,353 @@
+// Package storage simulates the disk subsystem the VP paper measures
+// against: fixed-size pages (4 KB, Table 1), an in-memory "disk" with read/
+// write counters, and an LRU buffer pool (50 pages by default). Every index
+// in this repository stores its nodes through a BufferPool, so "query I/O"
+// is exactly the number of buffer-pool misses a query incurs — the metric
+// plotted throughout Section 6 of the paper.
+//
+// The disk is a map from PageID to page images. An optional per-miss latency
+// can be injected so that wall-clock time tracks I/O the way a spinning disk
+// would; it is off by default (unit tests) and enabled by the benchmark CLI.
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PageSize is the simulated disk page size in bytes (Table 1: 4 KB).
+const PageSize = 4096
+
+// DefaultBufferPages is the paper's default RAM buffer size (Table 1).
+const DefaultBufferPages = 50
+
+// PageID identifies a page on the simulated disk. Page 0 is never allocated
+// so the zero value can mean "no page".
+type PageID uint64
+
+// NilPage is the invalid page id.
+const NilPage PageID = 0
+
+// Page is a fixed-size page image. Callers mutate Data and must mark the
+// page dirty through the buffer pool API so write-back happens on eviction.
+type Page struct {
+	ID   PageID
+	Data [PageSize]byte
+}
+
+// Disk is the simulated non-volatile store.
+type Disk struct {
+	mu      sync.Mutex
+	pages   map[PageID][]byte
+	nextID  uint64
+	reads   atomic.Int64
+	writes  atomic.Int64
+	latency time.Duration // injected per physical access
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk {
+	return &Disk{pages: make(map[PageID][]byte)}
+}
+
+// SetLatency injects an artificial delay per physical read/write. Zero
+// (default) disables it.
+func (d *Disk) SetLatency(l time.Duration) { d.latency = l }
+
+// Allocate reserves a fresh page id. The page contents start zeroed.
+func (d *Disk) Allocate() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextID++
+	id := PageID(d.nextID)
+	d.pages[id] = make([]byte, PageSize)
+	return id
+}
+
+// Free releases a page. Freed pages may not be read again.
+func (d *Disk) Free(id PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.pages, id)
+}
+
+// read copies the page image into dst.
+func (d *Disk) read(id PageID, dst *[PageSize]byte) error {
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	d.mu.Lock()
+	src, ok := d.pages[id]
+	if ok {
+		copy(dst[:], src)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	d.reads.Add(1)
+	return nil
+}
+
+// write stores the page image.
+func (d *Disk) write(id PageID, src *[PageSize]byte) error {
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	d.mu.Lock()
+	dst, ok := d.pages[id]
+	if ok {
+		copy(dst, src[:])
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	d.writes.Add(1)
+	return nil
+}
+
+// PhysicalReads returns the number of physical page reads so far.
+func (d *Disk) PhysicalReads() int64 { return d.reads.Load() }
+
+// PhysicalWrites returns the number of physical page writes so far.
+func (d *Disk) PhysicalWrites() int64 { return d.writes.Load() }
+
+// NumPages returns the number of live pages (diagnostics / space metric).
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+// frame is a buffer-pool slot.
+type frame struct {
+	page  Page
+	dirty bool
+	pins  int
+	// LRU doubly-linked list links (nil page id terminates).
+	prev, next PageID
+}
+
+// BufferPool is an LRU page cache in front of a Disk. It is safe for
+// concurrent use by multiple goroutines (a single mutex — the workloads
+// here are single-writer, matching the paper's setup; the lock exists so
+// the VP manager can migrate objects between partitions safely, Sec. 5.3).
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+	frames   map[PageID]*frame
+	head     PageID // most recently used
+	tail     PageID // least recently used
+	hits     atomic.Int64
+	misses   atomic.Int64
+	writes   atomic.Int64
+}
+
+// NewBufferPool returns a pool of the given capacity (pages) over disk.
+// Capacity must be >= 1.
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic("storage: buffer pool capacity must be >= 1")
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+	}
+}
+
+// Disk returns the underlying disk.
+func (b *BufferPool) Disk() *Disk { return b.disk }
+
+// Capacity returns the pool capacity in pages.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Stats is a snapshot of buffer-pool activity.
+type Stats struct {
+	Misses int64 // pages read from disk (the paper's "I/O")
+	Hits   int64 // pages served from the buffer
+	Writes int64 // dirty pages written back
+}
+
+// Stats returns current counters.
+func (b *BufferPool) Stats() Stats {
+	return Stats{Misses: b.misses.Load(), Hits: b.hits.Load(), Writes: b.writes.Load()}
+}
+
+// lruRemove unlinks f (id) from the LRU list.
+func (b *BufferPool) lruRemove(id PageID, f *frame) {
+	if f.prev != NilPage {
+		b.frames[f.prev].next = f.next
+	} else {
+		b.head = f.next
+	}
+	if f.next != NilPage {
+		b.frames[f.next].prev = f.prev
+	} else {
+		b.tail = f.prev
+	}
+	f.prev, f.next = NilPage, NilPage
+}
+
+// lruPushFront makes f (id) the most recently used.
+func (b *BufferPool) lruPushFront(id PageID, f *frame) {
+	f.prev = NilPage
+	f.next = b.head
+	if b.head != NilPage {
+		b.frames[b.head].prev = id
+	}
+	b.head = id
+	if b.tail == NilPage {
+		b.tail = id
+	}
+}
+
+// evictOne writes back and drops the least recently used unpinned frame.
+func (b *BufferPool) evictOne() error {
+	for id := b.tail; id != NilPage; {
+		f := b.frames[id]
+		if f.pins == 0 {
+			if f.dirty {
+				if err := b.disk.write(id, &f.page.Data); err != nil {
+					return err
+				}
+				b.writes.Add(1)
+			}
+			b.lruRemove(id, f)
+			delete(b.frames, id)
+			return nil
+		}
+		id = f.prev
+	}
+	return fmt.Errorf("storage: all %d buffer frames pinned", b.capacity)
+}
+
+// fetch returns the frame for id, loading it from disk on a miss.
+func (b *BufferPool) fetch(id PageID) (*frame, error) {
+	if id == NilPage {
+		return nil, fmt.Errorf("storage: fetch of nil page")
+	}
+	if f, ok := b.frames[id]; ok {
+		b.hits.Add(1)
+		b.lruRemove(id, f)
+		b.lruPushFront(id, f)
+		return f, nil
+	}
+	if len(b.frames) >= b.capacity {
+		if err := b.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{page: Page{ID: id}}
+	if err := b.disk.read(id, &f.page.Data); err != nil {
+		return nil, err
+	}
+	b.misses.Add(1)
+	b.frames[id] = f
+	b.lruPushFront(id, f)
+	return f, nil
+}
+
+// Read runs fn with read access to the page contents. The page is pinned
+// for the duration of fn; fn must not retain the slice.
+func (b *BufferPool) Read(id PageID, fn func(data []byte)) error {
+	b.mu.Lock()
+	f, err := b.fetch(id)
+	if err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	f.pins++
+	b.mu.Unlock()
+
+	fn(f.page.Data[:])
+
+	b.mu.Lock()
+	f.pins--
+	b.mu.Unlock()
+	return nil
+}
+
+// Write runs fn with mutable access to the page contents and marks the page
+// dirty. fn must not retain the slice.
+func (b *BufferPool) Write(id PageID, fn func(data []byte)) error {
+	b.mu.Lock()
+	f, err := b.fetch(id)
+	if err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	f.pins++
+	b.mu.Unlock()
+
+	fn(f.page.Data[:])
+
+	b.mu.Lock()
+	f.dirty = true
+	f.pins--
+	b.mu.Unlock()
+	return nil
+}
+
+// Allocate reserves a new page and installs a zeroed, dirty frame for it so
+// the first access is not charged as a read miss (freshly allocated pages
+// have no on-disk image worth reading).
+func (b *BufferPool) Allocate() (PageID, error) {
+	id := b.disk.Allocate()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.frames) >= b.capacity {
+		if err := b.evictOne(); err != nil {
+			return NilPage, err
+		}
+	}
+	f := &frame{page: Page{ID: id}, dirty: true}
+	b.frames[id] = f
+	b.lruPushFront(id, f)
+	return id, nil
+}
+
+// Free drops the page from the pool (without write-back) and releases it on
+// disk. The page must not be pinned.
+func (b *BufferPool) Free(id PageID) error {
+	b.mu.Lock()
+	if f, ok := b.frames[id]; ok {
+		if f.pins > 0 {
+			b.mu.Unlock()
+			return fmt.Errorf("storage: freeing pinned page %d", id)
+		}
+		b.lruRemove(id, f)
+		delete(b.frames, id)
+	}
+	b.mu.Unlock()
+	b.disk.Free(id)
+	return nil
+}
+
+// FlushAll writes back every dirty frame (kept resident). Used by tests and
+// when snapshotting space usage.
+func (b *BufferPool) FlushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, f := range b.frames {
+		if f.dirty {
+			if err := b.disk.write(id, &f.page.Data); err != nil {
+				return err
+			}
+			b.writes.Add(1)
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Resident returns the number of frames currently cached (diagnostics).
+func (b *BufferPool) Resident() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}

@@ -1,0 +1,316 @@
+package tprtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// split divides an overflowing node into two, choosing among candidate
+// distributions the one that minimizes the summed integrated sweeping
+// volumes of the two groups (the TPR*-tree split objective), with the
+// integrated overlap between the groups as tie-breaker.
+//
+// Candidate distributions follow the R*/TPR* recipe: entries are sorted by
+// each MBR boundary and each VBR boundary (8 sort keys — position splits
+// alone are blind to velocity skew, which is precisely what matters for
+// moving objects), and every prefix/suffix cut respecting the minimum fill
+// is evaluated.
+func (t *Tree) split(n *node, now float64) (*splitOut, geom.MovingRect, error) {
+	var rects []geom.MovingRect
+	if n.leaf() {
+		rects = make([]geom.MovingRect, len(n.objs))
+		for i, o := range n.objs {
+			rects[i] = objRect(o).Rebase(now)
+		}
+	} else {
+		rects = make([]geom.MovingRect, len(n.entries))
+		for i, e := range n.entries {
+			rects[i] = e.mr.Rebase(now)
+		}
+	}
+	minFill := leafMin
+	if !n.leaf() {
+		minFill = internalMin
+	}
+	perm, cut := t.chooseSplit(rects, minFill, now)
+
+	// Materialize the two groups.
+	rid, err := t.pool.Allocate()
+	if err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	right := &node{id: rid, level: n.level}
+	if n.leaf() {
+		objs := make([]model.Object, len(n.objs))
+		for i, p := range perm {
+			objs[i] = n.objs[p]
+		}
+		n.objs = append([]model.Object(nil), objs[:cut]...)
+		right.objs = append([]model.Object(nil), objs[cut:]...)
+	} else {
+		ents := make([]entry, len(n.entries))
+		for i, p := range perm {
+			ents[i] = n.entries[p]
+		}
+		n.entries = append([]entry(nil), ents[:cut]...)
+		right.entries = append([]entry(nil), ents[cut:]...)
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	out := &splitOut{
+		leftBound:  n.boundAt(now),
+		right:      rid,
+		rightBound: right.boundAt(now),
+	}
+	return out, out.leftBound, nil
+}
+
+// chooseSplit returns the permutation of rects and the cut index k (left
+// group = perm[:k]) minimizing the split objective.
+func (t *Tree) chooseSplit(rects []geom.MovingRect, minFill int, now float64) ([]int, int) {
+	n := len(rects)
+	if minFill < 1 {
+		minFill = 1
+	}
+	maxFill := n - minFill
+	if maxFill < minFill {
+		// Degenerate capacity; split in the middle.
+		perm := identityPerm(n)
+		return perm, n / 2
+	}
+
+	type sortKey func(geom.MovingRect) float64
+	keys := []sortKey{
+		func(r geom.MovingRect) float64 { return r.MBR.MinX },
+		func(r geom.MovingRect) float64 { return r.MBR.MaxX },
+		func(r geom.MovingRect) float64 { return r.MBR.MinY },
+		func(r geom.MovingRect) float64 { return r.MBR.MaxY },
+	}
+	if !t.cfg.PositionOnlySplits {
+		keys = append(keys,
+			func(r geom.MovingRect) float64 { return r.VBR.MinX },
+			func(r geom.MovingRect) float64 { return r.VBR.MaxX },
+			func(r geom.MovingRect) float64 { return r.VBR.MinY },
+			func(r geom.MovingRect) float64 { return r.VBR.MaxY },
+		)
+	}
+
+	bestCost := math.Inf(1)
+	bestOverlap := math.Inf(1)
+	var bestPerm []int
+	bestCut := -1
+
+	for _, key := range keys {
+		perm := identityPerm(n)
+		sort.SliceStable(perm, func(a, b int) bool {
+			return key(rects[perm[a]]) < key(rects[perm[b]])
+		})
+		// Prefix/suffix bounding rects for O(n) cut evaluation.
+		prefix := make([]geom.MovingRect, n)
+		suffix := make([]geom.MovingRect, n)
+		prefix[0] = rects[perm[0]]
+		for i := 1; i < n; i++ {
+			prefix[i] = prefix[i-1].Union(rects[perm[i]], now)
+		}
+		suffix[n-1] = rects[perm[n-1]]
+		for i := n - 2; i >= 0; i-- {
+			suffix[i] = suffix[i+1].Union(rects[perm[i]], now)
+		}
+		for k := minFill; k <= maxFill; k++ {
+			g1, g2 := prefix[k-1], suffix[k]
+			cost := t.sweepCost(g1, now) + t.sweepCost(g2, now)
+			if cost > bestCost {
+				continue
+			}
+			ov := overlapSweep(g1, g2, now, now+t.cfg.Horizon)
+			if cost < bestCost || ov < bestOverlap {
+				bestCost = cost
+				bestOverlap = ov
+				bestPerm = append(bestPerm[:0], perm...)
+				bestCut = k
+			}
+		}
+	}
+	return bestPerm, bestCut
+}
+
+// overlapSweep integrates the overlap area of two moving rectangles over
+// [t0, t1] by Simpson's rule (3 samples — the overlap of two linearly
+// moving rectangles is piecewise quadratic, so this is a close, cheap
+// approximation used only for tie-breaking).
+func overlapSweep(a, b geom.MovingRect, t0, t1 float64) float64 {
+	f := func(t float64) float64 {
+		return a.AtTime(t).Intersect(b.AtTime(t)).Area()
+	}
+	h := t1 - t0
+	return h / 6 * (f(t0) + 4*f(t0+h/2) + f(t1))
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// --- queries -----------------------------------------------------------------
+
+// Search implements model.Index: all three query types of Section 2.1 via
+// the time-parameterized intersection test, with exact refinement of leaf
+// candidates through model.Matches (this also restricts circular queries
+// from their MBR to the disk).
+func (t *Tree) Search(q model.RangeQuery) ([]model.ObjectID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	qmr := q.AsMovingRect()
+	t0, t1 := q.T0, q.EndTime()
+	var out []model.ObjectID
+	stack := []storage.PageID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf() {
+			for _, o := range n.objs {
+				if model.Matches(o, q) {
+					out = append(out, o.ID)
+				}
+			}
+			continue
+		}
+		for _, e := range n.entries {
+			if e.mr.IntersectsDuring(qmr, t0, t1) {
+				stack = append(stack, e.child)
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- diagnostics -------------------------------------------------------------
+
+// LeafBound describes one leaf node's time-parameterized bound; the Fig. 7
+// experiment plots the VBR expansion rates of these.
+type LeafBound struct {
+	MR    geom.MovingRect
+	Count int
+}
+
+// LeafBounds returns the bound of every leaf node at the given time.
+func (t *Tree) LeafBounds(now float64) ([]LeafBound, error) {
+	var out []LeafBound
+	stack := []storage.PageID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf() {
+			if len(n.objs) > 0 {
+				out = append(out, LeafBound{MR: n.boundAt(now), Count: len(n.objs)})
+			}
+			continue
+		}
+		for _, e := range n.entries {
+			stack = append(stack, e.child)
+		}
+	}
+	return out, nil
+}
+
+// NodeCount returns (internal, leaf) node totals.
+func (t *Tree) NodeCount() (internal, leaves int, err error) {
+	stack := []storage.PageID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, e := t.readNode(id)
+		if e != nil {
+			return 0, 0, e
+		}
+		if n.leaf() {
+			leaves++
+			continue
+		}
+		internal++
+		for _, en := range n.entries {
+			stack = append(stack, en.child)
+		}
+	}
+	return internal, leaves, nil
+}
+
+// CheckInvariants verifies structural invariants for tests: entry bounds
+// conservatively contain their subtrees (at the entry's reference time and
+// in velocity), levels decrease properly, counts match, and fill factors
+// hold for non-root nodes.
+func (t *Tree) CheckInvariants() error {
+	total, err := t.checkNode(t.root, t.height-1, nil)
+	if err != nil {
+		return err
+	}
+	if total != t.size {
+		return errf("size mismatch: recorded %d, found %d", t.size, total)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id storage.PageID, level int, bound *geom.MovingRect) (int, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if n.level != level {
+		return 0, errf("page %d: level %d, expected %d", id, n.level, level)
+	}
+	if id != t.root && n.underfull() {
+		return 0, errf("page %d: underfull (%d at level %d)", id, n.count(), n.level)
+	}
+	if n.leaf() {
+		if bound != nil {
+			for _, o := range n.objs {
+				if !entryMayContain(*bound, o) {
+					return 0, errf("page %d: object %d escapes parent bound %v", id, o.ID, *bound)
+				}
+			}
+		}
+		return len(n.objs), nil
+	}
+	total := 0
+	for _, e := range n.entries {
+		if bound != nil {
+			// Parent bound must contain the child entry bound from the
+			// parent's reference time onward; check at two times.
+			r0 := math.Max(bound.Ref, e.mr.Ref)
+			if !bound.Contains(e.mr, r0, r0+t.cfg.Horizon) {
+				return 0, errf("page %d: child bound %v escapes parent %v", id, e.mr, *bound)
+			}
+		}
+		sub, err := t.checkNode(e.child, level-1, &e.mr)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("tprtree: "+format, args...)
+}

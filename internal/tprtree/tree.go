@@ -1,0 +1,607 @@
+package tprtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// Config tunes the tree. The zero value is usable; NewTree fills defaults.
+type Config struct {
+	// Horizon is the time window (ts) over which insertion/split costs
+	// integrate sweeping-region volumes. The TPR* convention ties it to the
+	// maximum update interval (Table 1: 120 ts).
+	Horizon float64
+	// QueryExtent is the query side length (m) the tree is optimized for;
+	// the paper states "optimized for query size of 1000x1000 m^2". Cost
+	// integrals inflate node extents by half this value per side.
+	QueryExtent float64
+	// ReinsertFraction is the share of entries force-reinserted on first
+	// overflow (R*/TPR* convention: 0.3).
+	ReinsertFraction float64
+	// PositionOnlySplits disables the velocity sort keys during node
+	// splits, reducing the split search to the classic R*-tree's four
+	// position boundaries. The TPR*-tree's velocity-aware splits are one
+	// of the properties the VP paper leans on ("the insertion algorithm of
+	// the TPR*-tree attempts to group objects travelling in the same
+	// direction", §6.3); this switch exists for the ablation bench that
+	// quantifies it.
+	PositionOnlySplits bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Horizon <= 0 {
+		c.Horizon = 120
+	}
+	if c.QueryExtent < 0 {
+		c.QueryExtent = 0
+	} else if c.QueryExtent == 0 {
+		c.QueryExtent = 1000
+	}
+	if c.ReinsertFraction <= 0 || c.ReinsertFraction >= 1 {
+		c.ReinsertFraction = 0.3
+	}
+	return c
+}
+
+// Tree is a TPR*-tree. Not safe for concurrent use; the VP index manager
+// and the benchmark harness serialize access.
+type Tree struct {
+	pool *storage.BufferPool
+	cfg  Config
+
+	root   storage.PageID
+	height int // 1 = root is a leaf
+	size   int
+
+	// clock is the largest reference timestamp the tree has seen. All
+	// tightening and cost integrals anchor here: a time-parameterized
+	// bound is only valid from its reference time *forward* (backward
+	// extrapolation is not conservative), so using a stale operation
+	// time — e.g. an old record's reference during a delete — would
+	// corrupt parent bounds.
+	clock float64
+
+	// reinsertedAt flags levels that already did a forced reinsert during
+	// the current top-level operation (R* rule: once per level per insert).
+	reinsertedAt map[int]bool
+
+	// pendingObjs/pendingEntries queue evictions from forced reinserts.
+	// They are drained only after the triggering descent has fully unwound,
+	// so no stack frame ever holds a stale node image while the tree is
+	// being restructured underneath it.
+	pendingObjs    []model.Object
+	pendingEntries []levelEntry
+
+	name string
+}
+
+// levelEntry is a subtree entry together with the level of the node it must
+// be reinserted into.
+type levelEntry struct {
+	e     entry
+	level int
+}
+
+var _ model.Index = (*Tree)(nil)
+
+// NewTree creates an empty TPR*-tree drawing pages from pool.
+func NewTree(pool *storage.BufferPool, cfg Config) (*Tree, error) {
+	t := &Tree{pool: pool, cfg: cfg.withDefaults(), height: 1, name: "tpr*"}
+	id, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	t.root = id
+	if err := t.writeNode(&node{id: id, level: 0}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SetName overrides the reported index name (the VP manager labels its
+// partitions).
+func (t *Tree) SetName(s string) { t.name = s }
+
+// Name implements model.Index.
+func (t *Tree) Name() string { return t.name }
+
+// Len implements model.Index.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 = single leaf node).
+func (t *Tree) Height() int { return t.height }
+
+// IO implements model.Index: cumulative buffer-pool counters.
+func (t *Tree) IO() model.IOStats {
+	s := t.pool.Stats()
+	return model.IOStats{Reads: s.Misses, Writes: s.Writes, Hits: s.Hits}
+}
+
+// --- cost model --------------------------------------------------------------
+
+// sweepCost integrates the (query-inflated) area of mr over [t, t+Horizon]:
+// the metric of Eq. 1 with the query extent folded in, used for
+// ChooseSubtree and splits.
+func (t *Tree) sweepCost(mr geom.MovingRect, now float64) float64 {
+	h := t.cfg.QueryExtent / 2
+	inflated := geom.MovingRect{
+		MBR: mr.MBR.ExpandXY(h, h),
+		VBR: mr.VBR,
+		Ref: mr.Ref,
+	}
+	return inflated.SweepVolume(now, now+t.cfg.Horizon)
+}
+
+// enlargeCost is the increase in sweepCost caused by extending mr to also
+// cover o.
+func (t *Tree) enlargeCost(mr, o geom.MovingRect, now float64) float64 {
+	return t.sweepCost(mr.Union(o, now), now) - t.sweepCost(mr.Rebase(now), now)
+}
+
+// --- insert ------------------------------------------------------------------
+
+// Insert implements model.Index. The object's reference time is taken as
+// the current time: all cost integrals start there.
+func (t *Tree) Insert(o model.Object) error {
+	if !o.Pos.IsFinite() || !o.Vel.IsFinite() {
+		return fmt.Errorf("tprtree: non-finite object %v", o)
+	}
+	t.reinsertedAt = make(map[int]bool)
+	if o.T > t.clock {
+		t.clock = o.T
+	}
+	now := t.clock
+	if err := t.insertObj(o, now); err != nil {
+		return err
+	}
+	if err := t.drainPending(now); err != nil {
+		return err
+	}
+	t.size++
+	return nil
+}
+
+// drainPending reinserts everything queued by forced reinsertion. Each
+// reinsert is a fresh top-level descent; it may queue further evictions at
+// levels that have not reinserted yet this operation, so loop until empty.
+func (t *Tree) drainPending(now float64) error {
+	for len(t.pendingObjs) > 0 || len(t.pendingEntries) > 0 {
+		if len(t.pendingEntries) > 0 {
+			le := t.pendingEntries[len(t.pendingEntries)-1]
+			t.pendingEntries = t.pendingEntries[:len(t.pendingEntries)-1]
+			if err := t.insertEntry(le.e, le.level, now); err != nil {
+				return err
+			}
+			continue
+		}
+		o := t.pendingObjs[len(t.pendingObjs)-1]
+		t.pendingObjs = t.pendingObjs[:len(t.pendingObjs)-1]
+		if err := t.insertObj(o, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertObj routes one object record to a leaf (no size bookkeeping; used
+// by both Insert and forced reinsertion).
+func (t *Tree) insertObj(o model.Object, now float64) error {
+	split, _, err := t.insertRec(t.root, t.height-1, o, nil, -1, now)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		return t.growRoot(*split, now)
+	}
+	return nil
+}
+
+// insertEntry routes a subtree entry to the given level (> 0); used when
+// condensing after deletes and during internal-node reinsertion.
+func (t *Tree) insertEntry(e entry, level int, now float64) error {
+	if t.height-1 == level {
+		// Target level is the root itself: extend the root.
+		root, err := t.readNode(t.root)
+		if err != nil {
+			return err
+		}
+		root.entries = append(root.entries, e)
+		if root.overflowing() {
+			return t.handleOverflowRoot(root, now)
+		}
+		return t.writeNode(root)
+	}
+	split, _, err := t.insertEntryRec(t.root, t.height-1, e, level, now)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		return t.growRoot(*split, now)
+	}
+	return nil
+}
+
+// growRoot installs a new root above the current one after a root split.
+func (t *Tree) growRoot(split splitOut, now float64) error {
+	oldRootBound := split.leftBound
+	id, err := t.pool.Allocate()
+	if err != nil {
+		return err
+	}
+	newRoot := &node{
+		id:    id,
+		level: t.height,
+		entries: []entry{
+			{child: t.root, mr: oldRootBound},
+			{child: split.right, mr: split.rightBound},
+		},
+	}
+	if err := t.writeNode(newRoot); err != nil {
+		return err
+	}
+	t.root = id
+	t.height++
+	return nil
+}
+
+// splitOut reports a node split to the parent.
+type splitOut struct {
+	leftBound  geom.MovingRect
+	right      storage.PageID
+	rightBound geom.MovingRect
+}
+
+// insertRec descends to level 0 inserting o. It returns a split record if
+// the visited child split, and the new tight bound of the visited child
+// (so the parent can tighten its entry without re-reading).
+//
+// parent/parentIdx identify the entry pointing at this node (nil for root);
+// they are only used for error context.
+func (t *Tree) insertRec(id storage.PageID, level int, o model.Object, parent *node, parentIdx int, now float64) (*splitOut, geom.MovingRect, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	if n.level != level {
+		return nil, geom.MovingRect{}, fmt.Errorf("tprtree: page %d level %d, expected %d", id, n.level, level)
+	}
+	if n.leaf() {
+		n.objs = append(n.objs, o)
+		if n.overflowing() {
+			return t.handleOverflow(n, now)
+		}
+		if err := t.writeNode(n); err != nil {
+			return nil, geom.MovingRect{}, err
+		}
+		return nil, n.boundAt(now), nil
+	}
+	ci := t.chooseSubtree(n, objRect(o), now)
+	split, childBound, err := t.insertRec(n.entries[ci].child, level-1, o, n, ci, now)
+	if err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	n.entries[ci].mr = childBound // tighten
+	if split != nil {
+		n.entries[ci].mr = split.leftBound
+		n.entries = append(n.entries, entry{child: split.right, mr: split.rightBound})
+		if n.overflowing() {
+			return t.handleOverflow(n, now)
+		}
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	return nil, n.boundAt(now), nil
+}
+
+// insertEntryRec descends to targetLevel inserting subtree entry e.
+func (t *Tree) insertEntryRec(id storage.PageID, level int, e entry, targetLevel int, now float64) (*splitOut, geom.MovingRect, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	if level == targetLevel {
+		n.entries = append(n.entries, e)
+		if n.overflowing() {
+			return t.handleOverflow(n, now)
+		}
+		if err := t.writeNode(n); err != nil {
+			return nil, geom.MovingRect{}, err
+		}
+		return nil, n.boundAt(now), nil
+	}
+	ci := t.chooseSubtree(n, e.mr, now)
+	split, childBound, err := t.insertEntryRec(n.entries[ci].child, level-1, e, targetLevel, now)
+	if err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	n.entries[ci].mr = childBound
+	if split != nil {
+		n.entries[ci].mr = split.leftBound
+		n.entries = append(n.entries, entry{child: split.right, mr: split.rightBound})
+		if n.overflowing() {
+			return t.handleOverflow(n, now)
+		}
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, geom.MovingRect{}, err
+	}
+	return nil, n.boundAt(now), nil
+}
+
+// chooseSubtree picks the child entry whose integrated sweeping volume
+// grows least when extended to cover mr (ties: smaller resulting volume,
+// then smaller current area).
+func (t *Tree) chooseSubtree(n *node, mr geom.MovingRect, now float64) int {
+	best := 0
+	bestEnl := math.Inf(1)
+	bestVol := math.Inf(1)
+	for i, e := range n.entries {
+		enl := t.enlargeCost(e.mr, mr, now)
+		vol := t.sweepCost(e.mr.Rebase(now), now)
+		if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	return best
+}
+
+// handleOverflow resolves an overflowing node: forced reinsert on the first
+// overflow at this level during the current operation, otherwise split.
+// The node n is already 1 entry over capacity.
+func (t *Tree) handleOverflow(n *node, now float64) (*splitOut, geom.MovingRect, error) {
+	if t.reinsertedAt == nil {
+		t.reinsertedAt = make(map[int]bool)
+	}
+	atRoot := n.id == t.root
+	if !atRoot && !t.reinsertedAt[n.level] {
+		t.reinsertedAt[n.level] = true
+		if err := t.forcedReinsert(n, now); err != nil {
+			return nil, geom.MovingRect{}, err
+		}
+		return nil, n.boundAt(now), nil
+	}
+	return t.split(n, now)
+}
+
+// handleOverflowRoot splits the root when an entry landed directly in it.
+func (t *Tree) handleOverflowRoot(root *node, now float64) error {
+	split, _, err := t.split(root, now)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		return t.growRoot(*split, now)
+	}
+	return nil
+}
+
+// forcedReinsert removes the ReinsertFraction of entries with the largest
+// integrated center distance from the node's center trajectory (TPR* "pick
+// worst") and queues them for reinsertion after the current descent
+// unwinds. The node is written back immediately, so the tree is consistent
+// (bounds are conservative: removing entries only loosens them).
+func (t *Tree) forcedReinsert(n *node, now float64) error {
+	bound := n.boundAt(now)
+	c0 := bound.MBR.Center()
+	cv := geom.Vec2{
+		X: (bound.VBR.MinX + bound.VBR.MaxX) / 2,
+		Y: (bound.VBR.MinY + bound.VBR.MaxY) / 2,
+	}
+	h := t.cfg.Horizon
+	// Integrated squared center distance approximated by the trapezoid of
+	// distances at now and now+h.
+	dist := func(mr geom.MovingRect) float64 {
+		m := mr.Rebase(now)
+		p0 := m.MBR.Center()
+		pv := geom.Vec2{
+			X: (m.VBR.MinX + m.VBR.MaxX) / 2,
+			Y: (m.VBR.MinY + m.VBR.MaxY) / 2,
+		}
+		d0 := p0.DistTo(c0)
+		d1 := p0.Add(pv.Scale(h)).DistTo(c0.Add(cv.Scale(h)))
+		return d0 + d1
+	}
+
+	if n.leaf() {
+		k := int(float64(len(n.objs)) * t.cfg.ReinsertFraction)
+		if k < 1 {
+			k = 1
+		}
+		sortByDesc(len(n.objs), func(i int) float64 { return dist(objRect(n.objs[i])) }, func(i, j int) {
+			n.objs[i], n.objs[j] = n.objs[j], n.objs[i]
+		})
+		t.pendingObjs = append(t.pendingObjs, n.objs[:k]...)
+		n.objs = append([]model.Object(nil), n.objs[k:]...)
+		return t.writeNode(n)
+	}
+
+	k := int(float64(len(n.entries)) * t.cfg.ReinsertFraction)
+	if k < 1 {
+		k = 1
+	}
+	sortByDesc(len(n.entries), func(i int) float64 { return dist(n.entries[i].mr) }, func(i, j int) {
+		n.entries[i], n.entries[j] = n.entries[j], n.entries[i]
+	})
+	for _, e := range n.entries[:k] {
+		t.pendingEntries = append(t.pendingEntries, levelEntry{e: e, level: n.level})
+	}
+	n.entries = append([]entry(nil), n.entries[k:]...)
+	return t.writeNode(n)
+}
+
+// sortByDesc sorts indices [0,n) descending by key using swap (a tiny
+// selection-friendly shell to avoid materializing a slice of structs).
+func sortByDesc(n int, key func(int) float64, swap func(i, j int)) {
+	// Simple insertion sort: n <= InternalCap+1 (~52) or LeafCap+1 (~86).
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && keys[j] > keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+			swap(j, j-1)
+		}
+	}
+}
+
+// --- delete ------------------------------------------------------------------
+
+// Delete implements model.Index: removes the exact record o (located by its
+// trajectory; the record must equal the one inserted). Underfull nodes are
+// condensed by reinsertion.
+func (t *Tree) Delete(o model.Object) error {
+	t.reinsertedAt = make(map[int]bool)
+	var orphanObjs []model.Object
+	var orphanEntries []levelEntry
+	// Anchor at the tree clock, never the (possibly stale) record time:
+	// bounds must not be rewound (see the clock field).
+	now := math.Max(t.clock, o.T)
+
+	found, _, err := t.deleteRec(t.root, o, now, &orphanObjs, &orphanEntries)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return model.ErrNotFound
+	}
+	t.size--
+	// Shrink the root: an internal root with one child is replaced by it.
+	for t.height > 1 {
+		root, err := t.readNode(t.root)
+		if err != nil {
+			return err
+		}
+		if len(root.entries) != 1 {
+			break
+		}
+		old := t.root
+		t.root = root.entries[0].child
+		t.height--
+		if err := t.pool.Free(old); err != nil {
+			return err
+		}
+	}
+	// Reinsert orphans (entries first, at their recorded levels).
+	for _, oe := range orphanEntries {
+		if oe.level >= t.height {
+			// The tree shrank below the orphan's level: splice its
+			// children back individually.
+			child, err := t.readNode(oe.e.child)
+			if err != nil {
+				return err
+			}
+			if child.leaf() {
+				orphanObjs = append(orphanObjs, child.objs...)
+			} else {
+				for _, e := range child.entries {
+					if err := t.insertEntry(e, child.level-1, now); err != nil {
+						return err
+					}
+				}
+			}
+			if err := t.pool.Free(oe.e.child); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.insertEntry(oe.e, oe.level, now); err != nil {
+			return err
+		}
+	}
+	for _, obj := range orphanObjs {
+		if err := t.insertObj(obj, now); err != nil {
+			return err
+		}
+	}
+	return t.drainPending(now)
+}
+
+// deleteRec removes o from the subtree at id. Returns (found, new bound).
+// Underfull children are dissolved into the orphan lists.
+func (t *Tree) deleteRec(id storage.PageID, o model.Object, now float64,
+	orphanObjs *[]model.Object, orphanEntries *[]levelEntry) (bool, geom.MovingRect, error) {
+
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, geom.MovingRect{}, err
+	}
+	if n.leaf() {
+		for i, cand := range n.objs {
+			if cand.ID == o.ID {
+				n.objs = append(n.objs[:i], n.objs[i+1:]...)
+				if err := t.writeNode(n); err != nil {
+					return false, geom.MovingRect{}, err
+				}
+				return true, n.boundAt(now), nil
+			}
+		}
+		return false, geom.MovingRect{}, nil
+	}
+	for i := 0; i < len(n.entries); i++ {
+		e := n.entries[i]
+		if !entryMayContain(e.mr, o) {
+			continue
+		}
+		found, childBound, err := t.deleteRec(e.child, o, now, orphanObjs, orphanEntries)
+		if err != nil {
+			return false, geom.MovingRect{}, err
+		}
+		if !found {
+			continue
+		}
+		n.entries[i].mr = childBound
+		// Condense: dissolve an underfull child into the orphan lists.
+		child, err := t.readNode(e.child)
+		if err != nil {
+			return false, geom.MovingRect{}, err
+		}
+		if child.underfull() {
+			if child.leaf() {
+				*orphanObjs = append(*orphanObjs, child.objs...)
+			} else {
+				for _, ce := range child.entries {
+					*orphanEntries = append(*orphanEntries, levelEntry{e: ce, level: child.level})
+				}
+			}
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			if err := t.pool.Free(child.id); err != nil {
+				return false, geom.MovingRect{}, err
+			}
+		}
+		if err := t.writeNode(n); err != nil {
+			return false, geom.MovingRect{}, err
+		}
+		return true, n.boundAt(now), nil
+	}
+	return false, geom.MovingRect{}, nil
+}
+
+// entryMayContain is the descent test for deletes: the entry's rectangle
+// must contain the object's position at the entry's reference time and its
+// velocity bounds must cover the object's velocity. Both hold for every
+// ancestor of the leaf the object lives in (bounds are conservative from
+// their reference time both forward in space and across velocities).
+func entryMayContain(mr geom.MovingRect, o model.Object) bool {
+	const eps = 1e-7
+	p := o.PosAt(mr.Ref)
+	if !mr.MBR.Expand(eps).ContainsPoint(p) {
+		return false
+	}
+	return o.Vel.X >= mr.VBR.MinX-eps && o.Vel.X <= mr.VBR.MaxX+eps &&
+		o.Vel.Y >= mr.VBR.MinY-eps && o.Vel.Y <= mr.VBR.MaxY+eps
+}
+
+// Update implements model.Index as deletion followed by insertion (the
+// moving-object update model of Section 2.1).
+func (t *Tree) Update(old, new model.Object) error {
+	if err := t.Delete(old); err != nil {
+		return err
+	}
+	return t.Insert(new)
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// Trace persistence: update streams serialized as CSV so workloads can be
+// captured once (e.g. from real GPS feeds) and replayed deterministically
+// against any index configuration. The format matches cmd/datagen's
+// `-what updates` output with the old record appended:
+//
+//	t,id,x,y,vx,vy,old_x,old_y,old_vx,old_vy,old_t
+//
+// and an initial-population header section is written separately by
+// WriteObjects (id,x,y,vx,vy,t — datagen's `-what objects` format).
+
+// WriteObjects serializes an object population.
+func WriteObjects(w io.Writer, objs []model.Object) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "id,x,y,vx,vy,t"); err != nil {
+		return err
+	}
+	for _, o := range objs {
+		if _, err := fmt.Fprintf(bw, "%d,%g,%g,%g,%g,%g\n",
+			o.ID, o.Pos.X, o.Pos.Y, o.Vel.X, o.Vel.Y, o.T); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadObjects parses a population written by WriteObjects.
+func ReadObjects(r io.Reader) ([]model.Object, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading objects: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty object trace")
+	}
+	out := make([]model.Object, 0, len(rows)-1)
+	for i, row := range rows[1:] { // skip header
+		if len(row) != 6 {
+			return nil, fmt.Errorf("workload: object row %d has %d fields", i+2, len(row))
+		}
+		vals, err := parseFloats(row[1:])
+		if err != nil {
+			return nil, fmt.Errorf("workload: object row %d: %w", i+2, err)
+		}
+		id, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: object row %d id: %w", i+2, err)
+		}
+		out = append(out, model.Object{
+			ID:  model.ObjectID(id),
+			Pos: geom.V(vals[0], vals[1]),
+			Vel: geom.V(vals[2], vals[3]),
+			T:   vals[4],
+		})
+	}
+	return out, nil
+}
+
+// WriteUpdates serializes an update stream (pull the events from a
+// Generator or any other source).
+func WriteUpdates(w io.Writer, next func() (UpdateEvent, bool)) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "t,id,x,y,vx,vy,old_x,old_y,old_vx,old_vy,old_t"); err != nil {
+		return err
+	}
+	for {
+		ev, ok := next()
+		if !ok {
+			break
+		}
+		if _, err := fmt.Fprintf(bw, "%g,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			ev.T, ev.New.ID,
+			ev.New.Pos.X, ev.New.Pos.Y, ev.New.Vel.X, ev.New.Vel.Y,
+			ev.Old.Pos.X, ev.Old.Pos.Y, ev.Old.Vel.X, ev.Old.Vel.Y, ev.Old.T); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUpdates parses a stream written by WriteUpdates, returning a pull
+// function with the same shape as Generator.NextUpdate.
+func ReadUpdates(r io.Reader) (func() (UpdateEvent, bool, error), error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading update header: %w", err)
+	}
+	if len(header) != 11 {
+		return nil, fmt.Errorf("workload: update header has %d fields, want 11", len(header))
+	}
+	return func() (UpdateEvent, bool, error) {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return UpdateEvent{}, false, nil
+		}
+		if err != nil {
+			return UpdateEvent{}, false, err
+		}
+		id, err := strconv.ParseUint(row[1], 10, 64)
+		if err != nil {
+			return UpdateEvent{}, false, fmt.Errorf("workload: update id: %w", err)
+		}
+		vals := make([]float64, 0, 10)
+		for _, f := range append(row[:1:1], row[2:]...) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return UpdateEvent{}, false, fmt.Errorf("workload: update field %q: %w", f, err)
+			}
+			vals = append(vals, v)
+		}
+		ev := UpdateEvent{
+			T: vals[0],
+			New: model.Object{
+				ID:  model.ObjectID(id),
+				Pos: geom.V(vals[1], vals[2]),
+				Vel: geom.V(vals[3], vals[4]),
+				T:   vals[0],
+			},
+			Old: model.Object{
+				ID:  model.ObjectID(id),
+				Pos: geom.V(vals[5], vals[6]),
+				Vel: geom.V(vals[7], vals[8]),
+				T:   vals[9],
+			},
+		}
+		return ev, true, nil
+	}, nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d (%q): %w", i, f, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestObjectsRoundTrip(t *testing.T) {
+	g, err := NewGenerator(smallParams(Chicago))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObjects(&buf, g.Initial()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadObjects(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Initial()
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d objects", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("object %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUpdatesRoundTrip(t *testing.T) {
+	g, err := NewGenerator(smallParams(SanFrancisco))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Updates()
+	// Regenerate to re-stream the same events.
+	g2, err := NewGenerator(smallParams(SanFrancisco))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, func() (UpdateEvent, bool) { return g2.NextUpdate() }); err != nil {
+		t.Fatal(err)
+	}
+	next, err := ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		ev, ok, err := next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("stream ended at %d of %d", i, len(want))
+		}
+		if ev.T != w.T || ev.New != w.New {
+			t.Fatalf("event %d: %+v vs %+v", i, ev, w)
+		}
+		// Old record round-trips everything except its redundant ID (same
+		// as New) — check the trajectory fields.
+		if ev.Old.Pos != w.Old.Pos || ev.Old.Vel != w.Old.Vel || ev.Old.T != w.Old.T {
+			t.Fatalf("event %d old: %+v vs %+v", i, ev.Old, w.Old)
+		}
+	}
+	if _, ok, _ := next(); ok {
+		t.Fatal("stream has extra events")
+	}
+}
+
+func TestReadObjectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                              // empty
+		"id,x,y,vx,vy,t\n1,2,3\n",       // wrong field count
+		"id,x,y,vx,vy,t\nx,1,2,3,4,5\n", // bad id
+		"id,x,y,vx,vy,t\n1,a,2,3,4,5\n", // bad float
+	}
+	for i, c := range cases {
+		if _, err := ReadObjects(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadUpdatesMalformed(t *testing.T) {
+	if _, err := ReadUpdates(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("short header accepted")
+	}
+	next, err := ReadUpdates(strings.NewReader(
+		"t,id,x,y,vx,vy,old_x,old_y,old_vx,old_vy,old_t\n1,zz,0,0,0,0,0,0,0,0,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := next(); err == nil {
+		t.Fatal("bad id row accepted")
+	}
+}

@@ -1,0 +1,248 @@
+package vpindex_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	vpindex "repro"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestNewDefaults(t *testing.T) {
+	for _, kind := range []vpindex.Kind{vpindex.TPRStar, vpindex.Bx} {
+		idx, err := vpindex.New(vpindex.Options{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.Len() != 0 {
+			t.Fatal("new index not empty")
+		}
+		o := vpindex.Object{ID: 1, Pos: vpindex.V(100, 100), Vel: vpindex.V(5, 5), T: 0}
+		if err := idx.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		ids, err := idx.Search(vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(150, 150), R: 100}, 0, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 1 || ids[0] != 1 {
+			t.Fatalf("%v: ids = %v", kind, ids)
+		}
+		if err := idx.Delete(o); err != nil {
+			t.Fatal(err)
+		}
+		if idx.Len() != 0 {
+			t.Fatal("delete did not shrink index")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if vpindex.TPRStar.String() != "tpr*" || vpindex.Bx.String() != "bx" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	c := vpindex.Circle{C: vpindex.V(10, 20), R: 5}
+	q := vpindex.SliceQuery(c, 1, 2)
+	if q.Kind != vpindex.TimeSlice || !q.IsCircle() || q.Now != 1 || q.T0 != 2 {
+		t.Fatalf("slice: %+v", q)
+	}
+	r := vpindex.R(0, 0, 10, 10)
+	q = vpindex.RectSliceQuery(r, 0, 5)
+	if q.IsCircle() || q.Rect != r {
+		t.Fatalf("rect slice: %+v", q)
+	}
+	q = vpindex.IntervalQuery(r, 0, 5, 9)
+	if q.Kind != vpindex.TimeInterval || q.T1 != 9 {
+		t.Fatalf("interval: %+v", q)
+	}
+	q = vpindex.MovingQuery(r, vpindex.V(1, 2), 0, 3, 8)
+	if q.Kind != vpindex.MovingRange || q.Vel != vpindex.V(1, 2) {
+		t.Fatalf("moving: %+v", q)
+	}
+	for _, q := range []vpindex.RangeQuery{
+		vpindex.SliceQuery(c, 1, 2),
+		vpindex.RectSliceQuery(r, 0, 5),
+		vpindex.IntervalQuery(r, 0, 5, 9),
+		vpindex.MovingQuery(r, vpindex.V(1, 2), 0, 3, 8),
+	} {
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewVPRequiresSample(t *testing.T) {
+	if _, err := vpindex.NewVP(nil, vpindex.VPOptions{}); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := vpindex.NewVP([]vpindex.Vec2{{X: 1}}, vpindex.VPOptions{K: 2}); err == nil {
+		t.Fatal("sample smaller than k accepted")
+	}
+}
+
+func TestVPAnalysisExposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := make([]vpindex.Vec2, 1000)
+	for i := range sample {
+		s := 20 + rng.Float64()*50
+		if i%2 == 0 {
+			sample[i] = vpindex.V(s, rng.NormFloat64())
+		} else {
+			sample[i] = vpindex.V(rng.NormFloat64(), -s)
+		}
+	}
+	idx, err := vpindex.NewVP(sample, vpindex.VPOptions{
+		Options: vpindex.Options{Kind: vpindex.Bx},
+		K:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := idx.Analysis()
+	if len(an.DVAs) != 2 || an.SampleSize != 1000 {
+		t.Fatalf("analysis: %+v", an)
+	}
+	if idx.NumPartitions() != 3 {
+		t.Fatalf("partitions: %d", idx.NumPartitions())
+	}
+	if idx.Name() != "bx(vp)" {
+		t.Fatalf("name: %q", idx.Name())
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	idx, err := vpindex.New(vpindex.Options{Kind: vpindex.Bx, BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		o := vpindex.Object{
+			ID:  vpindex.ObjectID(i + 1),
+			Pos: vpindex.V(rng.Float64()*100000, rng.Float64()*100000),
+			Vel: vpindex.V(rng.Float64()*100-50, rng.Float64()*100-50),
+			T:   0,
+		}
+		if err := idx.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := idx.Stats()
+	if st.Reads == 0 || st.Writes == 0 {
+		t.Fatalf("tiny buffer should force I/O: %+v", st)
+	}
+	if st.Total() != st.Reads+st.Writes {
+		t.Fatal("Total() arithmetic")
+	}
+}
+
+// TestEndToEndOracleAllDatasetsAllSetups is the repository's strongest
+// integration test: for every dataset and every index configuration,
+// replay a full benchmark workload (load + updates interleaved with
+// queries) and require bit-identical result sets against the brute-force
+// oracle at every query.
+func TestEndToEndOracleAllDatasetsAllSetups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	type setup struct {
+		name string
+		kind vpindex.Kind
+		vp   bool
+	}
+	setups := []setup{
+		{"bx", vpindex.Bx, false},
+		{"bx-vp", vpindex.Bx, true},
+		{"tpr", vpindex.TPRStar, false},
+		{"tpr-vp", vpindex.TPRStar, true},
+	}
+	for _, ds := range workload.Datasets() {
+		for _, su := range setups {
+			t.Run(string(ds)+"/"+su.name, func(t *testing.T) {
+				p := workload.DefaultParams(ds, 900)
+				p.Domain = vpindex.R(0, 0, 12000, 12000)
+				p.Duration = 30
+				p.NumQueries = 15
+				p.SampleSize = 900
+				gen, err := workload.NewGenerator(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := vpindex.Options{Kind: su.kind, Domain: p.Domain, BufferPages: 20}
+				var idx vpindex.Searcher
+				if su.vp {
+					v, err := vpindex.NewVP(gen.VelocitySample(900), vpindex.VPOptions{
+						Options: opts, K: 2, Seed: 5, TauRefreshInterval: 400,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					idx = v
+				} else {
+					v, err := vpindex.New(opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					idx = v
+				}
+				oracle := model.NewBruteForce()
+				for _, o := range gen.Initial() {
+					if err := idx.Insert(o); err != nil {
+						t.Fatal(err)
+					}
+					_ = oracle.Insert(o)
+				}
+				queries := gen.Queries(p.NumQueries)
+				// Add the other two query kinds at matching issue times.
+				queries = append(queries, gen.IntervalQueries(5, 15)...)
+				queries = append(queries, gen.MovingQueries(5, 15)...)
+				sort.Slice(queries, func(a, b int) bool { return queries[a].Now < queries[b].Now })
+				qi := 0
+				check := func(now float64) {
+					for qi < len(queries) && queries[qi].Now <= now {
+						q := queries[qi]
+						qi++
+						got, err := idx.Search(q)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, _ := oracle.Search(q)
+						sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+						sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+						if len(got) != len(want) {
+							t.Fatalf("query at t=%g (%v): %d vs %d results",
+								q.Now, q.Kind, len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("query at t=%g: result %d differs", q.Now, i)
+							}
+						}
+					}
+				}
+				for {
+					ev, ok := gen.NextUpdate()
+					if !ok {
+						break
+					}
+					check(ev.T)
+					if err := idx.Update(ev.Old, ev.New); err != nil {
+						t.Fatalf("update at t=%g: %v", ev.T, err)
+					}
+					if err := oracle.Update(ev.Old, ev.New); err != nil {
+						t.Fatal(err)
+					}
+				}
+				check(p.Duration + 1)
+				if idx.Len() != oracle.Len() {
+					t.Fatalf("len %d vs %d", idx.Len(), oracle.Len())
+				}
+			})
+		}
+	}
+}
