@@ -6,6 +6,8 @@
 // Usage:
 //
 //	vpbench -exp fig19                 # all datasets, reduced default scale
+//	vpbench -exp store                 # production Store facade: batch load,
+//	                                   # online VP bootstrap, report throughput
 //	vpbench -exp fig21 -paper          # Table 1 scale (minutes)
 //	vpbench -exp all -objects 10000    # everything, custom scale
 //	vpbench -exp fig7 -points fig7.csv # also dump the scatter points
@@ -21,14 +23,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	vpindex "repro"
 	"repro/internal/bench"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig19", "experiment: dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
+		exp      = flag.String("exp", "fig19", "experiment: store|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
 		objects  = flag.Int("objects", 20000, "number of moving objects")
 		queries  = flag.Int("queries", 200, "number of range queries")
 		duration = flag.Float64("duration", 120, "workload duration (ts)")
@@ -48,6 +52,8 @@ func main() {
 
 	run := func(name string) error {
 		switch name {
+		case "store":
+			return runStore(workload.Dataset(*dataset), sc, *seed)
 		case "dva":
 			tab, err := bench.RunDVADump(workload.Dataset(*dataset), sc, *seed)
 			if err != nil {
@@ -125,7 +131,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"dva", "fig7", "fig17", "fig18", "fig19", "fig20",
+		names = []string{"store", "dva", "fig7", "fig17", "fig18", "fig19", "fig20",
 			"fig21", "fig22", "fig23", "fig24"}
 	}
 	for _, n := range names {
@@ -134,6 +140,111 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runStore exercises the production Store facade end to end: open with
+// online auto-partitioning (no upfront sample), batch-load the initial
+// population into the staging index, stream ID-keyed location reports until
+// the bootstrap cuts over to the velocity partitions, and interleave range
+// queries — reporting throughput and per-query I/O on both sides of the
+// cutover.
+func runStore(ds workload.Dataset, sc bench.Scale, seed int64) error {
+	p := workload.DefaultParams(ds, sc.Objects)
+	p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+	p.Duration = sc.Duration
+	p.Seed = seed
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		return err
+	}
+
+	// Cutover lands mid-stream: initial load stays staging, then reports
+	// push the sample over the threshold.
+	threshold := sc.Objects + sc.Objects/2
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithDomain(p.Domain),
+		vpindex.WithBufferPages(sc.Buffer),
+		vpindex.WithMaxUpdateInterval(p.Duration),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithAutoPartition(threshold),
+		vpindex.WithTauRefreshInterval(10_000),
+		vpindex.WithSeed(seed),
+	)
+	if err != nil {
+		return err
+	}
+
+	loadStart := time.Now()
+	if err := store.ReportBatch(gen.Initial()); err != nil {
+		return err
+	}
+	loadDur := time.Since(loadStart)
+	fmt.Printf("store: batch-loaded %d objects into %s in %v (%.0f reports/s)\n",
+		store.Len(), store.Name(), loadDur.Round(time.Millisecond),
+		float64(store.Len())/loadDur.Seconds())
+
+	queries := gen.Queries(sc.Queries)
+	qi := 0
+	var qIOStaging, qStaging, qIOPart, qPart int64
+	runDue := func(now float64) error {
+		for qi < len(queries) && queries[qi].Now <= now {
+			before := store.Stats().Reads
+			if _, err := store.Search(queries[qi]); err != nil {
+				return err
+			}
+			if store.Partitioned() {
+				qIOPart += store.Stats().Reads - before
+				qPart++
+			} else {
+				qIOStaging += store.Stats().Reads - before
+				qStaging++
+			}
+			qi++
+		}
+		return nil
+	}
+
+	reports := 0
+	streamStart := time.Now()
+	cutover := time.Duration(0)
+	for {
+		ev, ok := gen.NextUpdate()
+		if !ok {
+			break
+		}
+		if err := store.Report(ev.New); err != nil {
+			return err
+		}
+		reports++
+		if cutover == 0 && store.Partitioned() {
+			cutover = time.Since(streamStart)
+			an, _ := store.Analysis()
+			fmt.Printf("store: bootstrap after %d streamed reports (t=%.1f): analyzed %d velocities, %d partitions, %d objects migrated\n",
+				reports, ev.T, an.SampleSize, len(store.Partitions()), store.Len())
+		}
+		if err := runDue(ev.T); err != nil {
+			return err
+		}
+	}
+	if err := runDue(p.Duration + 1); err != nil {
+		return err
+	}
+	streamDur := time.Since(streamStart)
+	fmt.Printf("store: streamed %d reports in %v (%.0f reports/s)\n",
+		reports, streamDur.Round(time.Millisecond), float64(reports)/streamDur.Seconds())
+	if qStaging > 0 {
+		fmt.Printf("store: staging queries      %4d, avg I/O %6.1f\n",
+			qStaging, float64(qIOStaging)/float64(qStaging))
+	}
+	if qPart > 0 {
+		fmt.Printf("store: partitioned queries %4d, avg I/O %6.1f\n",
+			qPart, float64(qIOPart)/float64(qPart))
+	}
+	st := store.Stats()
+	fmt.Printf("store: total simulated I/O: %d reads / %d writes / %d hits\n\n",
+		st.Reads, st.Writes, st.Hits)
+	return nil
 }
 
 func writePoints(path string, pts []bench.ExpansionPoint) error {

@@ -1,0 +1,24 @@
+package vpindex
+
+import "repro/internal/model"
+
+// Sentinel errors returned by the Store and by the deprecated Index/VPIndex
+// wrappers. They are re-exported from the shared internal data model, so a
+// value that bubbled up from any layer of the system matches here.
+//
+// All call sites wrap these with context (object IDs, partition names), so
+// test with errors.Is, never with equality:
+//
+//	if err := store.Remove(42); errors.Is(err, vpindex.ErrNotFound) { ... }
+var (
+	// ErrNotFound reports that no record with the given ID is indexed
+	// (Remove/Get-style misses, updates of unknown objects).
+	ErrNotFound = model.ErrNotFound
+	// ErrDuplicate reports a strict Insert of an ID that is already
+	// indexed. Report never returns it: reporting an existing ID is an
+	// update.
+	ErrDuplicate = model.ErrDuplicate
+	// ErrUnsupported reports an operation the configured index structure
+	// does not implement.
+	ErrUnsupported = model.ErrUnsupported
+)

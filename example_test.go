@@ -7,9 +7,59 @@ import (
 	vpindex "repro"
 )
 
-// Example demonstrates the core VP workflow: analyze a velocity sample,
-// build the partitioned index, insert linear movers, and ask a predictive
-// range query.
+// ExampleOpen demonstrates the production Store API: open with online
+// auto-partitioning, stream ID-keyed location reports (the bootstrap fires
+// mid-stream and migrates the live population), and ask predictive queries.
+func ExampleOpen() {
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.TPRStar),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithAutoPartition(1000),
+		vpindex.WithSeed(42),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	// Devices report bare position/velocity records; Report upserts by ID.
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= 1200; i++ {
+		speed := 30 + rng.Float64()*50
+		vel := vpindex.V(speed, rng.NormFloat64())
+		if i%2 == 0 {
+			vel = vpindex.V(rng.NormFloat64(), -speed)
+		}
+		o := vpindex.Object{
+			ID:  vpindex.ObjectID(i),
+			Pos: vpindex.V(rng.Float64()*100000, rng.Float64()*100000),
+			Vel: vel,
+			T:   0,
+		}
+		if err := store.Report(o); err != nil {
+			panic(err)
+		}
+	}
+	// The 1000th report triggered the DVA analysis and live migration.
+	fmt.Println("partitioned:", store.Partitioned())
+	fmt.Println("partitions:", len(store.Partitions())) // 2 DVAs + outlier
+
+	// An eastbound car updates its location — same verb, no old record.
+	_ = store.Report(vpindex.Object{ID: 7, Pos: vpindex.V(1000, 500), Vel: vpindex.V(50, 0), T: 0})
+
+	// Who is within 100 m of (3500, 500) at time 50? (Car 7 will be at
+	// x = 1000 + 50*50 = 3500.)
+	ids, _ := store.Search(vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(3500, 500), R: 100}, 0, 50))
+	fmt.Println("hits:", ids)
+
+	// Output:
+	// partitioned: true
+	// partitions: 3
+	// hits: [7]
+}
+
+// Example demonstrates the deprecated constructor workflow: analyze a
+// velocity sample, build the partitioned index, insert linear movers, and
+// ask a predictive range query. New code should use Open (see ExampleOpen).
 func Example() {
 	// Velocities concentrated on two perpendicular road directions.
 	rng := rand.New(rand.NewSource(1))

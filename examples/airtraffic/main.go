@@ -59,27 +59,26 @@ func main() {
 		sample[i] = f.Vel
 	}
 
-	idx, err := vpindex.NewVP(sample, vpindex.VPOptions{
-		Options: vpindex.Options{
-			Kind:   vpindex.TPRStar,
-			Domain: vpindex.R(0, 0, sectorSide, sectorSide),
-		},
-		K:    3, // three corridors
-		Seed: 3,
-	})
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.TPRStar),
+		vpindex.WithDomain(vpindex.R(0, 0, sectorSide, sectorSide)),
+		vpindex.WithVelocityPartitioning(3), // three corridors
+		vpindex.WithVelocitySample(sample),
+		vpindex.WithSeed(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	an, _ := store.Analysis()
 	fmt.Println("corridors discovered by the velocity analyzer:")
-	for i, d := range idx.Analysis().DVAs {
+	for i, d := range an.DVAs {
 		fmt.Printf("  corridor %d: heading %6.1f deg, tau %.1f m/ts\n",
 			i, d.Axis.Angle()*180/math.Pi, d.Tau)
 	}
 
-	for _, f := range fleet {
-		if err := idx.Insert(f); err != nil {
-			log.Fatal(err)
-		}
+	// One radar sweep delivers the whole fleet: batch-report it.
+	if err := store.ReportBatch(fleet); err != nil {
+		log.Fatal(err)
 	}
 
 	// Controller scan: a 10x10 grid of sector cells; for each, which
@@ -92,7 +91,7 @@ func main() {
 				float64(col)*10000, float64(row)*10000,
 				float64(col+1)*10000, float64(row+1)*10000,
 			)
-			ids, err := idx.Search(vpindex.IntervalQuery(cell, 0, 0, 120))
+			ids, err := store.Search(vpindex.IntervalQuery(cell, 0, 0, 120))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -101,5 +100,5 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\ntotal crossings counted: %d; simulated I/O: %+v\n", total, idx.Stats())
+	fmt.Printf("\ntotal crossings counted: %d; simulated I/O: %+v\n", total, store.Stats())
 }

@@ -1,9 +1,11 @@
 // Fleet monitor: continuous situational awareness around a moving convoy —
 // the paper's moving range query ("a tank wants to know if there are any
-// other tanks within one kilometer of itself", Section 6). A convoy
-// travels a Chicago-style grid while the monitor asks which vehicles will
-// intersect a protective box translating with the convoy over the next
-// minute, re-issuing the query as updates stream in.
+// other tanks within one kilometer of itself", Section 6) — served by a
+// Store that bootstraps its own velocity partitions online. No upfront
+// velocity sample is supplied: the Store opens in a staging index,
+// accumulates the first reported velocities, then runs the DVA analysis and
+// migrates the live fleet into the partitions mid-stream, while the convoy
+// queries keep answering throughout the cutover.
 //
 // Run with: go run ./examples/fleetmonitor
 package main
@@ -25,52 +27,68 @@ func main() {
 		log.Fatal(err)
 	}
 
-	idx, err := vpindex.NewVP(gen.VelocitySample(5000), vpindex.VPOptions{
-		Options: vpindex.Options{Kind: vpindex.TPRStar, Domain: params.Domain, BufferPages: 50},
-		K:       2,
-		Seed:    params.Seed,
-	})
+	// The auto-partition threshold lands mid-stream: the 6000 initial
+	// reports stay in the staging index, and the analysis triggers 2000
+	// location reports into live traffic.
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.TPRStar),
+		vpindex.WithDomain(params.Domain),
+		vpindex.WithBufferPages(50),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithAutoPartition(8000),
+		vpindex.WithSeed(params.Seed),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, o := range gen.Initial() {
-		if err := idx.Insert(o); err != nil {
-			log.Fatal(err)
-		}
+	if err := store.ReportBatch(gen.Initial()); err != nil {
+		log.Fatal(err)
 	}
+	collected, target := store.BootstrapProgress()
+	fmt.Printf("staging index loaded: %d vehicles, bootstrap sample %d/%d\n\n",
+		store.Len(), collected, target)
 
 	// The convoy: vehicle 1. Its protective zone is a 2 km box that
 	// translates with the convoy's current velocity.
-	convoy, ok := idx.Get(1)
+	convoy, ok := store.Get(1)
 	if !ok {
 		log.Fatal("convoy vehicle missing")
 	}
 	fmt.Printf("convoy at %v moving %v\n\n", convoy.Pos, convoy.Vel)
 
-	// Stream updates; every 20 ts re-issue the moving range query for the
-	// next 30 ts of travel.
+	// Stream location reports; every 20 ts re-issue the moving range query
+	// for the next 30 ts of travel.
 	nextCheck := 20.0
 	checks := 0
+	partitioned := false
 	for {
 		ev, okUpd := gen.NextUpdate()
 		if !okUpd {
 			break
 		}
-		if err := idx.Update(ev.Old, ev.New); err != nil {
+		// Production verb: the device reports only its new state.
+		if err := store.Report(ev.New); err != nil {
 			log.Fatal(err)
+		}
+		if !partitioned && store.Partitioned() {
+			partitioned = true
+			an, _ := store.Analysis()
+			fmt.Printf("t=%6.1f  >>> online bootstrap: analyzed %d velocities, "+
+				"migrated %d vehicles into %d partitions <<<\n",
+				ev.T, an.SampleSize, store.Len(), len(store.Partitions()))
 		}
 		if ev.T < nextCheck {
 			continue
 		}
 		nextCheck += 20
 		checks++
-		convoy, _ = idx.Get(1)
+		convoy, _ = store.Get(1)
 		zone := vpindex.R(
 			convoy.PosAt(ev.T).X-1000, convoy.PosAt(ev.T).Y-1000,
 			convoy.PosAt(ev.T).X+1000, convoy.PosAt(ev.T).Y+1000,
 		)
 		q := vpindex.MovingQuery(zone, convoy.Vel, ev.T, ev.T, ev.T+30)
-		ids, err := idx.Search(q)
+		ids, err := store.Search(q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,7 +102,10 @@ func main() {
 		fmt.Printf("t=%6.1f  convoy zone %v: %d vehicles will enter within 30 ts\n",
 			ev.T, zone, alerts)
 	}
-	st := idx.Stats()
+	if !partitioned {
+		log.Fatal("bootstrap never triggered — raise workload duration or lower the threshold")
+	}
+	st := store.Stats()
 	fmt.Printf("\n%d monitoring rounds; total simulated I/O: %d reads / %d writes\n",
 		checks, st.Reads, st.Writes)
 }

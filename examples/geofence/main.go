@@ -1,9 +1,10 @@
-// Geofence: continuous queries over a velocity-partitioned index. Security
+// Geofence: continuous queries over a velocity-partitioned Store. Security
 // zones are registered once as standing subscriptions; as vehicles stream
-// position/velocity updates, the monitor emits enter/leave events for each
-// zone's *predicted* membership (who will be inside the fence 30 ts from
-// now) — the location-based-service pattern the VP paper's introduction
-// motivates.
+// bare position/velocity reports, the monitor emits enter/leave events for
+// each zone's *predicted* membership (who will be inside the fence 30 ts
+// from now) — the location-based-service pattern the VP paper's
+// introduction motivates. The monitor drives the Store through the ID-keyed
+// ProcessReport verb, so the pipeline never handles old records.
 //
 // Run with: go run ./examples/geofence
 package main
@@ -25,18 +26,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	idx, err := vpindex.NewVP(gen.VelocitySample(4000), vpindex.VPOptions{
-		Options: vpindex.Options{Kind: vpindex.Bx, Domain: params.Domain, BufferPages: 50},
-		K:       2,
-		Seed:    params.Seed,
-	})
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithDomain(params.Domain),
+		vpindex.WithBufferPages(50),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithVelocitySample(gen.VelocitySample(4000)),
+		vpindex.WithSeed(params.Seed),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	mon := vpindex.NewMonitor(idx)
+	mon := vpindex.NewMonitor(store)
 	for _, o := range gen.Initial() {
-		if _, err := mon.ProcessInsert(o); err != nil {
+		if _, err := mon.ProcessReport(o); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -63,8 +67,8 @@ func main() {
 		fmt.Printf("fence %-8s seeded with %d predicted occupants\n", f.name, len(seed))
 	}
 
-	// Stream updates; count events per fence, refresh every 15 ts so pure
-	// time drift is also caught.
+	// Stream location reports; count events per fence, refresh every 15 ts
+	// so pure time drift is also caught.
 	counts := map[string]map[string]int{}
 	for _, name := range fences {
 		counts[name] = map[string]int{}
@@ -80,7 +84,7 @@ func main() {
 		if !ok {
 			break
 		}
-		evs, err := mon.ProcessUpdate(ev.Old, ev.New)
+		evs, err := mon.ProcessReport(ev.New)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -99,6 +103,6 @@ func main() {
 	for name, c := range counts {
 		fmt.Printf("  %-8s %4d enter, %4d leave\n", name, c["enter"], c["leave"])
 	}
-	st := idx.Stats()
+	st := store.Stats()
 	fmt.Printf("\nsimulated I/O: %d reads / %d writes\n", st.Reads, st.Writes)
 }

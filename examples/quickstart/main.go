@@ -1,4 +1,4 @@
-// Quickstart: build a velocity-partitioned moving-object index, insert a
+// Quickstart: open a velocity-partitioned moving-object Store, report a
 // handful of vehicles, run the three predictive query types, and print the
 // velocity analysis and I/O counters.
 //
@@ -34,18 +34,22 @@ func main() {
 		}
 	}
 
-	// Build a VP-partitioned TPR*-tree. Two dominant velocity axes (k=2),
-	// the paper's default for road traffic.
-	idx, err := vpindex.NewVP(sample, vpindex.VPOptions{
-		Options: vpindex.Options{Kind: vpindex.TPRStar},
-		K:       2,
-		Seed:    7,
-	})
+	// Open a VP-partitioned TPR*-tree Store. Two dominant velocity axes
+	// (k=2), the paper's default for road traffic; the upfront sample means
+	// the partitions exist from the first report. (Without a sample handy,
+	// WithAutoPartition(n) bootstraps the partitions online instead — see
+	// examples/fleetmonitor.)
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.TPRStar),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithVelocitySample(sample),
+		vpindex.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	an := idx.Analysis()
+	an, _ := store.Analysis()
 	fmt.Println("velocity analysis:")
 	for i, d := range an.DVAs {
 		fmt.Printf("  DVA %d: axis (%.3f, %.3f), tau %.2f m/ts, %d sample points kept\n",
@@ -53,23 +57,23 @@ func main() {
 	}
 	fmt.Printf("  outliers in sample: %d of %d\n\n", an.TotalOutliers, an.SampleSize)
 
-	// Insert vehicles at time 0: position + velocity + reference time.
+	// Report vehicles at time 0: position + velocity + reference time. A
+	// report is an upsert by ID — the same verb covers first contact and
+	// every later location update.
 	vehicles := []vpindex.Object{
 		{ID: 1, Pos: vpindex.V(1000, 5000), Vel: vpindex.V(45, 0.3), T: 0},  // eastbound
 		{ID: 2, Pos: vpindex.V(9000, 5000), Vel: vpindex.V(-60, 0.1), T: 0}, // westbound
 		{ID: 3, Pos: vpindex.V(5000, 1000), Vel: vpindex.V(0.2, 50), T: 0},  // northbound
 		{ID: 4, Pos: vpindex.V(5000, 5000), Vel: vpindex.V(30, 30), T: 0},   // diagonal (outlier)
 	}
-	for _, v := range vehicles {
-		if err := idx.Insert(v); err != nil {
-			log.Fatal(err)
-		}
+	if err := store.ReportBatch(vehicles); err != nil {
+		log.Fatal(err)
 	}
 
 	// 1. Time-slice: who is within 1200 m of (5000, 5000) at t=50?
 	// (vehicle 2, westbound from x=9000, is at x=6000 by then)
 	slice := vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(5000, 5000), R: 1200}, 0, 50)
-	ids, err := idx.Search(slice)
+	ids, err := store.Search(slice)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +82,7 @@ func main() {
 	// 2. Time-interval: who crosses the depot rectangle between t=60..90?
 	// (vehicle 1 drives through it eastbound; vehicle 3 crosses northbound)
 	interval := vpindex.IntervalQuery(vpindex.R(3000, 4500, 5200, 5500), 0, 60, 90)
-	ids, err = idx.Search(interval)
+	ids, err = store.Search(interval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,21 +90,29 @@ func main() {
 
 	// 3. Moving range: a patrol zone sweeping east at 20 m/ts.
 	moving := vpindex.MovingQuery(vpindex.R(0, 4000, 2000, 6000), vpindex.V(20, 0), 0, 0, 100)
-	ids, err = idx.Search(moving)
+	ids, err = store.Search(moving)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("moving range t=[0,100], sweeping zone:    %v\n", ids)
 
-	// Vehicle 1 turns north at t=100: update = delete + insert; the index
-	// migrates it between DVA partitions automatically.
+	// Vehicle 1 turns north at t=100 and simply reports its new state — no
+	// old record needed; the Store migrates it between DVA partitions.
 	turned := vpindex.Object{ID: 1, Pos: vpindex.V(1000+45*100, 5030), Vel: vpindex.V(0.1, 48), T: 100}
-	if err := idx.UpdateByID(turned); err != nil {
+	if err := store.Report(turned); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nvehicle 1 turned north (partition migration handled internally)")
 
-	st := idx.Stats()
+	// Vehicle 4 goes offline.
+	if err := store.Remove(4); err != nil {
+		log.Fatal(err)
+	}
+	cur, _ := store.Get(1)
+	fmt.Printf("tracking %d vehicles; vehicle 1 now heading (%.1f, %.1f)\n",
+		store.Len(), cur.Vel.X, cur.Vel.Y)
+
+	st := store.Stats()
 	fmt.Printf("\nsimulated I/O: %d page reads, %d writes, %d buffer hits\n",
 		st.Reads, st.Writes, st.Hits)
 }

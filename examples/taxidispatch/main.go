@@ -27,21 +27,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	build := func(partitioned bool) (interface {
-		vpindex.Searcher
-		Stats() vpindex.IOStats
-	}, error) {
-		opts := vpindex.Options{
-			Kind:        vpindex.Bx,
-			Domain:      params.Domain,
-			BufferPages: 50,
+	build := func(partitioned bool) (*vpindex.Store, error) {
+		opts := []vpindex.Option{
+			vpindex.WithKind(vpindex.Bx),
+			vpindex.WithDomain(params.Domain),
+			vpindex.WithBufferPages(50),
 		}
-		if !partitioned {
-			return vpindex.New(opts)
+		if partitioned {
+			opts = append(opts,
+				vpindex.WithVelocityPartitioning(2),
+				vpindex.WithVelocitySample(gen.VelocitySample(5000)),
+				vpindex.WithSeed(params.Seed),
+			)
 		}
-		return vpindex.NewVP(gen.VelocitySample(5000), vpindex.VPOptions{
-			Options: opts, K: 2, Seed: params.Seed,
-		})
+		return vpindex.Open(opts...)
 	}
 
 	for _, partitioned := range []bool{false, true} {
@@ -49,10 +48,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, cab := range gen.Initial() {
-			if err := idx.Insert(cab); err != nil {
-				log.Fatal(err)
-			}
+		if err := idx.ReportBatch(gen.Initial()); err != nil {
+			log.Fatal(err)
 		}
 
 		// Dispatch round: for 200 taxi locations, find every vehicle that

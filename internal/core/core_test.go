@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -377,14 +378,14 @@ func TestManagerDeleteAndErrors(t *testing.T) {
 	sample := sfLikeSample(2000, 0, math.Pi/2, 2.0, 0, 4)
 	m := newManager(t, bxFactory(pool), sample)
 	o := model.Object{ID: 7, Pos: geom.V(100, 100), Vel: geom.V(50, 0), T: 0}
-	if err := m.Delete(o); err != model.ErrNotFound {
+	if err := m.Delete(o); !errors.Is(err, model.ErrNotFound) {
 		t.Fatalf("delete absent: %v", err)
 	}
 	if err := m.Insert(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Insert(o); err == nil {
-		t.Fatal("duplicate insert accepted")
+	if err := m.Insert(o); !errors.Is(err, model.ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
 	}
 	if err := m.Update(o, model.Object{ID: 8}); err == nil {
 		t.Fatal("id-changing update accepted")
@@ -395,7 +396,7 @@ func TestManagerDeleteAndErrors(t *testing.T) {
 	if m.Len() != 0 {
 		t.Fatal("len after delete")
 	}
-	if err := m.UpdateByID(o); err != model.ErrNotFound {
+	if err := m.UpdateByID(o); !errors.Is(err, model.ErrNotFound) {
 		t.Fatalf("UpdateByID absent: %v", err)
 	}
 }
@@ -683,5 +684,79 @@ func TestReanalyzeRebuildsPartitions(t *testing.T) {
 	upd.T = 10
 	if err := m.Update(objs[0], upd); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestManagerReportUpserts covers the ID-keyed hooks the Store facade is
+// built on: Report (insert-or-update), ReportBatch (single lock, one
+// tau-refresh pass) and InsertBulk (bootstrap migration load).
+func TestManagerReportUpserts(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewDisk(), 200)
+	sample := sfLikeSample(2000, 0, math.Pi/2, 2.0, 0, 4)
+	m := newManager(t, bxFactory(pool), sample)
+
+	// Report on a fresh ID inserts.
+	o := model.Object{ID: 1, Pos: geom.V(1000, 1000), Vel: geom.V(40, 0.5), T: 0}
+	if err := m.Report(o); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len after first report: %d", m.Len())
+	}
+	// Report on a known ID replaces, migrating partitions with the velocity.
+	turned := model.Object{ID: 1, Pos: geom.V(1400, 1005), Vel: geom.V(0.5, 40), T: 10}
+	if err := m.Report(turned); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len after upsert: %d", m.Len())
+	}
+	if got, _ := m.Get(1); got != turned {
+		t.Fatalf("record after upsert: %+v", got)
+	}
+
+	// Batch: a mix of new IDs and upserts of ID 1, applied atomically under
+	// one lock acquisition.
+	batch := []model.Object{
+		{ID: 2, Pos: geom.V(2000, 2000), Vel: geom.V(-35, 0), T: 10},
+		{ID: 1, Pos: geom.V(1400, 1400), Vel: geom.V(38, 1), T: 12},
+		{ID: 3, Pos: geom.V(3000, 3000), Vel: geom.V(0, -42), T: 12},
+	}
+	applied, err := m.ReportBatch(batch)
+	if err != nil || applied != len(batch) {
+		t.Fatalf("batch: applied %d err %v", applied, err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("len after batch: %d", m.Len())
+	}
+	ids, err := m.Search(model.RangeQuery{
+		Kind: model.TimeSlice, Rect: geom.R(0, 0, 10000, 10000), Now: 12, T0: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("search after batch: %v", ids)
+	}
+
+	// InsertBulk rejects duplicates with the typed sentinel.
+	if err := m.InsertBulk([]model.Object{{ID: 9, Vel: geom.V(30, 0)}, {ID: 2}}); !errors.Is(err, model.ErrDuplicate) {
+		t.Fatalf("bulk duplicate: %v", err)
+	}
+	// ...but loads disjoint populations fine.
+	fresh := make([]model.Object, 50)
+	for i := range fresh {
+		fresh[i] = model.Object{
+			ID:  model.ObjectID(100 + i),
+			Pos: geom.V(float64(i)*100, float64(i)*100),
+			Vel: geom.V(45, float64(i%3)),
+			T:   12,
+		}
+	}
+	if err := m.InsertBulk(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3+1+50 {
+		t.Fatalf("len after bulk: %d", m.Len())
 	}
 }

@@ -22,8 +22,8 @@ func (m *Manager) SearchKNN(q model.KNNQuery) ([]model.Neighbor, error) {
 		p := &m.pars[i]
 		knn, ok := p.idx.(model.KNNIndex)
 		if !ok {
-			return nil, fmt.Errorf("core: partition %s index %T does not support kNN",
-				p.spec.Name, p.idx)
+			return nil, fmt.Errorf("core: partition %s index %T does not support kNN: %w",
+				p.spec.Name, p.idx, model.ErrUnsupported)
 		}
 		pq := q
 		if !p.spec.IsOutlier {

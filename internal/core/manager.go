@@ -204,12 +204,15 @@ func (m *Manager) route(o model.Object) int {
 }
 
 // maybeRefreshTau recomputes every DVA's tau from its online histogram
-// after TauRefreshInterval routed inserts (Section 5.5). Caller holds mu.
-func (m *Manager) maybeRefreshTau() {
+// after TauRefreshInterval routed inserts (Section 5.5). n is how many
+// routed inserts the caller just performed — batch entry points count a
+// whole batch at once so the refresh check runs once per batch instead of
+// once per record. Caller holds mu.
+func (m *Manager) maybeRefreshTau(n int) {
 	if m.cfg.TauRefreshInterval <= 0 {
 		return
 	}
-	m.insertsSinceRefresh++
+	m.insertsSinceRefresh += n
 	if m.insertsSinceRefresh < m.cfg.TauRefreshInterval {
 		return
 	}
@@ -227,14 +230,37 @@ func (m *Manager) Insert(o model.Object) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.objs[o.ID]; dup {
-		return fmt.Errorf("core: duplicate insert of object %d", o.ID)
+		return fmt.Errorf("core: insert of object %d: %w", o.ID, model.ErrDuplicate)
 	}
 	pi := m.route(o)
 	if err := m.insertInto(pi, o); err != nil {
 		return err
 	}
 	m.objs[o.ID] = record{obj: o, part: pi}
-	m.maybeRefreshTau()
+	m.maybeRefreshTau(1)
+	return nil
+}
+
+// InsertBulk loads many new objects under a single lock acquisition with one
+// tau-refresh pass at the end. This is the bootstrap/migration hook: the
+// package-root Store uses it to move a whole staging population into the
+// freshly built partitions, and loaders use it to amortize locking during
+// initial load. All objects must be new; a duplicate aborts the load at that
+// record (earlier records stay inserted).
+func (m *Manager) InsertBulk(objs []model.Object) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, o := range objs {
+		if _, dup := m.objs[o.ID]; dup {
+			return fmt.Errorf("core: bulk insert of object %d: %w", o.ID, model.ErrDuplicate)
+		}
+		pi := m.route(o)
+		if err := m.insertInto(pi, o); err != nil {
+			return err
+		}
+		m.objs[o.ID] = record{obj: o, part: pi}
+	}
+	m.maybeRefreshTau(len(objs))
 	return nil
 }
 
@@ -265,12 +291,33 @@ func (m *Manager) Delete(o model.Object) error {
 	defer m.mu.Unlock()
 	rec, ok := m.objs[o.ID]
 	if !ok {
-		return model.ErrNotFound
+		return fmt.Errorf("core: delete of object %d: %w", o.ID, model.ErrNotFound)
 	}
 	if err := m.deleteFrom(rec.part, rec.obj); err != nil {
 		return err
 	}
 	delete(m.objs, o.ID)
+	return nil
+}
+
+// replaceLocked moves an existing record rec to the new state o (delete from
+// its current partition, re-route, insert), rolling back on failure. Caller
+// holds mu and has verified rec is the table entry for o.ID.
+func (m *Manager) replaceLocked(rec record, o model.Object) error {
+	if err := m.deleteFrom(rec.part, rec.obj); err != nil {
+		return err
+	}
+	pi := m.route(o)
+	if err := m.insertInto(pi, o); err != nil {
+		// Best-effort rollback: put the old record back so the index and
+		// the lookup table stay consistent; surface both errors if even
+		// that fails.
+		if rerr := m.insertInto(rec.part, rec.obj); rerr != nil {
+			return fmt.Errorf("core: update failed (%w) and rollback failed (%v)", err, rerr)
+		}
+		return err
+	}
+	m.objs[o.ID] = record{obj: o, part: pi}
 	return nil
 }
 
@@ -282,27 +329,60 @@ func (m *Manager) Update(old, new model.Object) error {
 	defer m.mu.Unlock()
 	rec, ok := m.objs[old.ID]
 	if !ok {
-		return model.ErrNotFound
+		return fmt.Errorf("core: update of object %d: %w", old.ID, model.ErrNotFound)
 	}
 	if new.ID != old.ID {
 		return fmt.Errorf("core: update changes object id %d -> %d", old.ID, new.ID)
 	}
-	if err := m.deleteFrom(rec.part, rec.obj); err != nil {
+	if err := m.replaceLocked(rec, new); err != nil {
 		return err
 	}
-	pi := m.route(new)
-	if err := m.insertInto(pi, new); err != nil {
-		// Best-effort rollback: put the old record back so the index and
-		// the lookup table stay consistent; surface both errors if even
-		// that fails.
-		if rerr := m.insertInto(rec.part, rec.obj); rerr != nil {
-			return fmt.Errorf("core: update failed (%w) and rollback failed (%v)", err, rerr)
-		}
-		return err
-	}
-	m.objs[new.ID] = record{obj: new, part: pi}
-	m.maybeRefreshTau()
+	m.maybeRefreshTau(1)
 	return nil
+}
+
+// reportLocked applies one ID-keyed upsert without the tau-refresh check.
+// Caller holds mu.
+func (m *Manager) reportLocked(o model.Object) error {
+	if rec, ok := m.objs[o.ID]; ok {
+		return m.replaceLocked(rec, o)
+	}
+	pi := m.route(o)
+	if err := m.insertInto(pi, o); err != nil {
+		return err
+	}
+	m.objs[o.ID] = record{obj: o, part: pi}
+	return nil
+}
+
+// Report applies an ID-keyed upsert: insert if the object is new, otherwise
+// an update driven entirely by the lookup table — the caller never supplies
+// the old record. This is the production verb of a location-report stream.
+func (m *Manager) Report(o model.Object) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.reportLocked(o); err != nil {
+		return err
+	}
+	m.maybeRefreshTau(1)
+	return nil
+}
+
+// ReportBatch applies many ID-keyed upserts under a single lock acquisition
+// with one tau-refresh check at the end, amortizing both costs across the
+// batch. It returns how many records were applied; on error the first
+// `applied` records are in the index and the rest are not.
+func (m *Manager) ReportBatch(objs []model.Object) (applied int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range objs {
+		if err := m.reportLocked(objs[i]); err != nil {
+			m.maybeRefreshTau(i)
+			return i, fmt.Errorf("core: batch report of object %d: %w", objs[i].ID, err)
+		}
+	}
+	m.maybeRefreshTau(len(objs))
+	return len(objs), nil
 }
 
 // UpdateByID is a convenience for callers that only track current state:
@@ -312,7 +392,7 @@ func (m *Manager) UpdateByID(new model.Object) error {
 	rec, ok := m.objs[new.ID]
 	m.mu.RUnlock()
 	if !ok {
-		return model.ErrNotFound
+		return fmt.Errorf("core: update of object %d: %w", new.ID, model.ErrNotFound)
 	}
 	return m.Update(rec.obj, new)
 }

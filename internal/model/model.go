@@ -7,6 +7,7 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -250,8 +251,20 @@ type Index interface {
 	Name() string
 }
 
-// ErrNotFound is returned by Delete/Update when the record is absent.
-var ErrNotFound = fmt.Errorf("model: object not found")
+// Sentinel errors shared by every index implementation in this repository.
+// Implementations wrap them with context (fmt.Errorf("...: %w", Err...)), so
+// callers must test with errors.Is, not equality.
+var (
+	// ErrNotFound is returned by Delete/Update/Remove when the record is
+	// absent.
+	ErrNotFound = errors.New("model: object not found")
+	// ErrDuplicate is returned by Insert when a record with the same ID is
+	// already indexed.
+	ErrDuplicate = errors.New("model: duplicate object")
+	// ErrUnsupported is returned when an index does not implement the
+	// requested operation (e.g. kNN on a base structure without it).
+	ErrUnsupported = errors.New("model: operation not supported by this index")
+)
 
 // BruteForce is a trivially correct Index used as the oracle in tests and
 // as the reference "linear scan" baseline. It is not paged and reports zero
@@ -266,7 +279,7 @@ func NewBruteForce() *BruteForce { return &BruteForce{objs: make(map[ObjectID]Ob
 // Insert implements Index.
 func (b *BruteForce) Insert(o Object) error {
 	if _, dup := b.objs[o.ID]; dup {
-		return fmt.Errorf("model: duplicate insert of object %d", o.ID)
+		return fmt.Errorf("model: insert of object %d: %w", o.ID, ErrDuplicate)
 	}
 	b.objs[o.ID] = o
 	return nil

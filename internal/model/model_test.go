@@ -1,6 +1,8 @@
 package model
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -315,5 +317,34 @@ func TestQueryTransformCirclePreservesRadius(t *testing.T) {
 	}
 	if math.Abs(tq.Circle.C.Norm()-q.Circle.C.Norm()) > 1e-9 {
 		t.Fatal("rotation should preserve center norm")
+	}
+}
+
+func TestSentinelErrorsAreIsable(t *testing.T) {
+	b := NewBruteForce()
+	o := Object{ID: 1, Pos: geom.V(1, 1), Vel: geom.V(1, 0), T: 0}
+	if err := b.Insert(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(o); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if err := b.Delete(Object{ID: 9}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete absent: %v", err)
+	}
+	if err := b.Update(Object{ID: 9}, Object{ID: 9}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update absent: %v", err)
+	}
+	// Wrapped variants keep matching, bare equality would not.
+	wrapped := fmt.Errorf("layer: %w", ErrUnsupported)
+	if !errors.Is(wrapped, ErrUnsupported) {
+		t.Fatal("wrapped ErrUnsupported not Is-able")
+	}
+	if wrapped == ErrUnsupported {
+		t.Fatal("wrapped error compares equal (should require errors.Is)")
+	}
+	// The three sentinels are distinct.
+	if errors.Is(ErrNotFound, ErrDuplicate) || errors.Is(ErrDuplicate, ErrUnsupported) {
+		t.Fatal("sentinel errors alias each other")
 	}
 }

@@ -63,6 +63,17 @@ type Subscription struct {
 	Window float64
 }
 
+// Reporter is the ID-keyed upsert surface of the package-root Store.
+// Indexes that implement it (the Store does; the raw base trees do not)
+// unlock the production verbs ProcessReport and ProcessRemove, which need
+// no caller-supplied old record.
+type Reporter interface {
+	model.Index
+	Report(o model.Object) error
+	Remove(id model.ObjectID) error
+	Get(id model.ObjectID) (model.Object, bool)
+}
+
 // Monitor maintains standing queries over an index.
 type Monitor struct {
 	mu     sync.Mutex
@@ -145,6 +156,26 @@ func (s Subscription) queryAt(t float64) model.RangeQuery {
 	return q
 }
 
+// reevaluateLocked incrementally re-evaluates one object against every
+// subscription, emitting enter/leave deltas. Caller holds mu.
+func (m *Monitor) reevaluateLocked(o model.Object) []Event {
+	var evs []Event
+	for id, s := range m.subs {
+		member := m.results[id][o.ID]
+		q := s.queryAt(m.now)
+		matches := model.Matches(o, q)
+		switch {
+		case matches && !member:
+			m.results[id][o.ID] = true
+			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Enter, T: m.now})
+		case !matches && member:
+			delete(m.results[id], o.ID)
+			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Leave, T: m.now})
+		}
+	}
+	return evs
+}
+
 // ProcessUpdate applies the object update to the index and incrementally
 // re-evaluates the updated object against every subscription, emitting
 // enter/leave deltas. The update's reference time advances the monitor
@@ -156,18 +187,48 @@ func (m *Monitor) ProcessUpdate(old, new model.Object) ([]Event, error) {
 		return nil, err
 	}
 	m.advance(new.T)
+	return m.reevaluateLocked(new), nil
+}
+
+// ProcessReport applies an ID-keyed upsert through a Reporter index (the
+// package-root Store) and incrementally re-evaluates the object — the
+// production entry point for a location-report stream, where the server,
+// not the device, knows the previous record. Returns a model.ErrUnsupported
+// error when the wrapped index has no ID-keyed surface.
+func (m *Monitor) ProcessReport(o model.Object) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep, ok := m.idx.(Reporter)
+	if !ok {
+		return nil, fmt.Errorf("monitor: index %s does not accept ID-keyed reports: %w",
+			m.idx.Name(), model.ErrUnsupported)
+	}
+	if err := rep.Report(o); err != nil {
+		return nil, err
+	}
+	m.advance(o.T)
+	return m.reevaluateLocked(o), nil
+}
+
+// ProcessRemove deletes an object by ID through a Reporter index; the
+// object leaves every result set it was in. Returns a model.ErrUnsupported
+// error when the wrapped index has no ID-keyed surface.
+func (m *Monitor) ProcessRemove(id model.ObjectID) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep, ok := m.idx.(Reporter)
+	if !ok {
+		return nil, fmt.Errorf("monitor: index %s does not accept ID-keyed removes: %w",
+			m.idx.Name(), model.ErrUnsupported)
+	}
+	if err := rep.Remove(id); err != nil {
+		return nil, err
+	}
 	var evs []Event
-	for id, s := range m.subs {
-		member := m.results[id][new.ID]
-		q := s.queryAt(m.now)
-		matches := model.Matches(new, q)
-		switch {
-		case matches && !member:
-			m.results[id][new.ID] = true
-			evs = append(evs, Event{Sub: id, ID: new.ID, Kind: Enter, T: m.now})
-		case !matches && member:
-			delete(m.results[id], new.ID)
-			evs = append(evs, Event{Sub: id, ID: new.ID, Kind: Leave, T: m.now})
+	for sid := range m.subs {
+		if m.results[sid][id] {
+			delete(m.results[sid], id)
+			evs = append(evs, Event{Sub: sid, ID: id, Kind: Leave, T: m.now})
 		}
 	}
 	return evs, nil
@@ -182,14 +243,7 @@ func (m *Monitor) ProcessInsert(o model.Object) ([]Event, error) {
 		return nil, err
 	}
 	m.advance(o.T)
-	var evs []Event
-	for id, s := range m.subs {
-		if model.Matches(o, s.queryAt(m.now)) {
-			m.results[id][o.ID] = true
-			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Enter, T: m.now})
-		}
-	}
-	return evs, nil
+	return m.reevaluateLocked(o), nil
 }
 
 // ProcessDelete removes an object; it leaves every result set it was in.

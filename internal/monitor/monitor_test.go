@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -230,5 +231,75 @@ func TestMonitorConsistencyUnderStream(t *testing.T) {
 	}
 	if m.Now() != 50 {
 		t.Fatalf("clock: %g", m.Now())
+	}
+}
+
+// reporterIndex adapts the brute-force oracle to the Reporter surface so
+// the ID-keyed monitor verbs can be tested without the package-root Store
+// (which would be an import cycle from here).
+type reporterIndex struct{ *model.BruteForce }
+
+func (r reporterIndex) Report(o model.Object) error {
+	if _, ok := r.Get(o.ID); ok {
+		if err := r.BruteForce.Delete(model.Object{ID: o.ID}); err != nil {
+			return err
+		}
+	}
+	return r.BruteForce.Insert(o)
+}
+
+func (r reporterIndex) Remove(id model.ObjectID) error {
+	return r.BruteForce.Delete(model.Object{ID: id})
+}
+
+func TestProcessReportAndRemove(t *testing.T) {
+	m := New(reporterIndex{model.NewBruteForce()})
+	id, _, err := m.Subscribe(Subscription{
+		Query: model.RangeQuery{Kind: model.TimeSlice, Circle: geom.Circle{C: geom.V(100, 100), R: 50}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First report (an insert) inside the fence.
+	evs, err := m.ProcessReport(model.Object{ID: 1, Pos: geom.V(110, 100), Vel: geom.V(0, 0), T: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != Enter || evs[0].Sub != id {
+		t.Fatalf("report insert events: %v", evs)
+	}
+	// Second report (an upsert — no old record supplied) outside.
+	evs, err = m.ProcessReport(model.Object{ID: 1, Pos: geom.V(500, 500), Vel: geom.V(0, 0), T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != Leave {
+		t.Fatalf("report upsert events: %v", evs)
+	}
+	// Back inside, then removed by bare ID.
+	if _, err := m.ProcessReport(model.Object{ID: 1, Pos: geom.V(90, 100), Vel: geom.V(0, 0), T: 2}); err != nil {
+		t.Fatal(err)
+	}
+	evs, err = m.ProcessRemove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != Leave {
+		t.Fatalf("remove events: %v", evs)
+	}
+	if _, err := m.ProcessRemove(1); !errors.Is(err, model.ErrNotFound) {
+		t.Fatalf("remove absent: %v", err)
+	}
+}
+
+func TestProcessReportUnsupportedIndex(t *testing.T) {
+	// A bare base index has no ID-keyed surface.
+	m := newMonitor(t)
+	if _, err := m.ProcessReport(model.Object{ID: 1, T: 0}); !errors.Is(err, model.ErrUnsupported) {
+		t.Fatalf("report on plain index: %v", err)
+	}
+	if _, err := m.ProcessRemove(1); !errors.Is(err, model.ErrUnsupported) {
+		t.Fatalf("remove on plain index: %v", err)
 	}
 }

@@ -1,0 +1,142 @@
+package vpindex
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/storage"
+)
+
+// This file holds the pre-Store constructor API. It remains fully
+// functional so existing experiments and tests keep running, but new code
+// should use Open: the Store covers both of these types behind one surface,
+// adds ID-keyed upserts and batch operations, and is safe for concurrent
+// use — the raw Index here is not.
+
+// Index is an unpartitioned moving-object index (a TPR*-tree or a Bx-tree)
+// over a simulated paged disk.
+//
+// Deprecated: use Open without WithVelocityPartitioning; the Store exposes
+// the same searches plus the ID-keyed Report/Remove verbs.
+type Index struct {
+	model.Index
+	pool *storage.BufferPool
+}
+
+// New builds an unpartitioned index.
+//
+// Deprecated: use Open(WithBaseOptions(opts)).
+func New(opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	disk := storage.NewDisk()
+	disk.SetLatency(opts.DiskLatency)
+	pool := storage.NewBufferPool(disk, opts.BufferPages)
+	idx, err := buildBase(pool, opts, opts.Domain, "")
+	if err != nil {
+		return nil, err
+	}
+	return &Index{Index: idx, pool: pool}, nil
+}
+
+// Stats returns cumulative simulated I/O counters.
+func (ix *Index) Stats() IOStats {
+	s := ix.pool.Stats()
+	return IOStats{Reads: s.Misses, Writes: s.Writes, Hits: s.Hits}
+}
+
+// SearchKNN returns the k objects nearest the query center at the query's
+// evaluation time (both base index kinds support it; the TPR*-tree uses
+// best-first traversal, the Bx-tree incremental range expansion). A base
+// structure without a kNN implementation yields ErrUnsupported.
+func (ix *Index) SearchKNN(q KNNQuery) ([]Neighbor, error) {
+	knn, ok := ix.Index.(model.KNNIndex)
+	if !ok {
+		return nil, fmt.Errorf("vpindex: %s does not support kNN: %w", ix.Index.Name(), ErrUnsupported)
+	}
+	return knn.SearchKNN(q)
+}
+
+// Pool exposes the buffer pool for instrumentation (benchmarks snapshot
+// miss counters around operations).
+func (ix *Index) Pool() *storage.BufferPool { return ix.pool }
+
+// VPOptions configures a velocity-partitioned index.
+//
+// Deprecated: use Open's functional options (WithVelocityPartitioning,
+// WithTauBuckets, WithTauRefreshInterval, WithSeed).
+type VPOptions struct {
+	// Options configures the base index used for every partition.
+	Options
+	// K is the number of DVA partitions (default 2: road networks have two
+	// dominant directions; the paper's setting).
+	K int
+	// TauBuckets sizes the tau histograms (default 100, paper setting).
+	TauBuckets int
+	// TauRefreshInterval recomputes tau after this many inserts
+	// (Section 5.5); 0 disables.
+	TauRefreshInterval int
+	// Seed makes the analyzer's clustering deterministic.
+	Seed int64
+}
+
+// VPIndex is a velocity-partitioned index: k DVA-aligned indexes plus an
+// outlier index behind the same interface, per Section 5 of the paper.
+//
+// Deprecated: use Open with WithVelocityPartitioning; the Store also
+// removes the upfront-sample requirement via WithAutoPartition.
+type VPIndex struct {
+	*core.Manager
+	pool     *storage.BufferPool
+	analysis core.Analysis
+}
+
+// NewVP analyzes the velocity sample and builds the partitioned index. The
+// sample should be representative of the workload (the paper uses 10,000
+// velocity points).
+//
+// Deprecated: use Open(WithBaseOptions(opts.Options),
+// WithVelocityPartitioning(opts.K), WithVelocitySample(sample), ...); or
+// WithAutoPartition to drop the upfront sample entirely.
+func NewVP(sample []Vec2, opts VPOptions) (*VPIndex, error) {
+	opts.Options = opts.Options.withDefaults()
+	if opts.K <= 0 {
+		opts.K = 2
+	}
+	an, err := core.Analyze(sample, core.AnalyzerConfig{
+		K:          opts.K,
+		TauBuckets: opts.TauBuckets,
+		Cluster:    clusterOptions(opts.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	disk := storage.NewDisk()
+	disk.SetLatency(opts.DiskLatency)
+	pool := storage.NewBufferPool(disk, opts.BufferPages)
+	mgr, err := core.NewManager(an, core.ManagerConfig{
+		Domain:             opts.Domain,
+		TauRefreshInterval: opts.TauRefreshInterval,
+		TauBuckets:         opts.TauBuckets,
+	}, func(spec core.PartitionSpec) (model.Index, error) {
+		return buildBase(pool, opts.Options, spec.Domain, spec.Name)
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr.SetName(opts.Kind.String() + "(vp)")
+	return &VPIndex{Manager: mgr, pool: pool, analysis: an}, nil
+}
+
+// Analysis returns the velocity analysis that shaped the partitions.
+func (ix *VPIndex) Analysis() core.Analysis { return ix.analysis }
+
+// Stats returns cumulative simulated I/O counters (shared by all
+// partitions).
+func (ix *VPIndex) Stats() IOStats {
+	s := ix.pool.Stats()
+	return IOStats{Reads: s.Misses, Writes: s.Writes, Hits: s.Hits}
+}
+
+// Pool exposes the shared buffer pool for instrumentation.
+func (ix *VPIndex) Pool() *storage.BufferPool { return ix.pool }

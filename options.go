@@ -1,0 +1,144 @@
+package vpindex
+
+import "time"
+
+// DefaultAutoPartitionSample is the bootstrap sample size used when velocity
+// partitioning is requested without an explicit WithVelocitySample or
+// WithAutoPartition setting. It matches the paper's analyzer input ("a
+// sample set of 10,000 velocities").
+const DefaultAutoPartitionSample = 10_000
+
+// Option configures a Store. Pass any combination to Open; later options
+// override earlier ones.
+type Option func(*storeConfig)
+
+// storeConfig is the resolved configuration behind Open's functional
+// options. The base-index knobs reuse the Options struct of the deprecated
+// constructor API so both surfaces stay in lockstep.
+type storeConfig struct {
+	base Options
+
+	// k > 0, a velocity sample, or an auto-partition threshold all enable
+	// velocity partitioning; Open normalizes the trio.
+	k      int
+	sample []Vec2
+	autoN  int
+
+	tauBuckets int
+	tauRefresh int
+	seed       int64
+}
+
+// WithKind selects the base index structure for every partition (default
+// TPRStar).
+func WithKind(k Kind) Option { return func(c *storeConfig) { c.base.Kind = k } }
+
+// WithDomain sets the data space (default 100,000 x 100,000 m, Table 1).
+func WithDomain(r Rect) Option { return func(c *storeConfig) { c.base.Domain = r } }
+
+// WithBufferPages sizes the shared LRU buffer pool (default 50, Table 1).
+func WithBufferPages(n int) Option { return func(c *storeConfig) { c.base.BufferPages = n } }
+
+// WithDiskLatency injects a delay per simulated physical page access so
+// execution time tracks I/O like a disk would; 0 (default) disables it.
+func WithDiskLatency(d time.Duration) Option {
+	return func(c *storeConfig) { c.base.DiskLatency = d }
+}
+
+// WithHorizon sets the TPR*-tree cost-integral horizon (default 120 ts).
+func WithHorizon(h float64) Option { return func(c *storeConfig) { c.base.Horizon = h } }
+
+// WithQueryExtent sets the query side length the TPR*-tree optimizes for
+// (default 1000 m).
+func WithQueryExtent(e float64) Option { return func(c *storeConfig) { c.base.QueryExtent = e } }
+
+// WithGridOrder sets the Bx-tree curve grid's bits per axis (default 8).
+func WithGridOrder(bits uint) Option { return func(c *storeConfig) { c.base.GridOrder = bits } }
+
+// WithTimeBuckets sets the Bx-tree's time-bucket count (default 2).
+func WithTimeBuckets(n int) Option { return func(c *storeConfig) { c.base.Buckets = n } }
+
+// WithMaxUpdateInterval sets the guaranteed max time between an object's
+// updates, which sizes the Bx-tree's bucket rotation (default 120 ts).
+func WithMaxUpdateInterval(d float64) Option {
+	return func(c *storeConfig) { c.base.MaxUpdateInterval = d }
+}
+
+// WithHistogramCells sets the Bx velocity histogram resolution (default 64).
+func WithHistogramCells(n int) Option { return func(c *storeConfig) { c.base.HistogramCells = n } }
+
+// WithZOrder switches the Bx-tree from the Hilbert curve to the Z-curve.
+func WithZOrder() Option { return func(c *storeConfig) { c.base.UseZOrder = true } }
+
+// WithBaseOptions replaces every base-index knob at once with an Options
+// struct — the migration bridge for callers moving off New/NewVP. Individual
+// With... options given after it still apply on top.
+func WithBaseOptions(o Options) Option { return func(c *storeConfig) { c.base = o } }
+
+// WithVelocityPartitioning enables the VP technique with k DVA partitions
+// (plus the outlier partition). k <= 0 keeps the paper's default of 2 ("most
+// road networks have two dominant traffic directions"). Unless
+// WithVelocitySample supplies an upfront sample, the Store bootstraps online:
+// it starts unpartitioned and migrates itself once enough velocities have
+// been reported (see WithAutoPartition).
+func WithVelocityPartitioning(k int) Option {
+	return func(c *storeConfig) {
+		if k <= 0 {
+			k = 2
+		}
+		c.k = k
+	}
+}
+
+// WithVelocitySample supplies an upfront velocity sample; the DVA analysis
+// runs during Open and the Store is partitioned from the first Report.
+// Implies velocity partitioning.
+func WithVelocitySample(sample []Vec2) Option {
+	return func(c *storeConfig) { c.sample = sample }
+}
+
+// WithAutoPartition enables the online bootstrap: the Store starts in a
+// staging (unpartitioned) index, collects the first n reported velocities as
+// the analysis sample, then runs the DVA analysis and migrates every live
+// object into the partitions — no upfront sample needed. Implies velocity
+// partitioning. n <= 0 uses DefaultAutoPartitionSample. Ignored when
+// WithVelocitySample provides a sample.
+func WithAutoPartition(n int) Option {
+	return func(c *storeConfig) {
+		if n <= 0 {
+			n = DefaultAutoPartitionSample
+		}
+		c.autoN = n
+	}
+}
+
+// WithTauBuckets sizes the tau histograms (default 100, paper setting).
+func WithTauBuckets(n int) Option { return func(c *storeConfig) { c.tauBuckets = n } }
+
+// WithTauRefreshInterval recomputes each partition's outlier threshold after
+// this many routed inserts (Section 5.5); 0 (default) disables refresh.
+func WithTauRefreshInterval(n int) Option { return func(c *storeConfig) { c.tauRefresh = n } }
+
+// WithSeed makes the DVA analysis' clustering deterministic.
+func WithSeed(seed int64) Option { return func(c *storeConfig) { c.seed = seed } }
+
+// vpEnabled reports whether any option asked for velocity partitioning.
+func (c *storeConfig) vpEnabled() bool {
+	return c.k > 0 || len(c.sample) > 0 || c.autoN > 0
+}
+
+// normalize fills defaults and reconciles the VP trio.
+func (c *storeConfig) normalize() {
+	c.base = c.base.withDefaults()
+	if !c.vpEnabled() {
+		return
+	}
+	if c.k <= 0 {
+		c.k = 2
+	}
+	if len(c.sample) > 0 {
+		c.autoN = 0 // upfront sample wins; nothing to bootstrap
+	} else if c.autoN <= 0 {
+		c.autoN = DefaultAutoPartitionSample
+	}
+}

@@ -1,0 +1,388 @@
+package vpindex
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/storage"
+)
+
+// Store is the production facade over every index configuration in this
+// package: one type that is plain or velocity-partitioned, TPR*- or
+// Bx-backed, depending only on the Options passed to Open.
+//
+// Unlike the raw index interface — where Delete and Update need the caller
+// to hand back the exact old record — the Store keeps an id→record table
+// (its own while unpartitioned, the partition manager's afterwards), so
+// clients speak in production verbs: Report (insert-or-update by ID), Remove
+// (by ID), Get, ReportBatch. This is the operational shape of a live
+// location service: devices send bare position/velocity reports; nobody
+// ships the server's previous state back to it.
+//
+// With velocity partitioning enabled but no upfront sample, the Store
+// bootstraps online: it starts in a staging (unpartitioned) index,
+// accumulates the first n reported velocities, then runs the DVA analysis
+// and migrates every live object into the partitions — queries work
+// identically before, during, and after the cutover.
+//
+// A Store is safe for concurrent use. A single RWMutex serializes writers
+// and lets readers (Search, SearchKNN, Get, Len, Stats) proceed in parallel;
+// this lock is deliberately the one choke point, making it the seam where
+// future sharding (hash by ObjectID, one Store shard per lock) slots in
+// without touching the unsynchronized base trees.
+type Store struct {
+	mu   sync.RWMutex
+	cfg  storeConfig
+	pool *storage.BufferPool
+
+	// Exactly one of base/mgr is active: base while staging or permanently
+	// unpartitioned, mgr once the partitions exist.
+	base model.Index
+	mgr  *core.Manager
+
+	// objs is the id→record table (world frame) while staging or
+	// permanently unpartitioned — the base trees have no ID surface of
+	// their own. After the cutover the Manager's internal table is the
+	// single copy and objs is nil.
+	objs map[ObjectID]Object
+
+	// sample accumulates reported velocities toward the auto-partition
+	// threshold; nil when not bootstrapping.
+	sample   []Vec2
+	analysis core.Analysis
+}
+
+// Store satisfies the full index interface, so it drops into every API that
+// accepts one (monitors, benchmarks, the oracle tests).
+var (
+	_ model.Index      = (*Store)(nil)
+	_ model.KNNIndex   = (*Store)(nil)
+	_ monitor.Reporter = (*Store)(nil)
+)
+
+// Open builds a Store from functional options. Examples:
+//
+//	// Unpartitioned TPR*-tree with defaults.
+//	s, err := vpindex.Open()
+//
+//	// VP-partitioned Bx-tree that bootstraps its own partitions after
+//	// the first 10,000 reports.
+//	s, err := vpindex.Open(
+//		vpindex.WithKind(vpindex.Bx),
+//		vpindex.WithVelocityPartitioning(2),
+//		vpindex.WithAutoPartition(10_000),
+//	)
+//
+//	// VP with an upfront sample (partitioned immediately, like NewVP).
+//	s, err := vpindex.Open(vpindex.WithVelocitySample(sample))
+func Open(opts ...Option) (*Store, error) {
+	var cfg storeConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.normalize()
+	if cfg.autoN > 0 && cfg.autoN < cfg.k {
+		return nil, fmt.Errorf("vpindex: auto-partition sample of %d cannot form %d partitions", cfg.autoN, cfg.k)
+	}
+	disk := storage.NewDisk()
+	disk.SetLatency(cfg.base.DiskLatency)
+	s := &Store{
+		cfg:  cfg,
+		pool: storage.NewBufferPool(disk, cfg.base.BufferPages),
+		objs: make(map[ObjectID]Object),
+	}
+	if len(cfg.sample) > 0 {
+		if err := s.partitionLocked(cfg.sample); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	suffix := ""
+	if cfg.autoN > 0 {
+		suffix = "staging"
+		s.sample = make([]Vec2, 0, cfg.autoN)
+	}
+	idx, err := buildBase(s.pool, cfg.base, cfg.base.Domain, suffix)
+	if err != nil {
+		return nil, err
+	}
+	s.base = idx
+	return s, nil
+}
+
+// partitionLocked runs the DVA analysis over sample, builds the partition
+// manager, and migrates every live object into it. Caller holds mu (or is
+// Open, before the Store escapes).
+func (s *Store) partitionLocked(sample []Vec2) error {
+	an, err := core.Analyze(sample, core.AnalyzerConfig{
+		K:          s.cfg.k,
+		TauBuckets: s.cfg.tauBuckets,
+		Cluster:    clusterOptions(s.cfg.seed),
+	})
+	if err != nil {
+		return fmt.Errorf("vpindex: velocity analysis: %w", err)
+	}
+	mgr, err := core.NewManager(an, core.ManagerConfig{
+		Domain:             s.cfg.base.Domain,
+		TauRefreshInterval: s.cfg.tauRefresh,
+		TauBuckets:         s.cfg.tauBuckets,
+	}, func(spec core.PartitionSpec) (model.Index, error) {
+		return buildBase(s.pool, s.cfg.base, spec.Domain, spec.Name)
+	})
+	if err != nil {
+		return err
+	}
+	mgr.SetName(s.cfg.base.Kind.String() + "(vp)")
+	if len(s.objs) > 0 {
+		live := make([]Object, 0, len(s.objs))
+		for _, o := range s.objs {
+			live = append(live, o)
+		}
+		if err := mgr.InsertBulk(live); err != nil {
+			return fmt.Errorf("vpindex: bootstrap migration: %w", err)
+		}
+	}
+	// Cutover: the staging index (if any) is abandoned in place — its pages
+	// fall out of the shared LRU pool naturally as partition pages displace
+	// them — and the manager's lookup table becomes the only record copy.
+	s.mgr = mgr
+	s.analysis = an
+	s.base = nil
+	s.sample = nil
+	s.objs = nil
+	return nil
+}
+
+// reportLocked applies one ID-keyed upsert and advances the bootstrap state.
+// Caller holds mu.
+func (s *Store) reportLocked(o Object) error {
+	if s.mgr != nil {
+		return s.mgr.Report(o)
+	}
+	old, exists := s.objs[o.ID]
+	var err error
+	if exists {
+		err = s.base.Update(old, o)
+	} else {
+		err = s.base.Insert(o)
+	}
+	if err != nil {
+		return err
+	}
+	s.objs[o.ID] = o
+	if s.sample == nil {
+		return nil
+	}
+	s.sample = append(s.sample, o.Vel)
+	if len(s.sample) < s.cfg.autoN {
+		return nil
+	}
+	return s.partitionLocked(s.sample)
+}
+
+// Report upserts one object by ID: a new ID is inserted, a known ID replaces
+// its previous record (routing between partitions as the velocity dictates).
+// The record's T must carry the report timestamp; the Store never needs the
+// previous record from the caller.
+func (s *Store) Report(o Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reportLocked(o)
+}
+
+// ReportBatch upserts many objects under one lock acquisition, amortizing
+// locking (and, in partitioned mode, the tau-refresh bookkeeping) across the
+// batch. On error, records before the failing one remain applied. The online
+// bootstrap may trigger mid-batch; the remainder of the batch lands directly
+// in the partitions.
+func (s *Store) ReportBatch(objs []Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Staging reports go one at a time (each may be the one that triggers
+	// the bootstrap); everything from the cutover on is handed to the
+	// manager as a single amortized batch.
+	i := 0
+	for ; i < len(objs) && s.mgr == nil; i++ {
+		if err := s.reportLocked(objs[i]); err != nil {
+			return fmt.Errorf("vpindex: batch report of object %d: %w", objs[i].ID, err)
+		}
+	}
+	if i == len(objs) {
+		return nil
+	}
+	if _, err := s.mgr.ReportBatch(objs[i:]); err != nil {
+		return fmt.Errorf("vpindex: batch report: %w", err)
+	}
+	return nil
+}
+
+// Remove deletes the object by ID. Returns ErrNotFound (errors.Is-able) when
+// no such object is indexed.
+func (s *Store) Remove(id ObjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mgr != nil {
+		// The manager only consults the ID; its table supplies the record.
+		return s.mgr.Delete(Object{ID: id})
+	}
+	old, ok := s.objs[id]
+	if !ok {
+		return fmt.Errorf("vpindex: remove of object %d: %w", id, ErrNotFound)
+	}
+	if err := s.base.Delete(old); err != nil {
+		return err
+	}
+	delete(s.objs, id)
+	return nil
+}
+
+// Get returns the current record for id.
+func (s *Store) Get(id ObjectID) (Object, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.mgr != nil {
+		return s.mgr.Get(id)
+	}
+	o, ok := s.objs[id]
+	return o, ok
+}
+
+// Search answers a predictive range query. It works identically in staging,
+// unpartitioned, and partitioned configurations.
+func (s *Store) Search(q RangeQuery) ([]ObjectID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.mgr != nil {
+		return s.mgr.Search(q)
+	}
+	return s.base.Search(q)
+}
+
+// SearchKNN returns the k objects nearest the query center at the query's
+// evaluation time. Returns ErrUnsupported if the configured base structure
+// has no kNN implementation (both built-in kinds do).
+func (s *Store) SearchKNN(q KNNQuery) ([]Neighbor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.mgr != nil {
+		return s.mgr.SearchKNN(q)
+	}
+	knn, ok := s.base.(model.KNNIndex)
+	if !ok {
+		return nil, fmt.Errorf("vpindex: %s does not support kNN: %w", s.base.Name(), ErrUnsupported)
+	}
+	return knn.SearchKNN(q)
+}
+
+// Len returns the number of live objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.mgr != nil {
+		return s.mgr.Len()
+	}
+	return len(s.objs)
+}
+
+// Partitioned reports whether the Store is currently velocity-partitioned
+// (immediately true with an upfront sample; flips true at the bootstrap
+// cutover in auto-partition mode; always false otherwise).
+func (s *Store) Partitioned() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mgr != nil
+}
+
+// Analysis returns the velocity analysis that shaped the partitions, and
+// whether one has run yet.
+func (s *Store) Analysis() (core.Analysis, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.analysis, s.mgr != nil
+}
+
+// BootstrapProgress reports how many velocities have been collected toward
+// the auto-partition threshold, and the threshold itself. After the cutover
+// (or when auto-partitioning is off) it returns (0, 0).
+func (s *Store) BootstrapProgress() (collected, target int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.sample == nil {
+		return 0, 0
+	}
+	return len(s.sample), s.cfg.autoN
+}
+
+// Partitions snapshots the live partition set (empty until partitioned).
+func (s *Store) Partitions() []core.PartitionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.mgr == nil {
+		return nil
+	}
+	return s.mgr.Partitions()
+}
+
+// Stats returns cumulative simulated I/O counters for the whole Store (all
+// partitions share one buffer pool).
+func (s *Store) Stats() IOStats {
+	st := s.pool.Stats()
+	return IOStats{Reads: st.Misses, Writes: st.Writes, Hits: st.Hits}
+}
+
+// Pool exposes the shared buffer pool for instrumentation (benchmarks
+// snapshot miss counters around operations).
+func (s *Store) Pool() *storage.BufferPool { return s.pool }
+
+// Name implements model.Index.
+func (s *Store) Name() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.mgr != nil {
+		return s.mgr.Name()
+	}
+	return s.base.Name()
+}
+
+// IO implements model.Index (same counters as Stats).
+func (s *Store) IO() IOStats { return s.Stats() }
+
+// Insert implements model.Index with strict semantics: reporting an ID that
+// is already indexed returns ErrDuplicate. Application code should prefer
+// Report.
+func (s *Store) Insert(o Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mgr != nil {
+		return s.mgr.Insert(o)
+	}
+	if _, dup := s.objs[o.ID]; dup {
+		return fmt.Errorf("vpindex: insert of object %d: %w", o.ID, ErrDuplicate)
+	}
+	return s.reportLocked(o)
+}
+
+// Delete implements model.Index. Only the ID of o is consulted — the stored
+// record comes from the Store's own table.
+func (s *Store) Delete(o Object) error { return s.Remove(o.ID) }
+
+// Update implements model.Index. Only old.ID is consulted; the rest of the
+// old record comes from the table, so legacy delete+insert call sites keep
+// working without tracking server state.
+func (s *Store) Update(old, new Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if new.ID != old.ID {
+		return fmt.Errorf("vpindex: update changes object id %d -> %d", old.ID, new.ID)
+	}
+	if s.mgr != nil {
+		return s.mgr.UpdateByID(new)
+	}
+	if _, ok := s.objs[old.ID]; !ok {
+		return fmt.Errorf("vpindex: update of object %d: %w", old.ID, ErrNotFound)
+	}
+	return s.reportLocked(new)
+}

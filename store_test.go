@@ -1,0 +1,488 @@
+package vpindex_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	vpindex "repro"
+	"repro/internal/model"
+)
+
+// storeConfigs enumerates the Store configurations under test. The auto
+// variants bootstrap their partitions online partway through each test's
+// report stream.
+func storeConfigs() map[string][]vpindex.Option {
+	domain := vpindex.R(0, 0, 20000, 20000)
+	base := func(k vpindex.Kind) []vpindex.Option {
+		return []vpindex.Option{
+			vpindex.WithKind(k),
+			vpindex.WithDomain(domain),
+			vpindex.WithBufferPages(30),
+		}
+	}
+	sample := testSample(800, 11)
+	return map[string][]vpindex.Option{
+		"tpr":        base(vpindex.TPRStar),
+		"bx":         base(vpindex.Bx),
+		"tpr-vp":     append(base(vpindex.TPRStar), vpindex.WithVelocityPartitioning(2), vpindex.WithVelocitySample(sample), vpindex.WithSeed(5)),
+		"bx-vp":      append(base(vpindex.Bx), vpindex.WithVelocityPartitioning(2), vpindex.WithVelocitySample(sample), vpindex.WithSeed(5)),
+		"tpr-vpauto": append(base(vpindex.TPRStar), vpindex.WithVelocityPartitioning(2), vpindex.WithAutoPartition(250), vpindex.WithSeed(5)),
+		"bx-vpauto":  append(base(vpindex.Bx), vpindex.WithVelocityPartitioning(2), vpindex.WithAutoPartition(250), vpindex.WithTauRefreshInterval(200), vpindex.WithSeed(5)),
+	}
+}
+
+// testSample synthesizes a two-DVA velocity distribution.
+func testSample(n int, seed int64) []vpindex.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vpindex.Vec2, n)
+	for i := range out {
+		speed := 20 + rng.Float64()*60
+		if rng.Intn(2) == 0 {
+			speed = -speed
+		}
+		switch i % 7 {
+		case 6: // outlier
+			out[i] = vpindex.V(rng.Float64()*120-60, rng.Float64()*120-60)
+		case 0, 2, 4:
+			out[i] = vpindex.V(speed, rng.NormFloat64()*2)
+		default:
+			out[i] = vpindex.V(rng.NormFloat64()*2, speed)
+		}
+	}
+	return out
+}
+
+// testObject builds a mover whose velocity follows the testSample
+// distribution.
+func testObject(id int, rng *rand.Rand) vpindex.Object {
+	vels := testSample(1, rng.Int63())
+	return vpindex.Object{
+		ID:  vpindex.ObjectID(id),
+		Pos: vpindex.V(rng.Float64()*20000, rng.Float64()*20000),
+		Vel: vels[0],
+		T:   0,
+	}
+}
+
+func sortedIDs(ids []vpindex.ObjectID) []vpindex.ObjectID {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// TestStoreRoundTripOracle drives every Store configuration with the same
+// randomized Report/Remove stream as a BruteForce oracle and requires
+// identical Search results, Get state, and Len at every checkpoint.
+func TestStoreRoundTripOracle(t *testing.T) {
+	for name, opts := range storeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			store, err := vpindex.Open(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := model.NewBruteForce()
+			rng := rand.New(rand.NewSource(77))
+
+			report := func(o vpindex.Object) {
+				t.Helper()
+				if err := store.Report(o); err != nil {
+					t.Fatalf("report %d: %v", o.ID, err)
+				}
+				if _, ok := oracle.Get(o.ID); ok {
+					_ = oracle.Delete(vpindex.Object{ID: o.ID})
+				}
+				_ = oracle.Insert(o)
+			}
+			check := func(now float64) {
+				t.Helper()
+				queries := []vpindex.RangeQuery{
+					vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(rng.Float64()*20000, rng.Float64()*20000), R: 2500}, now, now+20),
+					vpindex.IntervalQuery(vpindex.R(2000, 2000, 9000, 9000), now, now+5, now+25),
+					vpindex.MovingQuery(vpindex.R(0, 0, 4000, 4000), vpindex.V(30, 10), now, now, now+30),
+				}
+				for _, q := range queries {
+					got, err := store.Search(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := oracle.Search(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, want = sortedIDs(got), sortedIDs(want)
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("%v at t=%g: got %v want %v", q.Kind, now, got, want)
+					}
+				}
+				if store.Len() != oracle.Len() {
+					t.Fatalf("len %d vs oracle %d", store.Len(), oracle.Len())
+				}
+			}
+
+			// Load 400 objects (crosses the 250-report auto threshold).
+			for i := 1; i <= 400; i++ {
+				report(testObject(i, rng))
+			}
+			check(0)
+			// Re-report (upsert) a third of them at t=10, remove some,
+			// report new ones.
+			for i := 1; i <= 400; i += 3 {
+				o := testObject(i, rng)
+				o.T = 10
+				report(o)
+			}
+			for i := 2; i <= 400; i += 10 {
+				if err := store.Remove(vpindex.ObjectID(i)); err != nil {
+					t.Fatalf("remove %d: %v", i, err)
+				}
+				_ = oracle.Delete(vpindex.Object{ID: vpindex.ObjectID(i)})
+			}
+			for i := 401; i <= 450; i++ {
+				o := testObject(i, rng)
+				o.T = 10
+				report(o)
+			}
+			check(10)
+
+			// Get agrees with the oracle's record.
+			for i := 1; i <= 450; i += 17 {
+				g, gok := store.Get(vpindex.ObjectID(i))
+				w, wok := oracle.Get(vpindex.ObjectID(i))
+				if gok != wok || (gok && g != w) {
+					t.Fatalf("get %d: (%v,%v) vs oracle (%v,%v)", i, g, gok, w, wok)
+				}
+			}
+
+			// kNN agrees with the oracle on distances.
+			q := vpindex.KNNQuery{Center: vpindex.V(10000, 10000), K: 10, Now: 10, T: 40}
+			got, err := store.SearchKNN(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := oracle.SearchKNN(q)
+			if len(got) != len(want) {
+				t.Fatalf("kNN %d vs %d results", len(got), len(want))
+			}
+			for i := range got {
+				if diff := got[i].Dist - want[i].Dist; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("kNN %d: dist %g vs %g", i, got[i].Dist, want[i].Dist)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreAutoPartitionBootstrap pins the cutover semantics: the Store
+// stays in staging until exactly the threshold, then migrates every live
+// object; Len and Search are consistent on both sides of the cutover.
+func TestStoreAutoPartitionBootstrap(t *testing.T) {
+	for _, kind := range []vpindex.Kind{vpindex.TPRStar, vpindex.Bx} {
+		t.Run(kind.String(), func(t *testing.T) {
+			const threshold = 200
+			store, err := vpindex.Open(
+				vpindex.WithKind(kind),
+				vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+				vpindex.WithVelocityPartitioning(2),
+				vpindex.WithAutoPartition(threshold),
+				vpindex.WithSeed(3),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if store.Partitioned() {
+				t.Fatal("partitioned before any report")
+			}
+			if _, ok := store.Analysis(); ok {
+				t.Fatal("analysis before bootstrap")
+			}
+
+			rng := rand.New(rand.NewSource(9))
+			objs := make([]vpindex.Object, threshold+100)
+			for i := range objs {
+				objs[i] = testObject(i+1, rng)
+			}
+			q := vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(10000, 10000), R: 6000}, 0, 30)
+
+			// One below the threshold: still staging.
+			if err := store.ReportBatch(objs[:threshold-1]); err != nil {
+				t.Fatal(err)
+			}
+			if store.Partitioned() {
+				t.Fatal("partitioned below threshold")
+			}
+			if c, target := store.BootstrapProgress(); c != threshold-1 || target != threshold {
+				t.Fatalf("progress %d/%d", c, target)
+			}
+			beforeIDs, err := store.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			beforeLen := store.Len()
+
+			// The threshold report triggers analysis + live migration.
+			if err := store.Report(objs[threshold-1]); err != nil {
+				t.Fatal(err)
+			}
+			if !store.Partitioned() {
+				t.Fatal("not partitioned at threshold")
+			}
+			an, ok := store.Analysis()
+			if !ok || an.SampleSize != threshold || len(an.DVAs) != 2 {
+				t.Fatalf("analysis after bootstrap: %+v ok=%v", an, ok)
+			}
+			if got := store.Len(); got != beforeLen+1 {
+				t.Fatalf("len across cutover: %d -> %d", beforeLen, got)
+			}
+			if c, target := store.BootstrapProgress(); c != 0 || target != 0 {
+				t.Fatalf("progress after cutover: %d/%d", c, target)
+			}
+			if n := len(store.Partitions()); n != 3 {
+				t.Fatalf("partitions: %d", n)
+			}
+
+			// Search sees every pre-cutover object (the threshold report was
+			// outside the query's reach only if it matches; recompute via
+			// membership instead of equality).
+			afterIDs, err := store.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := make(map[vpindex.ObjectID]bool, len(afterIDs))
+			for _, id := range afterIDs {
+				after[id] = true
+			}
+			for _, id := range beforeIDs {
+				if !after[id] {
+					t.Fatalf("object %d lost across cutover", id)
+				}
+			}
+
+			// The tail lands directly in the partitions.
+			if err := store.ReportBatch(objs[threshold:]); err != nil {
+				t.Fatal(err)
+			}
+			if store.Len() != len(objs) {
+				t.Fatalf("len after tail: %d", store.Len())
+			}
+		})
+	}
+}
+
+// TestStoreConcurrentReportSearch exercises the Store's RWMutex under the
+// race detector: concurrent writers streaming ID-keyed reports (crossing
+// the auto-partition cutover mid-test) while readers run Search, SearchKNN,
+// Get and Len.
+func TestStoreConcurrentReportSearch(t *testing.T) {
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithAutoPartition(300),
+		vpindex.WithTauRefreshInterval(250),
+		vpindex.WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers       = 4
+		readers       = 4
+		perWriter     = 300
+		idsPer        = 100 // each writer upserts its own ID range repeatedly
+		readsPer      = 150
+		removalsEvery = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			base := w * idsPer
+			for i := 0; i < perWriter; i++ {
+				id := base + 1 + rng.Intn(idsPer)
+				o := testObject(id, rng)
+				o.T = float64(i) / 10
+				if err := store.Report(o); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				if i%removalsEvery == removalsEvery-1 {
+					if err := store.Remove(o.ID); err != nil && !errors.Is(err, vpindex.ErrNotFound) {
+						errs <- fmt.Errorf("writer %d remove: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for i := 0; i < readsPer; i++ {
+				now := float64(i) / 5
+				q := vpindex.SliceQuery(vpindex.Circle{
+					C: vpindex.V(rng.Float64()*20000, rng.Float64()*20000), R: 3000,
+				}, now, now+10)
+				if _, err := store.Search(q); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if _, err := store.SearchKNN(vpindex.KNNQuery{
+					Center: vpindex.V(rng.Float64()*20000, rng.Float64()*20000),
+					K:      5, Now: now, T: now + 10,
+				}); err != nil {
+					errs <- fmt.Errorf("reader %d knn: %w", r, err)
+					return
+				}
+				store.Get(vpindex.ObjectID(1 + rng.Intn(writers*idsPer)))
+				store.Len()
+				store.Partitioned()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !store.Partitioned() {
+		t.Fatal("concurrent stream never crossed the bootstrap threshold")
+	}
+	if store.Len() == 0 {
+		t.Fatal("store empty after concurrent stream")
+	}
+}
+
+// nonKNN hides an index's kNN support behind the bare interface.
+type nonKNN struct{ model.Index }
+
+// TestStoreTypedErrors checks the errors.Is contract of the public surface.
+func TestStoreTypedErrors(t *testing.T) {
+	store, err := vpindex.Open(vpindex.WithKind(vpindex.Bx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := vpindex.Object{ID: 1, Pos: vpindex.V(100, 100), Vel: vpindex.V(5, 5), T: 0}
+
+	if err := store.Remove(1); !errors.Is(err, vpindex.ErrNotFound) {
+		t.Fatalf("remove absent: %v", err)
+	}
+	if err := store.Update(o, o); !errors.Is(err, vpindex.ErrNotFound) {
+		t.Fatalf("update absent: %v", err)
+	}
+	if err := store.Insert(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Insert(o); !errors.Is(err, vpindex.ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	// Report is an upsert: the same record is never a duplicate.
+	if err := store.Report(o); err != nil {
+		t.Fatalf("report existing: %v", err)
+	}
+	if err := store.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Remove(1); !errors.Is(err, vpindex.ErrNotFound) {
+		t.Fatalf("second remove: %v", err)
+	}
+
+	// A velocity-partitioned store behaves identically.
+	vp, err := vpindex.Open(vpindex.WithVelocitySample(testSample(500, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vp.Partitioned() {
+		t.Fatal("upfront sample did not partition")
+	}
+	if err := vp.Insert(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := vp.Insert(o); !errors.Is(err, vpindex.ErrDuplicate) {
+		t.Fatalf("vp duplicate insert: %v", err)
+	}
+	if err := vp.Remove(99); !errors.Is(err, vpindex.ErrNotFound) {
+		t.Fatalf("vp remove absent: %v", err)
+	}
+
+	// Config validation: an auto-partition sample smaller than k cannot
+	// seed the analysis.
+	if _, err := vpindex.Open(vpindex.WithVelocityPartitioning(3), vpindex.WithAutoPartition(2)); err == nil {
+		t.Fatal("auto sample below k accepted")
+	}
+
+	// The deprecated Index wrapper reports kNN-less structures with
+	// ErrUnsupported instead of panicking.
+	ix := &vpindex.Index{Index: nonKNN{model.NewBruteForce()}}
+	if _, err := ix.SearchKNN(vpindex.KNNQuery{Center: vpindex.V(0, 0), K: 1, T: 1}); !errors.Is(err, vpindex.ErrUnsupported) {
+		t.Fatalf("kNN on non-kNN index: %v", err)
+	}
+}
+
+// TestStoreMonitorIntegration wraps a Store with the continuous-query layer
+// and drives it exclusively through the ID-keyed report verbs.
+func TestStoreMonitorIntegration(t *testing.T) {
+	store, err := vpindex.Open(
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithVelocitySample(testSample(500, 4)),
+		vpindex.WithSeed(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := vpindex.NewMonitor(store)
+
+	// Watch a disk around (5000, 5000) with no prediction lookahead.
+	subID, seed, err := mon.Subscribe(vpindex.Subscription{
+		Query: vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(5000, 5000), R: 1000}, 0, 0),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seed) != 0 {
+		t.Fatalf("seed events on empty store: %v", seed)
+	}
+
+	// Report an object inside the fence: one Enter.
+	evs, err := mon.ProcessReport(vpindex.Object{ID: 1, Pos: vpindex.V(5100, 5000), Vel: vpindex.V(1, 0), T: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != vpindex.Enter || evs[0].Sub != subID {
+		t.Fatalf("enter events: %v", evs)
+	}
+	// Re-report it far away: one Leave.
+	evs, err = mon.ProcessReport(vpindex.Object{ID: 1, Pos: vpindex.V(15000, 15000), Vel: vpindex.V(1, 0), T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != vpindex.Leave {
+		t.Fatalf("leave events: %v", evs)
+	}
+	// Report back inside, then remove: Enter then Leave.
+	if _, err := mon.ProcessReport(vpindex.Object{ID: 1, Pos: vpindex.V(4900, 5000), Vel: vpindex.V(0, 0), T: 2}); err != nil {
+		t.Fatal(err)
+	}
+	evs, err = mon.ProcessRemove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != vpindex.Leave {
+		t.Fatalf("remove events: %v", evs)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("store len after remove: %d", store.Len())
+	}
+	if _, err := mon.ProcessRemove(1); !errors.Is(err, vpindex.ErrNotFound) {
+		t.Fatalf("remove absent via monitor: %v", err)
+	}
+}

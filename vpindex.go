@@ -5,23 +5,47 @@
 // base indexes the paper builds on: the TPR*-tree (Tao et al., VLDB 2003)
 // and the Bx-tree (Jensen et al., VLDB 2004).
 //
+// # Store: the public API
+//
+// The package's entry point is the Store, a concurrency-safe facade that
+// serves ID-keyed location reports the way a live tracking service does:
+//
+//	s, _ := vpindex.Open(
+//		vpindex.WithKind(vpindex.Bx),
+//		vpindex.WithVelocityPartitioning(2),
+//		vpindex.WithAutoPartition(10_000),
+//	)
+//	_ = s.Report(vpindex.Object{ID: 1, Pos: vpindex.V(100, 200), Vel: vpindex.V(10, 0), T: 0})
+//	ids, _ := s.Search(vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(400, 200), R: 50}, 0, 30))
+//
+// Report upserts by ID (no old record needed), Remove deletes by ID,
+// ReportBatch amortizes locking across a batch, and Search/SearchKNN answer
+// predictive queries in every configuration. Failures are typed — compare
+// with errors.Is against ErrNotFound, ErrDuplicate and ErrUnsupported.
+//
 // # Model
 //
 // Objects are linear movers (Section 2.1 of the paper): a record carries a
 // reference position, a velocity, and the reference timestamp; the object
-// is assumed to follow that trajectory until it reports an update (a
-// delete+insert). Indexes answer three kinds of predictive range queries:
-// time-slice, time-interval, and moving-range, with circular or rectangular
-// regions.
+// is assumed to follow that trajectory until it reports an update. Indexes
+// answer three kinds of predictive range queries: time-slice, time-interval,
+// and moving-range, with circular or rectangular regions, plus kNN.
 //
 // # Velocity partitioning
 //
-// NewVP analyzes a sample of the workload's velocities, discovers the
-// dominant velocity axes (DVAs) with a PCA-guided k-means, and maintains
-// one index per DVA — each in a coordinate frame rotated so its DVA is the
-// x-axis — plus an outlier index. Objects whose direction is near a DVA
-// live in a near-1D velocity space, which slows the growth of query search
-// regions from quadratic in the maximum speed to near linear (Section 4).
+// With WithVelocityPartitioning, the Store analyzes the workload's
+// velocities, discovers the dominant velocity axes (DVAs) with a PCA-guided
+// k-means, and maintains one index per DVA — each in a coordinate frame
+// rotated so its DVA is the x-axis — plus an outlier index. Objects whose
+// direction is near a DVA live in a near-1D velocity space, which slows the
+// growth of query search regions from quadratic in the maximum speed to
+// near linear (Section 4).
+//
+// The analysis sample can be supplied upfront (WithVelocitySample) or — the
+// production path — collected online: with WithAutoPartition(n), the Store
+// starts unpartitioned, accumulates the first n reported velocities, then
+// partitions itself and migrates every live object, with queries serving
+// throughout.
 //
 // # Storage
 //
@@ -30,11 +54,8 @@
 // configuration; Stats reports the buffer-pool misses that the paper plots
 // as "query I/O".
 //
-// Basic usage:
-//
-//	idx, _ := vpindex.New(vpindex.Options{Kind: vpindex.TPRStar})
-//	_ = idx.Insert(vpindex.Object{ID: 1, Pos: vpindex.V(100, 200), Vel: vpindex.V(10, 0), T: 0})
-//	ids, _ := idx.Search(vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(400, 200), R: 50}, 0, 30))
+// The former constructors New and NewVP still work but are deprecated; see
+// their doc comments for the Open equivalents.
 package vpindex
 
 import (
@@ -43,7 +64,6 @@ import (
 
 	"repro/internal/analysis/cluster"
 	"repro/internal/bxtree"
-	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/model"
 	"repro/internal/monitor"
@@ -140,7 +160,10 @@ func (k Kind) String() string {
 	}
 }
 
-// Options configures a (possibly partitioned) index.
+// Options configures the base index structure shared by every partition.
+// The zero value takes the paper's defaults. New code should prefer Open's
+// functional options (WithKind, WithDomain, ...), which cover every field
+// here; Options remains the carrier type behind both surfaces.
 type Options struct {
 	// Kind selects the base structure (default TPRStar).
 	Kind Kind
@@ -181,26 +204,6 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Index is an unpartitioned moving-object index (a TPR*-tree or a Bx-tree)
-// over a simulated paged disk.
-type Index struct {
-	model.Index
-	pool *storage.BufferPool
-}
-
-// New builds an unpartitioned index.
-func New(opts Options) (*Index, error) {
-	opts = opts.withDefaults()
-	disk := storage.NewDisk()
-	disk.SetLatency(opts.DiskLatency)
-	pool := storage.NewBufferPool(disk, opts.BufferPages)
-	idx, err := buildBase(pool, opts, opts.Domain, "")
-	if err != nil {
-		return nil, err
-	}
-	return &Index{Index: idx, pool: pool}, nil
-}
-
 // buildBase constructs the configured base index over the given pool.
 func buildBase(pool *storage.BufferPool, opts Options, domain Rect, nameSuffix string) (model.Index, error) {
 	switch opts.Kind {
@@ -233,86 +236,9 @@ func buildBase(pool *storage.BufferPool, opts Options, domain Rect, nameSuffix s
 		}
 		return t, nil
 	default:
-		return nil, fmt.Errorf("vpindex: unknown index kind %v", opts.Kind)
+		return nil, fmt.Errorf("vpindex: unknown index kind %v: %w", opts.Kind, ErrUnsupported)
 	}
 }
-
-// Stats returns cumulative simulated I/O counters.
-func (ix *Index) Stats() IOStats {
-	s := ix.pool.Stats()
-	return IOStats{Reads: s.Misses, Writes: s.Writes, Hits: s.Hits}
-}
-
-// SearchKNN returns the k objects nearest the query center at the query's
-// evaluation time (both base index kinds support it; the TPR*-tree uses
-// best-first traversal, the Bx-tree incremental range expansion).
-func (ix *Index) SearchKNN(q KNNQuery) ([]Neighbor, error) {
-	return ix.Index.(model.KNNIndex).SearchKNN(q)
-}
-
-// Pool exposes the buffer pool for instrumentation (benchmarks snapshot
-// miss counters around operations).
-func (ix *Index) Pool() *storage.BufferPool { return ix.pool }
-
-// VPOptions configures a velocity-partitioned index.
-type VPOptions struct {
-	// Options configures the base index used for every partition.
-	Options
-	// K is the number of DVA partitions (default 2: road networks have two
-	// dominant directions; the paper's setting).
-	K int
-	// TauBuckets sizes the tau histograms (default 100, paper setting).
-	TauBuckets int
-	// TauRefreshInterval recomputes tau after this many inserts
-	// (Section 5.5); 0 disables.
-	TauRefreshInterval int
-	// Seed makes the analyzer's clustering deterministic.
-	Seed int64
-}
-
-// VPIndex is a velocity-partitioned index: k DVA-aligned indexes plus an
-// outlier index behind the same interface, per Section 5 of the paper.
-type VPIndex struct {
-	*core.Manager
-	pool     *storage.BufferPool
-	analysis core.Analysis
-}
-
-// NewVP analyzes the velocity sample and builds the partitioned index. The
-// sample should be representative of the workload (the paper uses 10,000
-// velocity points).
-func NewVP(sample []Vec2, opts VPOptions) (*VPIndex, error) {
-	opts.Options = opts.Options.withDefaults()
-	if opts.K <= 0 {
-		opts.K = 2
-	}
-	an, err := core.Analyze(sample, core.AnalyzerConfig{
-		K:          opts.K,
-		TauBuckets: opts.TauBuckets,
-		Cluster:    clusterOptions(opts.Seed),
-	})
-	if err != nil {
-		return nil, err
-	}
-	disk := storage.NewDisk()
-	disk.SetLatency(opts.DiskLatency)
-	pool := storage.NewBufferPool(disk, opts.BufferPages)
-	mgr, err := core.NewManager(an, core.ManagerConfig{
-		Domain:             opts.Domain,
-		TauRefreshInterval: opts.TauRefreshInterval,
-		TauBuckets:         opts.TauBuckets,
-	}, func(spec core.PartitionSpec) (model.Index, error) {
-		return buildBase(pool, opts.Options, spec.Domain, spec.Name)
-	})
-	if err != nil {
-		return nil, err
-	}
-	mgr.SetName(opts.Kind.String() + "(vp)")
-	return &VPIndex{Manager: mgr, pool: pool, analysis: an}, nil
-}
-
-// Analysis returns the velocity analysis that shaped the partitions.
-func (ix *VPIndex) Analysis() core.Analysis { return ix.analysis }
 
 // Continuous-query layer: standing subscriptions over any index, with
 // incremental enter/leave events as updates stream in (see
@@ -335,16 +261,6 @@ const (
 )
 
 // NewMonitor wraps an index with the continuous-query layer. Drive all
-// further inserts/updates/deletes through the monitor so result sets stay
-// consistent.
+// further traffic through the monitor so result sets stay consistent:
+// wrapping a Store enables the ID-keyed ProcessReport/ProcessRemove verbs.
 func NewMonitor(idx Searcher) *Monitor { return monitor.New(idx) }
-
-// Stats returns cumulative simulated I/O counters (shared by all
-// partitions).
-func (ix *VPIndex) Stats() IOStats {
-	s := ix.pool.Stats()
-	return IOStats{Reads: s.Misses, Writes: s.Writes, Hits: s.Hits}
-}
-
-// Pool exposes the shared buffer pool for instrumentation.
-func (ix *VPIndex) Pool() *storage.BufferPool { return ix.pool }
