@@ -19,10 +19,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	vpindex "repro"
@@ -32,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig19", "experiment: store|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
+		exp      = flag.String("exp", "fig19", "experiment: store|concurrency|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
 		objects  = flag.Int("objects", 20000, "number of moving objects")
 		queries  = flag.Int("queries", 200, "number of range queries")
 		duration = flag.Float64("duration", 120, "workload duration (ts)")
@@ -40,6 +44,9 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		points   = flag.String("points", "", "CSV file for fig7 scatter points")
 		dataset  = flag.String("dataset", "CH", "dataset for fig17/dva: CH|SA|MEL|NY|uniform")
+		out      = flag.String("out", "BENCH_concurrency.json", "JSON output path for -exp concurrency")
+		procs    = flag.Int("procs", 0, "worker goroutines for -exp concurrency (0 = max(8, GOMAXPROCS))")
+		latency  = flag.Duration("latency", 20*time.Microsecond, "simulated per-page disk latency for -exp concurrency")
 	)
 	flag.Parse()
 
@@ -54,6 +61,8 @@ func main() {
 		switch name {
 		case "store":
 			return runStore(workload.Dataset(*dataset), sc, *seed)
+		case "concurrency":
+			return runConcurrency(workload.Dataset(*dataset), sc, *seed, *procs, *latency, *out)
 		case "dva":
 			tab, err := bench.RunDVADump(workload.Dataset(*dataset), sc, *seed)
 			if err != nil {
@@ -131,7 +140,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"store", "dva", "fig7", "fig17", "fig18", "fig19", "fig20",
+		names = []string{"store", "concurrency", "dva", "fig7", "fig17", "fig18", "fig19", "fig20",
 			"fig21", "fig22", "fig23", "fig24"}
 	}
 	for _, n := range names {
@@ -245,6 +254,199 @@ func runStore(ds workload.Dataset, sc bench.Scale, seed int64) error {
 	fmt.Printf("store: total simulated I/O: %d reads / %d writes / %d hits\n\n",
 		st.Reads, st.Writes, st.Hits)
 	return nil
+}
+
+// concurrencyResult is one (shards, workload) measurement of the
+// concurrency experiment.
+type concurrencyResult struct {
+	Shards     int     `json:"shards"`
+	Workload   string  `json:"workload"` // "mixed" or "search"
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// concurrencyReport is the BENCH_concurrency.json schema: the repo's
+// perf-trajectory datapoint for the sharded Store.
+type concurrencyReport struct {
+	Experiment    string              `json:"experiment"`
+	Dataset       string              `json:"dataset"`
+	Objects       int                 `json:"objects"`
+	BufferPages   int                 `json:"buffer_pages"`
+	DiskLatencyUS float64             `json:"disk_latency_us"`
+	GoMaxProcs    int                 `json:"gomaxprocs"`
+	Results       []concurrencyResult `json:"results"`
+	SpeedupMixed  float64             `json:"speedup_mixed"`
+	SpeedupSearch float64             `json:"speedup_search"`
+}
+
+// runConcurrency measures the sharded Store against the single-lock
+// baseline under a concurrent workload: G goroutines streaming a 7:1 mix of
+// ID-keyed reports and predictive range queries (plus a search-only phase),
+// against a velocity-partitioned Bx Store with simulated per-page disk
+// latency. The Store's performance model is disk-bound, so the scaling win
+// is overlap: a single lock serializes every simulated page wait, shards
+// overlap them. Results go to stdout and to the JSON report at outPath.
+func runConcurrency(ds workload.Dataset, sc bench.Scale, seed int64, procs int, latency time.Duration, outPath string) error {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+		if procs < 8 {
+			procs = 8
+		}
+	}
+	// Let the scheduler actually run the workers concurrently even on small
+	// containers; restored afterwards.
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := workload.DefaultParams(ds, sc.Objects)
+	p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+	p.Duration = sc.Duration
+	p.Seed = seed
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		return err
+	}
+	objs := gen.Initial()
+	sample := make([]vpindex.Vec2, len(objs))
+	for i, o := range objs {
+		sample[i] = o.Vel
+	}
+
+	// Hold the aggregate page-cache budget constant across the shard axis
+	// (each of the shards × 3 pools gets an equal slice) so the comparison
+	// isolates lock overlap instead of also handing the sharded store a
+	// bigger cache. The budget must cover at least one page per pool.
+	totalPages := sc.Buffer
+	if min := procs * 3; totalPages < min {
+		totalPages = min
+	}
+	rep := concurrencyReport{
+		Experiment:    "concurrency",
+		Dataset:       string(ds),
+		Objects:       len(objs),
+		BufferPages:   totalPages,
+		DiskLatencyUS: float64(latency) / float64(time.Microsecond),
+		GoMaxProcs:    procs,
+	}
+	totalOps := 3 * len(objs)
+	searchOps := totalOps / 8
+
+	tput := map[string]map[int]float64{"mixed": {}, "search": {}}
+	for _, shards := range []int{1, procs} {
+		store, err := vpindex.Open(
+			vpindex.WithKind(vpindex.Bx),
+			vpindex.WithDomain(p.Domain),
+			vpindex.WithShards(shards),
+			vpindex.WithBufferPages(totalPages/(shards*3)),
+			vpindex.WithDiskLatency(latency),
+			vpindex.WithMaxUpdateInterval(p.Duration),
+			vpindex.WithVelocityPartitioning(2),
+			vpindex.WithVelocitySample(sample),
+			vpindex.WithSeed(seed),
+		)
+		if err != nil {
+			return err
+		}
+		if err := store.ReportBatch(objs); err != nil {
+			return err
+		}
+		for _, wl := range []string{"mixed", "search"} {
+			ops := totalOps
+			if wl == "search" {
+				ops = searchOps
+			}
+			ran, seconds, err := hammerStore(store, objs, wl, procs, ops, seed)
+			if err != nil {
+				return err
+			}
+			r := concurrencyResult{
+				Shards:     shards,
+				Workload:   wl,
+				Goroutines: procs,
+				Ops:        ran,
+				Seconds:    seconds,
+				OpsPerSec:  float64(ran) / seconds,
+			}
+			tput[wl][shards] = r.OpsPerSec
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("concurrency: shards=%-3d %-6s %7d ops, %8.3fs, %9.0f ops/s\n",
+				shards, wl, ops, seconds, r.OpsPerSec)
+		}
+	}
+	rep.SpeedupMixed = tput["mixed"][procs] / tput["mixed"][1]
+	rep.SpeedupSearch = tput["search"][procs] / tput["search"][1]
+	fmt.Printf("concurrency: speedup over single lock: mixed %.2fx, search %.2fx\n\n",
+		rep.SpeedupMixed, rep.SpeedupSearch)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("concurrency: wrote %s\n\n", outPath)
+	return nil
+}
+
+// hammerStore runs ~ops operations of the given workload kind ("mixed" or
+// "search") across g goroutines, returning the count actually executed
+// (ops rounded to a whole number per goroutine, at least one each) and the
+// wall-clock seconds.
+func hammerStore(store *vpindex.Store, objs []vpindex.Object, kind string, g, ops int, seed int64) (int, float64, error) {
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Mutex
+		firstE  error
+	)
+	fail := func(err error) {
+		errOnce.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		errOnce.Unlock()
+	}
+	side := 0.0
+	for _, o := range objs {
+		if o.Pos.X > side {
+			side = o.Pos.X
+		}
+		if o.Pos.Y > side {
+			side = o.Pos.Y
+		}
+	}
+	per := ops / g
+	if per < 1 {
+		per = 1
+	}
+	start := time.Now()
+	wg.Add(g)
+	for w := 0; w < g; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*1000))
+			for i := 0; i < per; i++ {
+				if kind == "search" || rng.Intn(8) == 0 {
+					c := vpindex.V(rng.Float64()*side, rng.Float64()*side)
+					if _, err := store.Search(vpindex.SliceQuery(vpindex.Circle{C: c, R: side / 40}, 0, 60)); err != nil {
+						fail(err)
+						return
+					}
+					continue
+				}
+				o := objs[rng.Intn(len(objs))]
+				o.Pos = vpindex.V(rng.Float64()*side, rng.Float64()*side)
+				if err := store.Report(o); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return per * g, time.Since(start).Seconds(), firstE
 }
 
 func writePoints(path string, pts []bench.ExpansionPoint) error {

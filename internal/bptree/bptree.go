@@ -89,9 +89,12 @@ type node struct {
 	children []storage.PageID // internal only, len(keys)+1
 }
 
-// Tree is the B+-tree handle. It is not safe for concurrent use; callers
-// (the Bx-tree, which is itself wrapped by the VP manager's lock) serialize
-// access.
+// Tree is the B+-tree handle. Mutations are not safe for concurrent use;
+// callers (the Bx-tree, which is itself wrapped by the VP manager's lock)
+// serialize them. Read-only operations (Scan, Get) may run concurrently
+// with each other — they share no mutable tree state and all page access is
+// serialized by the buffer pool — which is what lets the VP manager fan a
+// query out across partitions under a read lock.
 type Tree struct {
 	pool   *storage.BufferPool
 	root   storage.PageID
@@ -159,16 +162,39 @@ func decodeEntry(b []byte) Entry {
 	}
 }
 
-// readNode decodes the page into a node.
+// readNode decodes the page into a fresh node.
 func (t *Tree) readNode(id storage.PageID) (*node, error) {
-	n := &node{id: id}
+	n := new(node)
+	if err := t.readNodeInto(n, id); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// readNodeInto decodes the page into n, reusing n's slice capacity. The
+// read-only traversals (Scan, Get) recycle one node across a whole descent
+// plus leaf chain instead of allocating a decoded image per page; mutating
+// paths keep readNode because they hold several nodes alive at once.
+// Callers must not retain decoded slices across a subsequent readNodeInto of
+// the same node.
+func (t *Tree) readNodeInto(n *node, id storage.PageID) error {
+	n.id = id
+	n.leaf = false
+	n.next = storage.NilPage
+	n.entries = n.entries[:0]
+	n.keys = n.keys[:0]
+	n.children = n.children[:0]
 	err := t.pool.Read(id, func(data []byte) {
 		switch data[0] {
 		case tagLeaf:
 			n.leaf = true
 			count := int(binary.LittleEndian.Uint16(data[1:3]))
 			n.next = storage.PageID(binary.LittleEndian.Uint64(data[3:11]))
-			n.entries = make([]Entry, count)
+			if cap(n.entries) < count {
+				n.entries = make([]Entry, count)
+			} else {
+				n.entries = n.entries[:count]
+			}
 			off := leafHeader
 			for i := 0; i < count; i++ {
 				n.entries[i] = decodeEntry(data[off : off+entrySize])
@@ -176,13 +202,21 @@ func (t *Tree) readNode(id storage.PageID) (*node, error) {
 			}
 		case tagInternal:
 			count := int(binary.LittleEndian.Uint16(data[1:3]))
-			n.children = make([]storage.PageID, count+1)
+			if cap(n.children) < count+1 {
+				n.children = make([]storage.PageID, count+1)
+			} else {
+				n.children = n.children[:count+1]
+			}
 			off := 3
 			for i := 0; i <= count; i++ {
 				n.children[i] = storage.PageID(binary.LittleEndian.Uint64(data[off : off+8]))
 				off += 8
 			}
-			n.keys = make([]Key, count)
+			if cap(n.keys) < count {
+				n.keys = make([]Key, count)
+			} else {
+				n.keys = n.keys[:count]
+			}
 			for i := 0; i < count; i++ {
 				n.keys[i] = getKey(data[off : off+keySize])
 				off += keySize
@@ -190,18 +224,16 @@ func (t *Tree) readNode(id storage.PageID) (*node, error) {
 		default:
 			// Signal through the closure by leaving n.leaf and counts zeroed;
 			// detect below via the tag copy.
-			n.entries = nil
-			n.children = nil
 			n.id = storage.NilPage
 		}
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n.id == storage.NilPage {
-		return nil, fmt.Errorf("bptree: page %d has unknown tag", id)
+		return fmt.Errorf("bptree: page %d has unknown tag", id)
 	}
-	return n, nil
+	return nil
 }
 
 // writeNode encodes the node onto its page.
@@ -550,7 +582,10 @@ func (t *Tree) underfull(n *node) bool {
 // --- scans -----------------------------------------------------------------
 
 // Scan visits entries with loKey <= Key.K < hiKey in key order, following
-// the leaf chain. visit returning false stops the scan early.
+// the leaf chain. visit returning false stops the scan early. The whole
+// traversal decodes pages into one stack-allocated scratch node: the scan
+// path allocates nothing per page, so a query's cost is its I/O, not its
+// garbage. visit receives each entry by value and may retain it.
 func (t *Tree) Scan(loKey, hiKey uint64, visit func(Entry) bool) error {
 	if hiKey <= loKey {
 		return nil
@@ -558,17 +593,16 @@ func (t *Tree) Scan(loKey, hiKey uint64, visit func(Entry) bool) error {
 	lo := Key{K: loKey, ID: 0}
 	id := t.root
 	level := t.height
+	var n node
 	for level > 1 {
-		n, err := t.readNode(id)
-		if err != nil {
+		if err := t.readNodeInto(&n, id); err != nil {
 			return err
 		}
 		id = n.children[childIndex(n.keys, lo)]
 		level--
 	}
 	for id != storage.NilPage {
-		n, err := t.readNode(id)
-		if err != nil {
+		if err := t.readNodeInto(&n, id); err != nil {
 			return err
 		}
 		i := leafLowerBound(n.entries, lo)
@@ -590,16 +624,15 @@ func (t *Tree) Scan(loKey, hiKey uint64, visit func(Entry) bool) error {
 func (t *Tree) Get(k Key) (Entry, bool, error) {
 	id := t.root
 	level := t.height
+	var n node
 	for level > 1 {
-		n, err := t.readNode(id)
-		if err != nil {
+		if err := t.readNodeInto(&n, id); err != nil {
 			return Entry{}, false, err
 		}
 		id = n.children[childIndex(n.keys, k)]
 		level--
 	}
-	n, err := t.readNode(id)
-	if err != nil {
+	if err := t.readNodeInto(&n, id); err != nil {
 		return Entry{}, false, err
 	}
 	i := leafLowerBound(n.entries, k)

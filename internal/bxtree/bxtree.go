@@ -18,6 +18,7 @@ package bxtree
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/bptree"
 	"repro/internal/geom"
@@ -89,8 +90,11 @@ type bucket struct {
 	hist  *velocityHistogram
 }
 
-// Tree is a Bx-tree. Not safe for concurrent use (the VP manager and the
-// harness serialize access, as with the TPR*-tree).
+// Tree is a Bx-tree. Mutations are not safe for concurrent use (the VP
+// manager and the harness serialize them, as with the TPR*-tree); read-only
+// queries may run concurrently with each other — all mutable state is
+// behind the buffer pool's lock — which the VP manager's parallel partition
+// fan-out relies on.
 type Tree struct {
 	cfg   Config
 	curve sfc.Curve
@@ -277,14 +281,22 @@ func (t *Tree) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 }
 
 // SearchObjects is Search returning full records (the kNN refinement needs
-// positions, not just ids).
+// positions, not just ids). Buckets are visited in ascending boundary order
+// so results are deterministic for a given tree state — the property the
+// parallel partition fan-out leans on when asserting its merge is
+// byte-identical to the sequential path.
 func (t *Tree) SearchObjects(q model.RangeQuery) ([]model.Object, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	idxs := make([]int64, 0, len(t.buckets))
+	for idx := range t.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	var out []model.Object
-	for _, b := range t.buckets {
-		objs, err := t.searchBucket(b, q)
+	for _, idx := range idxs {
+		objs, err := t.searchBucket(t.buckets[idx], q)
 		if err != nil {
 			return nil, err
 		}

@@ -4,20 +4,24 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 // SearchKNN implements model.KNNIndex for the partitioned index: each
 // partition answers the kNN query in its own coordinate frame — rotations
 // are isometries, so the per-partition distances are directly comparable —
 // and the manager merges the per-partition top-k lists into the global one.
-// Every underlying index must itself support kNN.
+// Like Search, the partitions are probed by a bounded worker pool into
+// per-partition buffers that are merged after the joins, in partition
+// order. Every underlying index must itself support kNN (checked up front,
+// before any worker runs).
 func (m *Manager) SearchKNN(q model.KNNQuery) ([]model.Neighbor, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	lists := make([][]model.Neighbor, 0, len(m.pars))
+	knns := make([]model.KNNIndex, len(m.pars))
 	for i := range m.pars {
 		p := &m.pars[i]
 		knn, ok := p.idx.(model.KNNIndex)
@@ -25,15 +29,24 @@ func (m *Manager) SearchKNN(q model.KNNQuery) ([]model.Neighbor, error) {
 			return nil, fmt.Errorf("core: partition %s index %T does not support kNN: %w",
 				p.spec.Name, p.idx, model.ErrUnsupported)
 		}
+		knns[i] = knn
+	}
+	lists := make([][]model.Neighbor, len(m.pars))
+	err := parallel.Do(len(m.pars), m.cfg.SearchParallelism, func(i int) error {
+		p := &m.pars[i]
 		pq := q
 		if !p.spec.IsOutlier {
 			pq.Center = p.rot.Apply(q.Center)
 		}
-		ns, err := knn.SearchKNN(pq)
+		ns, err := knns[i].SearchKNN(pq)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		lists = append(lists, ns)
+		lists[i] = ns
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return model.MergeNeighbors(q.K, lists...), nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 // PartitionSpec describes one partition to the index factory.
@@ -38,6 +39,11 @@ type ManagerConfig struct {
 	TauRefreshInterval int
 	// TauBuckets sizes the online tau histograms (default 100).
 	TauBuckets int
+	// SearchParallelism bounds the worker pool that fans Search/SearchKNN
+	// out across the partitions. 0 means GOMAXPROCS; 1 forces the strictly
+	// sequential partition loop (the baseline the parallel path must match
+	// byte for byte).
+	SearchParallelism int
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -73,7 +79,11 @@ type record struct {
 // outlier index behind the model.Index interface. It is safe for concurrent
 // use; updates that migrate an object between partitions hold the manager
 // lock for the whole delete+insert so queries never observe the object as
-// missing (the locking concern of Section 5.3).
+// missing (the locking concern of Section 5.3), while Search/SearchKNN run
+// under the read lock and fan out across the partitions in parallel —
+// partition independence (each object lives in exactly one partition, and
+// partition indexes share no mutable state on their query paths) is exactly
+// what makes the fan-out safe.
 type Manager struct {
 	mu   sync.RWMutex
 	cfg  ManagerConfig
@@ -142,9 +152,11 @@ func (m *Manager) Len() int {
 	return len(m.objs)
 }
 
-// IO implements model.Index: all partitions share a pool, so any
-// partition's counters are the manager's (the outlier partition is used as
-// the representative).
+// IO implements model.Index. When all partitions share one buffer pool (the
+// legacy constructors' layout) any partition's counters are the manager's,
+// so the outlier partition is used as the representative. The Store, which
+// gives each partition its own pool, aggregates across its pools itself
+// instead of calling this.
 func (m *Manager) IO() model.IOStats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -398,19 +410,28 @@ func (m *Manager) UpdateByID(new model.Object) error {
 }
 
 // Search implements model.Index: Algorithm 3. The query is transformed into
-// each DVA frame (its region bounded by an axis-aligned MBR there), run
-// against the partition index, and candidates are re-checked *exactly*
-// against the original query in the world frame via the lookup table —
-// line 8's filter step. The outlier partition takes the query unchanged.
+// each DVA frame (its region bounded by an axis-aligned MBR there), the
+// partitions are probed by a bounded worker pool (cfg.SearchParallelism)
+// into per-partition result buffers, and after the joins the buffers are
+// merged in partition order, so the output is byte-identical to the
+// sequential loop. The outlier partition takes the query unchanged.
+//
+// The merge is the exact refinement of Algorithm 3 line 8, driven entirely
+// by the lookup table: a candidate id counts only if the table places it in
+// the partition that returned it (which also makes cross-partition
+// duplicates structurally impossible — no seen-set needed), and DVA
+// candidates are re-checked against the original query in the world frame
+// because the transformed query region is only a conservative bound there.
+// Outlier candidates skip that re-check: their partition ran the query
+// unchanged and the base indexes already refine through model.Matches.
 func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	var out []model.ObjectID
-	seen := make(map[model.ObjectID]struct{})
-	for i := range m.pars {
+	lists := make([][]model.ObjectID, len(m.pars))
+	err := parallel.Do(len(m.pars), m.cfg.SearchParallelism, func(i int) error {
 		p := &m.pars[i]
 		pq := q
 		if !p.spec.IsOutlier {
@@ -418,20 +439,30 @@ func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 		}
 		ids, err := p.idx.Search(pq)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		lists[i] = ids
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, ids := range lists {
+		total += len(ids)
+	}
+	out := make([]model.ObjectID, 0, total)
+	for i, ids := range lists {
+		outlier := m.pars[i].spec.IsOutlier
 		for _, id := range ids {
-			if _, dup := seen[id]; dup {
-				continue
-			}
 			rec, ok := m.objs[id]
-			if !ok {
+			if !ok || rec.part != i {
 				continue
 			}
-			if model.Matches(rec.obj, q) {
-				seen[id] = struct{}{}
-				out = append(out, id)
+			if !outlier && !model.Matches(rec.obj, q) {
+				continue
 			}
+			out = append(out, id)
 		}
 	}
 	return out, nil

@@ -74,9 +74,12 @@ type Reporter interface {
 	Get(id model.ObjectID) (model.Object, bool)
 }
 
-// Monitor maintains standing queries over an index.
+// Monitor maintains standing queries over an index. Mutating verbs hold the
+// write lock (result-set deltas must be totally ordered); the snapshot
+// accessors (Results, Now) take the read lock so concurrent dashboards
+// polling result sets never serialize against each other.
 type Monitor struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	idx    model.Index
 	nextID SubscriptionID
 	subs   map[SubscriptionID]Subscription
@@ -130,8 +133,8 @@ func (m *Monitor) Unsubscribe(id SubscriptionID) {
 
 // Results snapshots the current result set of a subscription.
 func (m *Monitor) Results(id SubscriptionID) []model.ObjectID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	set := m.results[id]
 	out := make([]model.ObjectID, 0, len(set))
 	for oid := range set {
@@ -317,7 +320,7 @@ func (m *Monitor) advance(t float64) {
 
 // Now returns the monitor's current clock.
 func (m *Monitor) Now() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.now
 }

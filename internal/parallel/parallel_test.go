@@ -1,0 +1,64 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoVisitsEveryIndexOnce(t *testing.T) {
+	for _, limit := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 3, 50} {
+			var counts [50]atomic.Int32
+			if err := Do(n, limit, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatalf("n=%d limit=%d: %v", n, limit, err)
+			}
+			for i := 0; i < n; i++ {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("n=%d limit=%d: index %d visited %d times", n, limit, i, c)
+				}
+			}
+			for i := n; i < len(counts); i++ {
+				if counts[i].Load() != 0 {
+					t.Fatalf("n=%d limit=%d: out-of-range index %d visited", n, limit, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	for _, limit := range []int{1, 4} {
+		err := Do(10, limit, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("limit=%d: got %v, want fail-3", limit, err)
+		}
+	}
+}
+
+func TestDoSequentialStopsAtFirstError(t *testing.T) {
+	var visited atomic.Int32
+	sentinel := errors.New("boom")
+	err := Do(10, 1, func(i int) error {
+		visited.Add(1)
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if v := visited.Load(); v != 3 {
+		t.Fatalf("sequential mode visited %d indices after error, want 3", v)
+	}
+}

@@ -37,14 +37,16 @@ type Page struct {
 	Data [PageSize]byte
 }
 
-// Disk is the simulated non-volatile store.
+// Disk is the simulated non-volatile store. It is safe for concurrent use:
+// multiple buffer pools may front a single Disk (the Store gives every
+// partition its own pool over one shared disk).
 type Disk struct {
 	mu      sync.Mutex
 	pages   map[PageID][]byte
 	nextID  uint64
 	reads   atomic.Int64
 	writes  atomic.Int64
-	latency time.Duration // injected per physical access
+	latency atomic.Int64 // injected ns per successful physical access
 }
 
 // NewDisk returns an empty disk.
@@ -52,9 +54,9 @@ func NewDisk() *Disk {
 	return &Disk{pages: make(map[PageID][]byte)}
 }
 
-// SetLatency injects an artificial delay per physical read/write. Zero
-// (default) disables it.
-func (d *Disk) SetLatency(l time.Duration) { d.latency = l }
+// SetLatency injects an artificial delay per successful physical read/write.
+// Zero (default) disables it. Safe to call while the disk is in use.
+func (d *Disk) SetLatency(l time.Duration) { d.latency.Store(int64(l)) }
 
 // Allocate reserves a fresh page id. The page contents start zeroed.
 func (d *Disk) Allocate() PageID {
@@ -73,11 +75,10 @@ func (d *Disk) Free(id PageID) {
 	delete(d.pages, id)
 }
 
-// read copies the page image into dst.
+// read copies the page image into dst. The physical-read counter and the
+// injected latency apply only to successful accesses: a read of an
+// unallocated page fails fast and is not an I/O.
 func (d *Disk) read(id PageID, dst *[PageSize]byte) error {
-	if d.latency > 0 {
-		time.Sleep(d.latency)
-	}
 	d.mu.Lock()
 	src, ok := d.pages[id]
 	if ok {
@@ -87,15 +88,16 @@ func (d *Disk) read(id PageID, dst *[PageSize]byte) error {
 	if !ok {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
+	if l := d.latency.Load(); l > 0 {
+		time.Sleep(time.Duration(l))
+	}
 	d.reads.Add(1)
 	return nil
 }
 
-// write stores the page image.
+// write stores the page image. Counting and latency follow the same rule as
+// read: only successful accesses are I/O.
 func (d *Disk) write(id PageID, src *[PageSize]byte) error {
-	if d.latency > 0 {
-		time.Sleep(d.latency)
-	}
 	d.mu.Lock()
 	dst, ok := d.pages[id]
 	if ok {
@@ -104,6 +106,9 @@ func (d *Disk) write(id PageID, src *[PageSize]byte) error {
 	d.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	if l := d.latency.Load(); l > 0 {
+		time.Sleep(time.Duration(l))
 	}
 	d.writes.Add(1)
 	return nil
@@ -132,11 +137,16 @@ type frame struct {
 }
 
 // BufferPool is an LRU page cache in front of a Disk. It is safe for
-// concurrent use by multiple goroutines (a single mutex — the workloads
-// here are single-writer, matching the paper's setup; the lock exists so
-// the VP manager can migrate objects between partitions safely, Sec. 5.3).
+// concurrent use by multiple goroutines: a single mutex guards the frame
+// table, and a fetch that finds every frame pinned by other goroutines
+// applies back-pressure — it waits for a pin to release instead of failing
+// — so even a pool smaller than the number of concurrent readers serves
+// every request under its RAM budget. Pins are only ever held across the
+// in-memory encode/decode closures of Read/Write, never across another
+// pool access, which is what makes the waiting deadlock-free.
 type BufferPool struct {
 	mu       sync.Mutex
+	unpinned *sync.Cond // signaled whenever a pin releases or a frame leaves
 	disk     *Disk
 	capacity int
 	frames   map[PageID]*frame
@@ -153,11 +163,13 @@ func NewBufferPool(disk *Disk, capacity int) *BufferPool {
 	if capacity < 1 {
 		panic("storage: buffer pool capacity must be >= 1")
 	}
-	return &BufferPool{
+	b := &BufferPool{
 		disk:     disk,
 		capacity: capacity,
 		frames:   make(map[PageID]*frame, capacity),
 	}
+	b.unpinned = sync.NewCond(&b.mu)
+	return b
 }
 
 // Disk returns the underlying disk.
@@ -207,39 +219,52 @@ func (b *BufferPool) lruPushFront(id PageID, f *frame) {
 }
 
 // evictOne writes back and drops the least recently used unpinned frame.
-func (b *BufferPool) evictOne() error {
+// evicted is false (with a nil error) when every frame is pinned — the
+// caller waits for an unpin; err reports only real write-back failures.
+func (b *BufferPool) evictOne() (evicted bool, err error) {
 	for id := b.tail; id != NilPage; {
 		f := b.frames[id]
 		if f.pins == 0 {
 			if f.dirty {
 				if err := b.disk.write(id, &f.page.Data); err != nil {
-					return err
+					return false, err
 				}
 				b.writes.Add(1)
 			}
 			b.lruRemove(id, f)
 			delete(b.frames, id)
-			return nil
+			return true, nil
 		}
 		id = f.prev
 	}
-	return fmt.Errorf("storage: all %d buffer frames pinned", b.capacity)
+	return false, nil
 }
 
-// fetch returns the frame for id, loading it from disk on a miss.
+// fetch returns the frame for id, loading it from disk on a miss. When the
+// pool is full of pinned frames it waits for a pin to release (pins are
+// never held across another pool access, so some other goroutine always
+// makes progress) and re-checks the table, since the waited-for page may
+// have been loaded by a concurrent fetch meanwhile.
 func (b *BufferPool) fetch(id PageID) (*frame, error) {
 	if id == NilPage {
 		return nil, fmt.Errorf("storage: fetch of nil page")
 	}
-	if f, ok := b.frames[id]; ok {
-		b.hits.Add(1)
-		b.lruRemove(id, f)
-		b.lruPushFront(id, f)
-		return f, nil
-	}
-	if len(b.frames) >= b.capacity {
-		if err := b.evictOne(); err != nil {
+	for {
+		if f, ok := b.frames[id]; ok {
+			b.hits.Add(1)
+			b.lruRemove(id, f)
+			b.lruPushFront(id, f)
+			return f, nil
+		}
+		if len(b.frames) < b.capacity {
+			break
+		}
+		evicted, err := b.evictOne()
+		if err != nil {
 			return nil, err
+		}
+		if !evicted {
+			b.unpinned.Wait()
 		}
 	}
 	f := &frame{page: Page{ID: id}}
@@ -253,7 +278,9 @@ func (b *BufferPool) fetch(id PageID) (*frame, error) {
 }
 
 // Read runs fn with read access to the page contents. The page is pinned
-// for the duration of fn; fn must not retain the slice.
+// for the duration of fn; fn must not retain the slice and must not access
+// any buffer pool (a pin held across another pool access could make a full
+// pool wait on itself).
 func (b *BufferPool) Read(id PageID, fn func(data []byte)) error {
 	b.mu.Lock()
 	f, err := b.fetch(id)
@@ -268,12 +295,13 @@ func (b *BufferPool) Read(id PageID, fn func(data []byte)) error {
 
 	b.mu.Lock()
 	f.pins--
+	b.unpinned.Broadcast()
 	b.mu.Unlock()
 	return nil
 }
 
 // Write runs fn with mutable access to the page contents and marks the page
-// dirty. fn must not retain the slice.
+// dirty. The same rules as Read apply to fn.
 func (b *BufferPool) Write(id PageID, fn func(data []byte)) error {
 	b.mu.Lock()
 	f, err := b.fetch(id)
@@ -289,20 +317,26 @@ func (b *BufferPool) Write(id PageID, fn func(data []byte)) error {
 	b.mu.Lock()
 	f.dirty = true
 	f.pins--
+	b.unpinned.Broadcast()
 	b.mu.Unlock()
 	return nil
 }
 
 // Allocate reserves a new page and installs a zeroed, dirty frame for it so
 // the first access is not charged as a read miss (freshly allocated pages
-// have no on-disk image worth reading).
+// have no on-disk image worth reading). Like fetch, it waits out a pool
+// full of pinned frames.
 func (b *BufferPool) Allocate() (PageID, error) {
 	id := b.disk.Allocate()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.frames) >= b.capacity {
-		if err := b.evictOne(); err != nil {
+	for len(b.frames) >= b.capacity {
+		evicted, err := b.evictOne()
+		if err != nil {
 			return NilPage, err
+		}
+		if !evicted {
+			b.unpinned.Wait()
 		}
 	}
 	f := &frame{page: Page{ID: id}, dirty: true}
@@ -322,6 +356,7 @@ func (b *BufferPool) Free(id PageID) error {
 		}
 		b.lruRemove(id, f)
 		delete(b.frames, id)
+		b.unpinned.Broadcast()
 	}
 	b.mu.Unlock()
 	b.disk.Free(id)

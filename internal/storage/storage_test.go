@@ -259,24 +259,74 @@ func ExampleBufferPool() {
 	// Output: 42
 }
 
-func TestAllFramesPinnedError(t *testing.T) {
-	// With a 1-frame pool, fetching a second page while the first is
-	// pinned must fail cleanly instead of evicting the pinned frame.
+func TestFullPoolBlocksUntilUnpin(t *testing.T) {
+	// With a 1-frame pool, a fetch that finds the only frame pinned by
+	// another goroutine must wait for the pin to release (back-pressure),
+	// not evict the pinned frame and not fail.
 	d := NewDisk()
 	p := NewBufferPool(d, 1)
 	a, _ := p.Allocate()
 	b := d.Allocate()
-	var innerErr error
-	if err := p.Read(a, func([]byte) {
-		innerErr = p.Read(b, func([]byte) {})
-	}); err != nil {
+
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = p.Read(a, func([]byte) {
+			close(holding)
+			<-release
+		})
+	}()
+	<-holding
+
+	done := make(chan error, 1)
+	go func() { done <- p.Read(b, func([]byte) {}) }()
+	select {
+	case err := <-done:
+		t.Fatalf("fetch completed while the only frame was pinned (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+		// Still blocked: the pinned frame was not evicted from under its
+		// reader.
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("fetch after unpin: %v", err)
+	}
+}
+
+func TestTinyPoolConcurrentReaders(t *testing.T) {
+	// More concurrent readers than frames: every read must still succeed
+	// (waiting as needed), and pinned frames must never be evicted.
+	d := NewDisk()
+	p := NewBufferPool(d, 2)
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := p.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	if innerErr == nil {
-		t.Fatal("nested fetch with all frames pinned should fail")
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(w+i)%len(ids)]
+				if err := p.Read(id, func(data []byte) {}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
 	}
-	// After the pin is released, the fetch succeeds.
-	if err := p.Read(b, func([]byte) {}); err != nil {
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Fatal(err)
 	}
 }
@@ -320,5 +370,46 @@ func TestDiskLatencyInjection(t *testing.T) {
 	_ = p.Read(a, func([]byte) {}) // miss: pays read latency
 	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
 		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestDiskFailedAccessNotCounted(t *testing.T) {
+	d := NewDisk()
+	// A generous latency makes an accidental sleep on the failure path show
+	// up as a timing violation as well as a counter violation.
+	d.SetLatency(200 * time.Millisecond)
+	var buf [PageSize]byte
+
+	start := time.Now()
+	if err := d.read(PageID(999), &buf); err == nil {
+		t.Fatal("read of unallocated page should fail")
+	}
+	if err := d.write(PageID(999), &buf); err == nil {
+		t.Fatal("write of unallocated page should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("failed accesses slept the injected latency: %v", elapsed)
+	}
+	if r, w := d.PhysicalReads(), d.PhysicalWrites(); r != 0 || w != 0 {
+		t.Fatalf("failed accesses counted as I/O: reads=%d writes=%d", r, w)
+	}
+
+	d.SetLatency(0)
+	id := d.Allocate()
+	if err := d.write(id, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.read(id, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if r, w := d.PhysicalReads(), d.PhysicalWrites(); r != 1 || w != 1 {
+		t.Fatalf("successful accesses miscounted: reads=%d writes=%d", r, w)
+	}
+	d.Free(id)
+	if err := d.read(id, &buf); err == nil {
+		t.Fatal("read of freed page should fail")
+	}
+	if r := d.PhysicalReads(); r != 1 {
+		t.Fatalf("failed read after free counted: reads=%d", r)
 	}
 }

@@ -47,8 +47,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Tree is a TPR*-tree. Not safe for concurrent use; the VP index manager
-// and the benchmark harness serialize access.
+// Tree is a TPR*-tree. Mutations are not safe for concurrent use; the VP
+// index manager and the benchmark harness serialize them. Read-only queries
+// (Search, SearchKNN, LeafBounds) may run concurrently with each other —
+// they touch no mutable tree state outside the lock-protected buffer pool —
+// which the VP manager's parallel partition fan-out relies on.
 type Tree struct {
 	pool *storage.BufferPool
 	cfg  Config

@@ -118,6 +118,12 @@ func NewVP(sample []Vec2, opts VPOptions) (*VPIndex, error) {
 		Domain:             opts.Domain,
 		TauRefreshInterval: opts.TauRefreshInterval,
 		TauBuckets:         opts.TauBuckets,
+		// The paper's experiments probe partitions sequentially through one
+		// shared buffer pool; parallel probing would make the pool's
+		// eviction order — and with it the I/O metric every figure plots —
+		// depend on goroutine scheduling. The Store opts into fan-out with
+		// its per-partition pools; the reproduction surface stays exact.
+		SearchParallelism: 1,
 	}, func(spec core.PartitionSpec) (model.Index, error) {
 		return buildBase(pool, opts.Options, spec.Domain, spec.Name)
 	})

@@ -1,6 +1,9 @@
 package vpindex
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // DefaultAutoPartitionSample is the bootstrap sample size used when velocity
 // partitioning is requested without an explicit WithVelocitySample or
@@ -27,6 +30,11 @@ type storeConfig struct {
 	tauBuckets int
 	tauRefresh int
 	seed       int64
+
+	// shards is the ObjectID-hash shard count (normalized to >= 1);
+	// searchPar bounds the query fan-out worker pools (0 = GOMAXPROCS).
+	shards    int
+	searchPar int
 }
 
 // WithKind selects the base index structure for every partition (default
@@ -36,7 +44,11 @@ func WithKind(k Kind) Option { return func(c *storeConfig) { c.base.Kind = k } }
 // WithDomain sets the data space (default 100,000 x 100,000 m, Table 1).
 func WithDomain(r Rect) Option { return func(c *storeConfig) { c.base.Domain = r } }
 
-// WithBufferPages sizes the shared LRU buffer pool (default 50, Table 1).
+// WithBufferPages sizes each LRU buffer pool in pages (default 50, Table 1).
+// The Store creates one pool per index structure — one per shard while
+// unpartitioned, one per velocity partition per shard afterwards, i.e.
+// shards × (k+1) pools — so the total page cache is n times that count, not
+// n. (The deprecated New/NewVP constructors keep one shared n-page pool.)
 func WithBufferPages(n int) Option { return func(c *storeConfig) { c.base.BufferPages = n } }
 
 // WithDiskLatency injects a delay per simulated physical page access so
@@ -112,6 +124,24 @@ func WithAutoPartition(n int) Option {
 	}
 }
 
+// WithShards splits the Store into n ObjectID-hash shards, each with its own
+// lock, id→record table, and index structure, so writes to different shards
+// run in parallel (see the Store type docs). n <= 0 (the default) uses
+// GOMAXPROCS; WithShards(1) restores the single global lock. More shards
+// mean more parallelism but also more index structures for a query to fan
+// out over, so the default tracks the machine's parallelism rather than the
+// data size.
+func WithShards(n int) Option { return func(c *storeConfig) { c.shards = n } }
+
+// WithSearchParallelism bounds the worker pools that fan queries (Search,
+// SearchKNN) out across the Store's shards and, within each shard, across
+// its velocity partitions. 0 (the default) uses GOMAXPROCS; 1 forces the
+// strictly sequential probe order, which is the baseline the parallel path
+// is tested byte-identical against. It does not affect ReportBatch's write
+// fan-out, which is always bounded by GOMAXPROCS (use WithShards(1) to
+// serialize writes).
+func WithSearchParallelism(n int) Option { return func(c *storeConfig) { c.searchPar = n } }
+
 // WithTauBuckets sizes the tau histograms (default 100, paper setting).
 func WithTauBuckets(n int) Option { return func(c *storeConfig) { c.tauBuckets = n } }
 
@@ -130,6 +160,9 @@ func (c *storeConfig) vpEnabled() bool {
 // normalize fills defaults and reconciles the VP trio.
 func (c *storeConfig) normalize() {
 	c.base = c.base.withDefaults()
+	if c.shards <= 0 {
+		c.shards = runtime.GOMAXPROCS(0)
+	}
 	if !c.vpEnabled() {
 		return
 	}

@@ -3,10 +3,12 @@ package vpindex
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/monitor"
+	"repro/internal/parallel"
 	"repro/internal/storage"
 )
 
@@ -22,37 +24,80 @@ import (
 // location service: devices send bare position/velocity reports; nobody
 // ships the server's previous state back to it.
 //
-// With velocity partitioning enabled but no upfront sample, the Store
-// bootstraps online: it starts in a staging (unpartitioned) index,
-// accumulates the first n reported velocities, then runs the DVA analysis
-// and migrates every live object into the partitions — queries work
-// identically before, during, and after the cutover.
+// # Concurrency: sharded locking
 //
-// A Store is safe for concurrent use. A single RWMutex serializes writers
-// and lets readers (Search, SearchKNN, Get, Len, Stats) proceed in parallel;
-// this lock is deliberately the one choke point, making it the seam where
-// future sharding (hash by ObjectID, one Store shard per lock) slots in
-// without touching the unsynchronized base trees.
+// A Store is safe for concurrent use and is internally sharded by ObjectID
+// (WithShards, default GOMAXPROCS). Each shard owns a private RWMutex, its
+// own id→record table, and its own index structure — a staging index while
+// unpartitioned, a full velocity-partition manager afterwards — so the
+// ID-keyed write verbs (Report, Remove, Insert, Update) contend only on the
+// shard their object hashes to, and writes to different shards proceed
+// genuinely in parallel. Reads (Get) touch one shard under its read lock;
+// queries (Search, SearchKNN) fan out across the shards with a bounded
+// worker pool (WithSearchParallelism) and merge the per-shard buffers in
+// shard order after the joins — and inside every shard the partition
+// manager fans out across its velocity partitions the same way. ReportBatch
+// groups the batch by shard and applies the groups concurrently, one lock
+// acquisition per shard. WithShards(1) restores a single global lock.
+//
+// Every partition index (and every shard's staging index) draws pages from
+// its own LRU buffer pool over one shared simulated disk, so page-cache
+// hits on independent partitions never contend on a single pool mutex;
+// Stats aggregates the counters across all pools.
+//
+// # Online bootstrap
+//
+// With velocity partitioning enabled but no upfront sample, the Store
+// bootstraps online: it starts in staging (unpartitioned) indexes,
+// accumulates the first n reported velocities (collected per shard, counted
+// globally), then runs the DVA analysis once over the pooled sample and
+// cuts every shard over to freshly built partitions in a single coordinated
+// migration under all shard locks — queries work identically before,
+// during, and after the cutover.
 type Store struct {
-	mu   sync.RWMutex
-	cfg  storeConfig
-	pool *storage.BufferPool
+	cfg    storeConfig
+	disk   *storage.Disk
+	shards []*storeShard
 
-	// Exactly one of base/mgr is active: base while staging or permanently
-	// unpartitioned, mgr once the partitions exist.
+	// pools tracks every buffer pool the Store has created (one per shard
+	// staging index, one per partition per shard after the cutover) so
+	// Stats can aggregate I/O counters across all of them.
+	poolMu sync.Mutex
+	pools  []*storage.BufferPool
+
+	// Bootstrap coordination: sampled counts staged velocities across all
+	// shards; a report that pushes it to nextTrip attempts the cutover;
+	// bootMu serializes cutovers; partitioned flips true exactly once,
+	// under all shard locks. A failed cutover (degenerate sample) re-arms
+	// nextTrip a full sample size later instead of retrying the O(n)
+	// analysis on every subsequent write.
+	bootMu      sync.Mutex
+	sampled     atomic.Int64
+	nextTrip    atomic.Int64
+	partitioned atomic.Bool
+
+	anMu     sync.RWMutex
+	analysis core.Analysis
+}
+
+// storeShard is one lock domain of the Store: the objects whose IDs hash
+// here, plus the index structure they live in. Exactly one of base/mgr is
+// active: base while staging or permanently unpartitioned, mgr once the
+// velocity partitions exist.
+type storeShard struct {
+	mu   sync.RWMutex
 	base model.Index
 	mgr  *core.Manager
 
-	// objs is the id→record table (world frame) while staging or
+	// objs is the shard's id→record table (world frame) while staging or
 	// permanently unpartitioned — the base trees have no ID surface of
-	// their own. After the cutover the Manager's internal table is the
+	// their own. After the cutover the manager's internal table is the
 	// single copy and objs is nil.
 	objs map[ObjectID]Object
 
 	// sample accumulates reported velocities toward the auto-partition
 	// threshold; nil when not bootstrapping.
-	sample   []Vec2
-	analysis core.Analysis
+	sample []Vec2
 }
 
 // Store satisfies the full index interface, so it drops into every API that
@@ -65,13 +110,14 @@ var (
 
 // Open builds a Store from functional options. Examples:
 //
-//	// Unpartitioned TPR*-tree with defaults.
+//	// Unpartitioned TPR*-tree with defaults (sharded across GOMAXPROCS).
 //	s, err := vpindex.Open()
 //
 //	// VP-partitioned Bx-tree that bootstraps its own partitions after
-//	// the first 10,000 reports.
+//	// the first 10,000 reports, with 8 Store shards.
 //	s, err := vpindex.Open(
 //		vpindex.WithKind(vpindex.Bx),
+//		vpindex.WithShards(8),
 //		vpindex.WithVelocityPartitioning(2),
 //		vpindex.WithAutoPartition(10_000),
 //	)
@@ -87,12 +133,11 @@ func Open(opts ...Option) (*Store, error) {
 	if cfg.autoN > 0 && cfg.autoN < cfg.k {
 		return nil, fmt.Errorf("vpindex: auto-partition sample of %d cannot form %d partitions", cfg.autoN, cfg.k)
 	}
-	disk := storage.NewDisk()
-	disk.SetLatency(cfg.base.DiskLatency)
-	s := &Store{
-		cfg:  cfg,
-		pool: storage.NewBufferPool(disk, cfg.base.BufferPages),
-		objs: make(map[ObjectID]Object),
+	s := &Store{cfg: cfg, disk: storage.NewDisk()}
+	s.disk.SetLatency(cfg.base.DiskLatency)
+	s.shards = make([]*storeShard, cfg.shards)
+	for i := range s.shards {
+		s.shards[i] = &storeShard{}
 	}
 	if len(cfg.sample) > 0 {
 		if err := s.partitionLocked(cfg.sample); err != nil {
@@ -103,18 +148,76 @@ func Open(opts ...Option) (*Store, error) {
 	suffix := ""
 	if cfg.autoN > 0 {
 		suffix = "staging"
-		s.sample = make([]Vec2, 0, cfg.autoN)
+		s.nextTrip.Store(int64(cfg.autoN))
 	}
-	idx, err := buildBase(s.pool, cfg.base, cfg.base.Domain, suffix)
-	if err != nil {
-		return nil, err
+	for _, sh := range s.shards {
+		idx, err := buildBase(s.newPool(), cfg.base, cfg.base.Domain, suffix)
+		if err != nil {
+			return nil, err
+		}
+		sh.base = idx
+		sh.objs = make(map[ObjectID]Object)
+		if cfg.autoN > 0 {
+			sh.sample = make([]Vec2, 0, cfg.autoN/len(s.shards)+1)
+		}
 	}
-	s.base = idx
 	return s, nil
 }
 
-// partitionLocked runs the DVA analysis over sample, builds the partition
-// manager, and migrates every live object into it. Caller holds mu (or is
+// shardFor routes an ObjectID to its shard. Fibonacci hashing spreads the
+// dense sequential ID ranges real device fleets use evenly across shards.
+func (s *Store) shardFor(id ObjectID) *storeShard {
+	return s.shards[s.shardIndex(id)]
+}
+
+func (s *Store) shardIndex(id ObjectID) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(uint64(id) * 0x9E3779B97F4A7C15 % uint64(len(s.shards)))
+}
+
+// newPool creates one buffer pool over the Store's shared disk and registers
+// it for Stats aggregation. Every index structure the Store builds gets its
+// own pool so concurrent page-cache hits never serialize on one pool mutex.
+func (s *Store) newPool() *storage.BufferPool {
+	p := storage.NewBufferPool(s.disk, s.cfg.base.BufferPages)
+	s.poolMu.Lock()
+	s.pools = append(s.pools, p)
+	s.poolMu.Unlock()
+	return p
+}
+
+// buildManager constructs one shard's partition manager from the completed
+// analysis, each partition over its own buffer pool. New pools are appended
+// to *pools rather than registered on the Store, so a failed cutover
+// attempt leaks nothing into Stats — the caller registers them on commit.
+func (s *Store) buildManager(an core.Analysis, pools *[]*storage.BufferPool) (*core.Manager, error) {
+	mgr, err := core.NewManager(an, core.ManagerConfig{
+		Domain:             s.cfg.base.Domain,
+		TauRefreshInterval: s.cfg.tauRefresh,
+		TauBuckets:         s.cfg.tauBuckets,
+		SearchParallelism:  s.cfg.searchPar,
+	}, func(spec core.PartitionSpec) (model.Index, error) {
+		p := storage.NewBufferPool(s.disk, s.cfg.base.BufferPages)
+		idx, err := buildBase(p, s.cfg.base, spec.Domain, spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		*pools = append(*pools, p)
+		return idx, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr.SetName(s.cfg.base.Kind.String() + "(vp)")
+	return mgr, nil
+}
+
+// partitionLocked runs the DVA analysis over sample, builds one partition
+// manager per shard, and migrates every live object into them. Nothing is
+// committed until every shard's migration has succeeded, so a failure
+// leaves the staging state serving. Caller holds every shard's lock (or is
 // Open, before the Store escapes).
 func (s *Store) partitionLocked(sample []Vec2) error {
 	an, err := core.Analyze(sample, core.AnalyzerConfig{
@@ -125,96 +228,178 @@ func (s *Store) partitionLocked(sample []Vec2) error {
 	if err != nil {
 		return fmt.Errorf("vpindex: velocity analysis: %w", err)
 	}
-	mgr, err := core.NewManager(an, core.ManagerConfig{
-		Domain:             s.cfg.base.Domain,
-		TauRefreshInterval: s.cfg.tauRefresh,
-		TauBuckets:         s.cfg.tauBuckets,
-	}, func(spec core.PartitionSpec) (model.Index, error) {
-		return buildBase(s.pool, s.cfg.base, spec.Domain, spec.Name)
-	})
-	if err != nil {
-		return err
-	}
-	mgr.SetName(s.cfg.base.Kind.String() + "(vp)")
-	if len(s.objs) > 0 {
-		live := make([]Object, 0, len(s.objs))
-		for _, o := range s.objs {
-			live = append(live, o)
+	mgrs := make([]*core.Manager, len(s.shards))
+	var pools []*storage.BufferPool
+	for i, sh := range s.shards {
+		mgr, err := s.buildManager(an, &pools)
+		if err != nil {
+			return err
 		}
-		if err := mgr.InsertBulk(live); err != nil {
-			return fmt.Errorf("vpindex: bootstrap migration: %w", err)
+		if len(sh.objs) > 0 {
+			live := make([]Object, 0, len(sh.objs))
+			for _, o := range sh.objs {
+				live = append(live, o)
+			}
+			if err := mgr.InsertBulk(live); err != nil {
+				return fmt.Errorf("vpindex: bootstrap migration: %w", err)
+			}
 		}
+		mgrs[i] = mgr
 	}
-	// Cutover: the staging index (if any) is abandoned in place — its pages
-	// fall out of the shared LRU pool naturally as partition pages displace
-	// them — and the manager's lookup table becomes the only record copy.
-	s.mgr = mgr
+	// Commit the cutover: the staging indexes are abandoned in place — their
+	// pools stop being touched and only still count toward cumulative Stats —
+	// and each shard's manager table becomes the only record copy. The new
+	// partition pools become visible to Stats only now, so a failed attempt
+	// above left no trace.
+	s.poolMu.Lock()
+	s.pools = append(s.pools, pools...)
+	s.poolMu.Unlock()
+	for i, sh := range s.shards {
+		sh.mgr = mgrs[i]
+		sh.base = nil
+		sh.objs = nil
+		sh.sample = nil
+	}
+	s.anMu.Lock()
 	s.analysis = an
-	s.base = nil
-	s.sample = nil
-	s.objs = nil
+	s.anMu.Unlock()
+	s.partitioned.Store(true)
 	return nil
 }
 
-// reportLocked applies one ID-keyed upsert and advances the bootstrap state.
-// Caller holds mu.
-func (s *Store) reportLocked(o Object) error {
-	if s.mgr != nil {
-		return s.mgr.Report(o)
+// cutover performs the coordinated bootstrap migration: it pools the
+// per-shard samples under every shard's lock and partitions all shards at
+// once. Safe to call from any number of tripping reporters; only the first
+// does the work. On failure (a degenerate sample the analysis rejects) the
+// staging state keeps serving — the triggering report itself was already
+// applied — and the trip threshold is re-armed a full sample size later,
+// so the O(n) analysis is not retried on every subsequent write but gets a
+// fresh chance once the workload has produced new velocities.
+func (s *Store) cutover() error {
+	s.bootMu.Lock()
+	defer s.bootMu.Unlock()
+	if s.partitioned.Load() {
+		return nil
 	}
-	old, exists := s.objs[o.ID]
-	var err error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(s.shards) - 1; i >= 0; i-- {
+			s.shards[i].mu.Unlock()
+		}
+	}()
+	sample := make([]Vec2, 0, s.sampled.Load())
+	for _, sh := range s.shards {
+		sample = append(sample, sh.sample...)
+	}
+	err := s.partitionLocked(sample)
+	if err != nil {
+		s.nextTrip.Store(s.sampled.Load() + int64(s.cfg.autoN))
+	}
+	return err
+}
+
+// reportShardLocked applies one ID-keyed upsert to sh and advances the
+// bootstrap sample. It reports whether this record tripped the
+// auto-partition threshold (the caller runs the cutover after releasing the
+// shard lock — the cutover needs every shard's lock). Caller holds sh.mu.
+func (s *Store) reportShardLocked(sh *storeShard, o Object) (trip bool, err error) {
+	if sh.mgr != nil {
+		return false, sh.mgr.Report(o)
+	}
+	old, exists := sh.objs[o.ID]
 	if exists {
-		err = s.base.Update(old, o)
+		err = sh.base.Update(old, o)
 	} else {
-		err = s.base.Insert(o)
+		err = sh.base.Insert(o)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
-	s.objs[o.ID] = o
-	if s.sample == nil {
-		return nil
+	sh.objs[o.ID] = o
+	if sh.sample == nil {
+		return false, nil
 	}
-	s.sample = append(s.sample, o.Vel)
-	if len(s.sample) < s.cfg.autoN {
-		return nil
-	}
-	return s.partitionLocked(s.sample)
+	sh.sample = append(sh.sample, o.Vel)
+	return s.sampled.Add(1) >= s.nextTrip.Load(), nil
 }
 
 // Report upserts one object by ID: a new ID is inserted, a known ID replaces
 // its previous record (routing between partitions as the velocity dictates).
 // The record's T must carry the report timestamp; the Store never needs the
-// previous record from the caller.
+// previous record from the caller. Only the object's shard is locked.
 func (s *Store) Report(o Object) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reportLocked(o)
+	sh := s.shardFor(o.ID)
+	sh.mu.Lock()
+	trip, err := s.reportShardLocked(sh, o)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if trip {
+		return s.cutover()
+	}
+	return nil
 }
 
-// ReportBatch upserts many objects under one lock acquisition, amortizing
-// locking (and, in partitioned mode, the tau-refresh bookkeeping) across the
-// batch. On error, records before the failing one remain applied. The online
-// bootstrap may trigger mid-batch; the remainder of the batch lands directly
-// in the partitions.
+// ReportBatch upserts many objects, grouped by shard and applied with one
+// lock acquisition per shard, concurrently across shards (which also
+// amortizes the partition manager's tau-refresh bookkeeping per group). On
+// error, records that were applied before the failure stay applied; because
+// shards proceed independently, those are not necessarily a prefix of the
+// batch, though within each shard records apply in batch order. A batch
+// that crosses the auto-partition threshold lands in staging first and the
+// coordinated cutover migrates it at the end of the batch.
 func (s *Store) ReportBatch(objs []Object) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Staging reports go one at a time (each may be the one that triggers
-	// the bootstrap); everything from the cutover on is handed to the
-	// manager as a single amortized batch.
-	i := 0
-	for ; i < len(objs) && s.mgr == nil; i++ {
-		if err := s.reportLocked(objs[i]); err != nil {
-			return fmt.Errorf("vpindex: batch report of object %d: %w", objs[i].ID, err)
-		}
-	}
-	if i == len(objs) {
+	if len(objs) == 0 {
 		return nil
 	}
-	if _, err := s.mgr.ReportBatch(objs[i:]); err != nil {
-		return fmt.Errorf("vpindex: batch report: %w", err)
+	groups := make([][]Object, len(s.shards))
+	if len(s.shards) == 1 {
+		groups[0] = objs
+	} else {
+		for _, o := range objs {
+			i := s.shardIndex(o.ID)
+			groups[i] = append(groups[i], o)
+		}
+	}
+	var trip atomic.Bool
+	// Write fan-out is bounded by GOMAXPROCS, independent of the query knob
+	// WithSearchParallelism: the final state is identical whatever order the
+	// groups land in (each shard applies its group in batch order), so
+	// there is nothing for a sequential setting to pin down. Callers who
+	// need fully serialized writes run WithShards(1).
+	err := parallel.Do(len(s.shards), 0, func(i int) error {
+		group := groups[i]
+		if len(group) == 0 {
+			return nil
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if sh.mgr != nil {
+			if _, err := sh.mgr.ReportBatch(group); err != nil {
+				return fmt.Errorf("vpindex: batch report: %w", err)
+			}
+			return nil
+		}
+		for _, o := range group {
+			t, err := s.reportShardLocked(sh, o)
+			if err != nil {
+				return fmt.Errorf("vpindex: batch report of object %d: %w", o.ID, err)
+			}
+			if t {
+				trip.Store(true)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if trip.Load() {
+		return s.cutover()
 	}
 	return nil
 }
@@ -222,129 +407,222 @@ func (s *Store) ReportBatch(objs []Object) error {
 // Remove deletes the object by ID. Returns ErrNotFound (errors.Is-able) when
 // no such object is indexed.
 func (s *Store) Remove(id ObjectID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.mgr != nil {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.mgr != nil {
 		// The manager only consults the ID; its table supplies the record.
-		return s.mgr.Delete(Object{ID: id})
+		return sh.mgr.Delete(Object{ID: id})
 	}
-	old, ok := s.objs[id]
+	old, ok := sh.objs[id]
 	if !ok {
 		return fmt.Errorf("vpindex: remove of object %d: %w", id, ErrNotFound)
 	}
-	if err := s.base.Delete(old); err != nil {
+	if err := sh.base.Delete(old); err != nil {
 		return err
 	}
-	delete(s.objs, id)
+	delete(sh.objs, id)
 	return nil
 }
 
-// Get returns the current record for id.
+// Get returns the current record for id, touching only its shard.
 func (s *Store) Get(id ObjectID) (Object, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.mgr != nil {
-		return s.mgr.Get(id)
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.mgr != nil {
+		return sh.mgr.Get(id)
 	}
-	o, ok := s.objs[id]
+	o, ok := sh.objs[id]
 	return o, ok
 }
 
-// Search answers a predictive range query. It works identically in staging,
-// unpartitioned, and partitioned configurations.
-func (s *Store) Search(q RangeQuery) ([]ObjectID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.mgr != nil {
-		return s.mgr.Search(q)
+// searchShardLocked answers q within one shard. Caller holds sh.mu (read).
+func searchShardLocked(sh *storeShard, q RangeQuery) ([]ObjectID, error) {
+	if sh.mgr != nil {
+		return sh.mgr.Search(q)
 	}
-	return s.base.Search(q)
+	return sh.base.Search(q)
+}
+
+// Search answers a predictive range query. It works identically in staging,
+// unpartitioned, and partitioned configurations. The query fans out across
+// the shards (and, inside each shard, across the velocity partitions) with
+// bounded worker pools; per-shard result buffers are merged in shard order
+// after the joins, so the result is deterministic for a given Store state.
+func (s *Store) Search(q RangeQuery) ([]ObjectID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	lists := make([][]ObjectID, len(s.shards))
+	err := parallel.Do(len(s.shards), s.cfg.searchPar, func(i int) error {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		ids, err := searchShardLocked(sh, q)
+		if err != nil {
+			return err
+		}
+		lists[i] = ids
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(lists) == 1 {
+		return lists[0], nil
+	}
+	total := 0
+	for _, ids := range lists {
+		total += len(ids)
+	}
+	out := make([]ObjectID, 0, total)
+	for _, ids := range lists {
+		out = append(out, ids...)
+	}
+	return out, nil
 }
 
 // SearchKNN returns the k objects nearest the query center at the query's
-// evaluation time. Returns ErrUnsupported if the configured base structure
-// has no kNN implementation (both built-in kinds do).
+// evaluation time, fanning out across shards like Search and merging the
+// per-shard top-k lists. Returns ErrUnsupported if the configured base
+// structure has no kNN implementation (both built-in kinds do).
 func (s *Store) SearchKNN(q KNNQuery) ([]Neighbor, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.mgr != nil {
-		return s.mgr.SearchKNN(q)
+	lists := make([][]Neighbor, len(s.shards))
+	err := parallel.Do(len(s.shards), s.cfg.searchPar, func(i int) error {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		var (
+			ns  []Neighbor
+			err error
+		)
+		if sh.mgr != nil {
+			ns, err = sh.mgr.SearchKNN(q)
+		} else {
+			knn, ok := sh.base.(model.KNNIndex)
+			if !ok {
+				return fmt.Errorf("vpindex: %s does not support kNN: %w", sh.base.Name(), ErrUnsupported)
+			}
+			ns, err = knn.SearchKNN(q)
+		}
+		if err != nil {
+			return err
+		}
+		lists[i] = ns
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	knn, ok := s.base.(model.KNNIndex)
-	if !ok {
-		return nil, fmt.Errorf("vpindex: %s does not support kNN: %w", s.base.Name(), ErrUnsupported)
+	if len(lists) == 1 {
+		return lists[0], nil
 	}
-	return knn.SearchKNN(q)
+	return model.MergeNeighbors(q.K, lists...), nil
 }
 
-// Len returns the number of live objects.
+// Len returns the number of live objects across all shards.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.mgr != nil {
-		return s.mgr.Len()
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if sh.mgr != nil {
+			total += sh.mgr.Len()
+		} else {
+			total += len(sh.objs)
+		}
+		sh.mu.RUnlock()
 	}
-	return len(s.objs)
+	return total
 }
+
+// NumShards returns the Store's shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
 
 // Partitioned reports whether the Store is currently velocity-partitioned
 // (immediately true with an upfront sample; flips true at the bootstrap
 // cutover in auto-partition mode; always false otherwise).
-func (s *Store) Partitioned() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.mgr != nil
-}
+func (s *Store) Partitioned() bool { return s.partitioned.Load() }
 
 // Analysis returns the velocity analysis that shaped the partitions, and
 // whether one has run yet.
 func (s *Store) Analysis() (core.Analysis, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.analysis, s.mgr != nil
+	s.anMu.RLock()
+	defer s.anMu.RUnlock()
+	return s.analysis, s.partitioned.Load()
 }
 
 // BootstrapProgress reports how many velocities have been collected toward
-// the auto-partition threshold, and the threshold itself. After the cutover
-// (or when auto-partitioning is off) it returns (0, 0).
+// the auto-partition threshold, and the threshold itself. The threshold is
+// the currently armed one: after a failed cutover attempt it moves a full
+// sample size out, so collected never sits above target while the Store is
+// still unpartitioned. After the cutover (or when auto-partitioning is off)
+// it returns (0, 0).
 func (s *Store) BootstrapProgress() (collected, target int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.sample == nil {
+	if s.cfg.autoN == 0 || s.partitioned.Load() {
 		return 0, 0
 	}
-	return len(s.sample), s.cfg.autoN
+	return int(s.sampled.Load()), int(s.nextTrip.Load())
 }
 
-// Partitions snapshots the live partition set (empty until partitioned).
+// Partitions snapshots the live logical partition set (empty until
+// partitioned): one entry per velocity partition, with Size summed across
+// every shard. Spec, rotation, tau, and the Index handle come from shard 0
+// (shards may drift apart slightly in tau once online refresh runs).
 func (s *Store) Partitions() []core.PartitionInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.mgr == nil {
+	if !s.partitioned.Load() {
 		return nil
 	}
-	return s.mgr.Partitions()
+	var out []core.PartitionInfo
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		infos := sh.mgr.Partitions()
+		sh.mu.RUnlock()
+		if i == 0 {
+			out = infos
+			continue
+		}
+		for j := range infos {
+			out[j].Size += infos[j].Size
+		}
+	}
+	return out
 }
 
-// Stats returns cumulative simulated I/O counters for the whole Store (all
-// partitions share one buffer pool).
+// Stats returns cumulative simulated I/O counters aggregated across every
+// buffer pool the Store has created (one per staging index, one per
+// partition per shard).
 func (s *Store) Stats() IOStats {
-	st := s.pool.Stats()
-	return IOStats{Reads: st.Misses, Writes: st.Writes, Hits: st.Hits}
+	s.poolMu.Lock()
+	pools := append([]*storage.BufferPool(nil), s.pools...)
+	s.poolMu.Unlock()
+	var st IOStats
+	for _, p := range pools {
+		ps := p.Stats()
+		st.Reads += ps.Misses
+		st.Writes += ps.Writes
+		st.Hits += ps.Hits
+	}
+	return st
 }
 
-// Pool exposes the shared buffer pool for instrumentation (benchmarks
-// snapshot miss counters around operations).
-func (s *Store) Pool() *storage.BufferPool { return s.pool }
+// Pools snapshots every buffer pool the Store has created, for
+// instrumentation (benchmarks snapshot miss counters around operations).
+func (s *Store) Pools() []*storage.BufferPool {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	return append([]*storage.BufferPool(nil), s.pools...)
+}
 
 // Name implements model.Index.
 func (s *Store) Name() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.mgr != nil {
-		return s.mgr.Name()
+	sh := s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.mgr != nil {
+		return sh.mgr.Name()
 	}
-	return s.base.Name()
+	return sh.base.Name()
 }
 
 // IO implements model.Index (same counters as Stats).
@@ -354,15 +632,30 @@ func (s *Store) IO() IOStats { return s.Stats() }
 // is already indexed returns ErrDuplicate. Application code should prefer
 // Report.
 func (s *Store) Insert(o Object) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.mgr != nil {
-		return s.mgr.Insert(o)
+	sh := s.shardFor(o.ID)
+	sh.mu.Lock()
+	var (
+		trip bool
+		err  error
+	)
+	switch {
+	case sh.mgr != nil:
+		err = sh.mgr.Insert(o)
+	default:
+		if _, dup := sh.objs[o.ID]; dup {
+			err = fmt.Errorf("vpindex: insert of object %d: %w", o.ID, ErrDuplicate)
+		} else {
+			trip, err = s.reportShardLocked(sh, o)
+		}
 	}
-	if _, dup := s.objs[o.ID]; dup {
-		return fmt.Errorf("vpindex: insert of object %d: %w", o.ID, ErrDuplicate)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	return s.reportLocked(o)
+	if trip {
+		return s.cutover()
+	}
+	return nil
 }
 
 // Delete implements model.Index. Only the ID of o is consulted — the stored
@@ -373,16 +666,31 @@ func (s *Store) Delete(o Object) error { return s.Remove(o.ID) }
 // old record comes from the table, so legacy delete+insert call sites keep
 // working without tracking server state.
 func (s *Store) Update(old, new Object) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if new.ID != old.ID {
 		return fmt.Errorf("vpindex: update changes object id %d -> %d", old.ID, new.ID)
 	}
-	if s.mgr != nil {
-		return s.mgr.UpdateByID(new)
+	sh := s.shardFor(old.ID)
+	sh.mu.Lock()
+	var (
+		trip bool
+		err  error
+	)
+	switch {
+	case sh.mgr != nil:
+		err = sh.mgr.UpdateByID(new)
+	default:
+		if _, ok := sh.objs[old.ID]; !ok {
+			err = fmt.Errorf("vpindex: update of object %d: %w", old.ID, ErrNotFound)
+		} else {
+			trip, err = s.reportShardLocked(sh, new)
+		}
 	}
-	if _, ok := s.objs[old.ID]; !ok {
-		return fmt.Errorf("vpindex: update of object %d: %w", old.ID, ErrNotFound)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	return s.reportLocked(new)
+	if trip {
+		return s.cutover()
+	}
+	return nil
 }

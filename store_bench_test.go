@@ -1,0 +1,153 @@
+// Store concurrency benchmarks: sharded vs single-lock throughput on the
+// production facade. Run with
+//
+//	go test -bench=Store -benchmem -run='^$' -cpu 1,4,8
+//
+// shards=1 is the pre-sharding single-lock baseline; shards=N is the
+// GOMAXPROCS default. CI runs these non-gating and archives the output next
+// to BENCH_concurrency.json (cmd/vpbench -exp concurrency).
+package vpindex_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	vpindex "repro"
+)
+
+// benchStoreObjects is the live population the Store benchmarks run over.
+const benchStoreObjects = 20000
+
+// benchDiskLatency injects the simulated per-page-access delay. The Store's
+// performance model is disk-bound (every structure lives on simulated 4 KB
+// pages; the paper's metric is page I/O), so the scaling win of sharding is
+// overlapping those waits: the single global lock holds every other
+// operation hostage while one sleeps on a miss, independent shards overlap
+// them. 20µs is a fast-SSD-class page cost.
+const benchDiskLatency = 20 * time.Microsecond
+
+// benchTotalPages is the aggregate page-cache budget, held constant across
+// the shard axis (each of the shards × 3 pools gets an equal slice) so the
+// shards=1 vs shards=N comparison isolates lock overlap instead of also
+// handing the sharded configuration a bigger cache.
+const benchTotalPages = 384
+
+// newBenchStore opens a velocity-partitioned (k=2 via upfront sample) Bx
+// Store with the given shard count and preloads the population.
+func newBenchStore(b *testing.B, shards int, objs []vpindex.Object) *vpindex.Store {
+	b.Helper()
+	sample := make([]vpindex.Vec2, len(objs))
+	for i, o := range objs {
+		sample[i] = o.Vel
+	}
+	perPool := benchTotalPages / (shards * 3)
+	if perPool < 1 {
+		perPool = 1
+	}
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithShards(shards),
+		vpindex.WithBufferPages(perPool),
+		vpindex.WithDiskLatency(benchDiskLatency),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithVelocitySample(sample),
+		vpindex.WithSeed(1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.ReportBatch(objs); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// shardCounts returns the benchmark's shard axis: the single-lock baseline
+// and the GOMAXPROCS default (when they differ).
+func shardCounts() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkStoreMixed is the headline mixed read/write workload: 7 in 8
+// operations are ID-keyed reports (upserts that may migrate partitions),
+// 1 in 8 is a predictive range query.
+func BenchmarkStoreMixed(b *testing.B) {
+	objs := randomObjects(benchStoreObjects, 7)
+	for _, shards := range shardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			store := newBenchStore(b, shards, objs)
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.Add(1)))
+				for pb.Next() {
+					if rng.Intn(8) == 0 {
+						c := vpindex.V(rng.Float64()*100000, rng.Float64()*100000)
+						if _, err := store.Search(vpindex.SliceQuery(vpindex.Circle{C: c, R: 500}, 0, 60)); err != nil {
+							b.Fatal(err)
+						}
+						continue
+					}
+					o := objs[rng.Intn(len(objs))]
+					o.Pos = vpindex.V(rng.Float64()*100000, rng.Float64()*100000)
+					if err := store.Report(o); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreReport is the pure write path: every operation is an
+// ID-keyed upsert of an existing object.
+func BenchmarkStoreReport(b *testing.B) {
+	objs := randomObjects(benchStoreObjects, 8)
+	for _, shards := range shardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			store := newBenchStore(b, shards, objs)
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.Add(1)))
+				for pb.Next() {
+					o := objs[rng.Intn(len(objs))]
+					o.Pos = vpindex.V(rng.Float64()*100000, rng.Float64()*100000)
+					if err := store.Report(o); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreSearch is the pure read path: concurrent predictive range
+// queries against a static population (readers share shard read locks; the
+// per-partition pools keep page-cache hits from serializing).
+func BenchmarkStoreSearch(b *testing.B) {
+	objs := randomObjects(benchStoreObjects, 9)
+	for _, shards := range shardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			store := newBenchStore(b, shards, objs)
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.Add(1)))
+				for pb.Next() {
+					c := vpindex.V(rng.Float64()*100000, rng.Float64()*100000)
+					if _, err := store.Search(vpindex.SliceQuery(vpindex.Circle{C: c, R: 500}, 0, 60)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,289 @@
+package vpindex_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	vpindex "repro"
+	"repro/internal/model"
+)
+
+// TestStoreConcurrentMixedOracle hammers a sharded Store with a concurrent
+// mixed workload — ID-keyed reports and removes from writers owning
+// disjoint ID ranges, with readers running Search/SearchKNN/Get/Len
+// throughout — crossing the auto-partition cutover mid-stream. Each writer
+// tracks the final state of its own IDs; after the storm the merged states
+// seed a BruteForce mirror and the Store must agree with it exactly on
+// Len, Get, Search (all three query kinds), and kNN distances.
+func TestStoreConcurrentMixedOracle(t *testing.T) {
+	const (
+		writers   = 4
+		readers   = 2
+		perWriter = 400
+		idsPer    = 500
+		threshold = 600 // total reports cross this mid-stream
+	)
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+		vpindex.WithBufferPages(30),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithAutoPartition(threshold),
+		vpindex.WithTauRefreshInterval(300),
+		vpindex.WithSeed(6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// final[w] is writer w's last-write-wins view of its own ID range;
+	// disjoint ranges make the merged view deterministic despite scheduling.
+	final := make([]map[vpindex.ObjectID]*vpindex.Object, writers)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		final[w] = make(map[vpindex.ObjectID]*vpindex.Object)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + w)))
+			base := w * idsPer
+			for i := 0; i < perWriter; i++ {
+				id := base + 1 + rng.Intn(idsPer)
+				o := testObject(id, rng)
+				o.T = float64(i) / 8
+				if i%9 == 8 {
+					err := store.Remove(o.ID)
+					if err != nil && !errors.Is(err, vpindex.ErrNotFound) {
+						errs <- fmt.Errorf("writer %d remove: %w", w, err)
+						return
+					}
+					if err == nil {
+						delete(final[w], o.ID)
+					}
+					continue
+				}
+				if err := store.Report(o); err != nil {
+					errs <- fmt.Errorf("writer %d report: %w", w, err)
+					return
+				}
+				final[w][o.ID] = &o
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(400 + r)))
+			for i := 0; i < 200; i++ {
+				now := float64(i) / 4
+				q := vpindex.SliceQuery(vpindex.Circle{
+					C: vpindex.V(rng.Float64()*20000, rng.Float64()*20000), R: 3000,
+				}, now, now+10)
+				if _, err := store.Search(q); err != nil {
+					errs <- fmt.Errorf("reader %d search: %w", r, err)
+					return
+				}
+				if _, err := store.SearchKNN(vpindex.KNNQuery{
+					Center: vpindex.V(rng.Float64()*20000, rng.Float64()*20000),
+					K:      5, Now: now, T: now + 10,
+				}); err != nil {
+					errs <- fmt.Errorf("reader %d knn: %w", r, err)
+					return
+				}
+				store.Get(vpindex.ObjectID(1 + rng.Intn(writers*idsPer)))
+				store.Len()
+				store.BootstrapProgress()
+				store.Partitioned()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !store.Partitioned() {
+		t.Fatal("concurrent stream never crossed the bootstrap threshold")
+	}
+
+	// Quiescent oracle comparison against the merged final states.
+	oracle := model.NewBruteForce()
+	for w := range final {
+		for _, o := range final[w] {
+			if err := oracle.Insert(*o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if store.Len() != oracle.Len() {
+		t.Fatalf("len %d vs oracle %d", store.Len(), oracle.Len())
+	}
+	for id := 1; id <= writers*idsPer; id++ {
+		g, gok := store.Get(vpindex.ObjectID(id))
+		w, wok := oracle.Get(vpindex.ObjectID(id))
+		if gok != wok || (gok && g != w) {
+			t.Fatalf("get %d: (%v,%v) vs oracle (%v,%v)", id, g, gok, w, wok)
+		}
+	}
+	rng := rand.New(rand.NewSource(55))
+	now := float64(perWriter) / 8
+	for i := 0; i < 12; i++ {
+		queries := []vpindex.RangeQuery{
+			vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(rng.Float64()*20000, rng.Float64()*20000), R: 2500}, now, now+20),
+			vpindex.IntervalQuery(vpindex.R(2000, 2000, 9000, 9000), now, now+5, now+25),
+			vpindex.MovingQuery(vpindex.R(0, 0, 6000, 6000), vpindex.V(30, 10), now, now, now+30),
+		}
+		for _, q := range queries {
+			got, err := store.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want = sortedIDs(got), sortedIDs(want)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%v: got %v want %v", q.Kind, got, want)
+			}
+		}
+	}
+	q := vpindex.KNNQuery{Center: vpindex.V(10000, 10000), K: 10, Now: now, T: now + 30}
+	got, err := store.SearchKNN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := oracle.SearchKNN(q)
+	if len(got) != len(want) {
+		t.Fatalf("kNN %d vs %d results", len(got), len(want))
+	}
+	for i := range got {
+		if diff := got[i].Dist - want[i].Dist; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("kNN %d: dist %g vs %g", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+// TestStoreParallelSearchMatchesSequential pins the fan-out contract: a
+// Store probing shards and partitions with the parallel worker pools must
+// return results byte-identical — same elements, same order — to an
+// identically configured and identically loaded Store forced onto the
+// strictly sequential path with WithSearchParallelism(1).
+func TestStoreParallelSearchMatchesSequential(t *testing.T) {
+	for _, kind := range []vpindex.Kind{vpindex.TPRStar, vpindex.Bx} {
+		t.Run(kind.String(), func(t *testing.T) {
+			open := func(searchPar int) *vpindex.Store {
+				t.Helper()
+				s, err := vpindex.Open(
+					vpindex.WithKind(kind),
+					vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+					vpindex.WithBufferPages(30),
+					vpindex.WithShards(4),
+					vpindex.WithSearchParallelism(searchPar),
+					vpindex.WithVelocityPartitioning(2),
+					vpindex.WithVelocitySample(testSample(800, 11)),
+					vpindex.WithSeed(5),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			par, seq := open(0), open(1)
+			if runtime.GOMAXPROCS(0) == 1 {
+				t.Log("GOMAXPROCS=1: parallel path degenerates to sequential; test still pins equality")
+			}
+
+			rng := rand.New(rand.NewSource(21))
+			for i := 1; i <= 600; i++ {
+				o := testObject(i, rng)
+				if err := par.Report(o); err != nil {
+					t.Fatal(err)
+				}
+				if err := seq.Report(o); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 3; i <= 600; i += 7 {
+				if err := par.Remove(vpindex.ObjectID(i)); err != nil {
+					t.Fatal(err)
+				}
+				if err := seq.Remove(vpindex.ObjectID(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for i := 0; i < 25; i++ {
+				queries := []vpindex.RangeQuery{
+					vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(rng.Float64()*20000, rng.Float64()*20000), R: 3000}, 0, 25),
+					vpindex.IntervalQuery(vpindex.R(rng.Float64()*10000, rng.Float64()*10000, 15000, 15000), 0, 5, 25),
+					vpindex.MovingQuery(vpindex.R(0, 0, 5000, 5000), vpindex.V(40, 20), 0, 0, 30),
+				}
+				for _, q := range queries {
+					got, err := par.Search(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := seq.Search(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("%v: parallel %v != sequential %v", q.Kind, got, want)
+					}
+				}
+				kq := vpindex.KNNQuery{
+					Center: vpindex.V(rng.Float64()*20000, rng.Float64()*20000),
+					K:      8, Now: 0, T: 20,
+				}
+				got, err := par.SearchKNN(kq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := seq.SearchKNN(kq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("kNN: parallel %v != sequential %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreShardsOption pins WithShards semantics: the default tracks
+// GOMAXPROCS, explicit counts are honored, and non-positive counts fall
+// back to the default.
+func TestStoreShardsOption(t *testing.T) {
+	s, err := vpindex.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.NumShards(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("default shards %d, want GOMAXPROCS %d", got, want)
+	}
+	for _, n := range []int{1, 3, 16} {
+		s, err := vpindex.Open(vpindex.WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumShards() != n {
+			t.Fatalf("WithShards(%d): got %d", n, s.NumShards())
+		}
+	}
+	s, err = vpindex.Open(vpindex.WithShards(-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.NumShards(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("WithShards(-2): got %d, want %d", got, want)
+	}
+}

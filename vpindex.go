@@ -47,12 +47,23 @@
 // partitions itself and migrates every live object, with queries serving
 // throughout.
 //
+// # Concurrency
+//
+// The Store is sharded by ObjectID (WithShards, default GOMAXPROCS): each
+// shard has its own lock and index structure, so ID-keyed writes to
+// different shards run in parallel, and queries fan out across shards and
+// velocity partitions with bounded worker pools (WithSearchParallelism)
+// whose merged results are byte-identical to the sequential probe order.
+//
 // # Storage
 //
-// All indexes store nodes on simulated 4 KB disk pages behind a shared LRU
-// buffer pool (50 pages by default), matching the paper's experimental
-// configuration; Stats reports the buffer-pool misses that the paper plots
-// as "query I/O".
+// All indexes store nodes on simulated 4 KB disk pages behind LRU buffer
+// pools (50 pages each by default) over one shared disk; the Store gives
+// every partition its own pool so page-cache hits on independent partitions
+// never contend on one pool mutex, while the deprecated New/NewVP
+// constructors keep the paper's single shared pool. Stats reports the
+// buffer-pool misses that the paper plots as "query I/O", aggregated across
+// all pools.
 //
 // The former constructors New and NewVP still work but are deprecated; see
 // their doc comments for the Open equivalents.
