@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig19", "experiment: store|concurrency|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
+		exp      = flag.String("exp", "fig19", "experiment: store|concurrency|drift|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
 		objects  = flag.Int("objects", 20000, "number of moving objects")
 		queries  = flag.Int("queries", 200, "number of range queries")
 		duration = flag.Float64("duration", 120, "workload duration (ts)")
@@ -44,7 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		points   = flag.String("points", "", "CSV file for fig7 scatter points")
 		dataset  = flag.String("dataset", "CH", "dataset for fig17/dva: CH|SA|MEL|NY|uniform")
-		out      = flag.String("out", "BENCH_concurrency.json", "JSON output path for -exp concurrency")
+		out      = flag.String("out", "", "JSON output path for -exp concurrency/drift (default BENCH_<exp>.json)")
 		procs    = flag.Int("procs", 0, "worker goroutines for -exp concurrency (0 = max(8, GOMAXPROCS))")
 		latency  = flag.Duration("latency", 20*time.Microsecond, "simulated per-page disk latency for -exp concurrency")
 	)
@@ -57,12 +58,23 @@ func main() {
 	fmt.Printf("scale: %d objects, %d queries, %.0f ts, %.0f m domain, %d buffer pages\n\n",
 		sc.Objects, sc.Queries, sc.Duration, sc.DomainSide, sc.Buffer)
 
+	// -exp all runs several JSON-emitting experiments; an explicit -out
+	// would make them clobber each other, so it only applies to a single
+	// -exp and everything falls back to the per-experiment default.
+	outFor := func(def string) string {
+		if *out != "" && *exp != "all" {
+			return *out
+		}
+		return def
+	}
 	run := func(name string) error {
 		switch name {
 		case "store":
 			return runStore(workload.Dataset(*dataset), sc, *seed)
 		case "concurrency":
-			return runConcurrency(workload.Dataset(*dataset), sc, *seed, *procs, *latency, *out)
+			return runConcurrency(workload.Dataset(*dataset), sc, *seed, *procs, *latency, outFor("BENCH_concurrency.json"))
+		case "drift":
+			return runDrift(sc, *seed, outFor("BENCH_drift.json"))
 		case "dva":
 			tab, err := bench.RunDVADump(workload.Dataset(*dataset), sc, *seed)
 			if err != nil {
@@ -140,8 +152,8 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"store", "concurrency", "dva", "fig7", "fig17", "fig18", "fig19", "fig20",
-			"fig21", "fig22", "fig23", "fig24"}
+		names = []string{"store", "concurrency", "drift", "dva", "fig7", "fig17", "fig18", "fig19",
+			"fig20", "fig21", "fig22", "fig23", "fig24"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {
@@ -447,6 +459,262 @@ func hammerStore(store *vpindex.Store, objs []vpindex.Object, kind string, g, op
 	}
 	wg.Wait()
 	return per * g, time.Since(start).Seconds(), firstE
+}
+
+// driftWindow is one (store, window) query-I/O measurement of the drift
+// experiment.
+type driftWindow struct {
+	Store       string  `json:"store"`  // "adaptive" or "frozen"
+	Window      string  `json:"window"` // "pre", "post" (drifted, before swap), "tail"
+	Queries     int     `json:"queries"`
+	IOPerSearch float64 `json:"io_per_search"`
+}
+
+// driftReport is the BENCH_drift.json schema: the adaptive-repartitioning
+// datapoint of the repo's perf trajectory.
+type driftReport struct {
+	Experiment        string        `json:"experiment"`
+	Objects           int           `json:"objects"`
+	Reports           int           `json:"reports"`
+	Duration          float64       `json:"duration_ts"`
+	SwitchT           float64       `json:"switch_ts"`
+	AngleDeltaDeg     float64       `json:"angle_delta_deg"`
+	Repartitions      int64         `json:"repartitions"`
+	SwapObserved      bool          `json:"swap_observed"`
+	Windows           []driftWindow `json:"windows"`
+	AdaptiveRecovery  float64       `json:"adaptive_recovery_ratio"`  // tail / pre
+	FrozenDegradation float64       `json:"frozen_degradation_ratio"` // tail / pre
+}
+
+// runDrift measures adaptive repartitioning against a frozen-partition
+// baseline. Both stores are velocity-partitioned Bx indexes built from the
+// same phase-0 sample; the workload's dominant travel direction rotates
+// 45° at half-run (internal/workload.DriftGenerator) — the worst case for
+// a two-axis grid, whose axes repeat every 90° — after which the
+// frozen store's routing sends everything to its outlier partition while
+// the adaptive store's drift policy re-analyzes its recent-velocity
+// reservoir and swaps in partitions aligned with the new axis. Query I/O
+// per search is sampled in three windows — pre-drift, post-drift before the
+// swap, and a tail after the stream (with a warm-up discard, identical for
+// both stores) — and the recovery/degradation ratios go to stdout and to
+// the JSON report at outPath.
+func runDrift(sc bench.Scale, seed int64, outPath string) error {
+	// Speeds scale with the domain side so the ratio of velocity expansion
+	// to domain size — what determines how much partition alignment matters
+	// — is the same at every -objects scale.
+	speed := sc.DomainSide * 0.003
+	p := workload.DriftParams{
+		NumObjects:     sc.Objects,
+		Domain:         vpindex.R(0, 0, sc.DomainSide, sc.DomainSide),
+		MeanSpeed:      speed,
+		SpeedJitter:    speed * 2 / 3,
+		PerpJitter:     speed / 20,
+		Axes:           2,           // perpendicular road grid, the paper's k=2
+		Angle0:         0,           // {0°, 90°} before the switch
+		Angle1:         math.Pi / 4, // {45°, 135°} after: worst-case drift
+		SwitchT:        sc.Duration / 2,
+		Duration:       sc.Duration,
+		UpdateInterval: sc.Duration / 8,
+		Seed:           seed,
+	}
+	gen, err := workload.NewDriftGenerator(p)
+	if err != nil {
+		return err
+	}
+	sample := gen.VelocitySample(min(sc.Objects, 10_000))
+
+	open := func(adaptive bool) (*vpindex.Store, error) {
+		opts := []vpindex.Option{
+			vpindex.WithKind(vpindex.Bx),
+			vpindex.WithDomain(p.Domain),
+			vpindex.WithBufferPages(sc.Buffer),
+			vpindex.WithMaxUpdateInterval(p.UpdateInterval),
+			vpindex.WithVelocityPartitioning(2),
+			vpindex.WithVelocitySample(sample),
+			vpindex.WithSeed(seed),
+		}
+		if adaptive {
+			// Re-check once per report round; the reservoir spans one round,
+			// so it is fully phase-1 one round after the switch.
+			opts = append(opts,
+				vpindex.WithRepartitionPolicy(vpindex.RepartitionPolicy{
+					Every:          sc.Objects,
+					DriftThreshold: 0.3,
+					ReservoirSize:  sc.Objects,
+				}))
+		}
+		return vpindex.Open(opts...)
+	}
+	adaptive, err := open(true)
+	if err != nil {
+		return err
+	}
+	frozen, err := open(false)
+	if err != nil {
+		return err
+	}
+	if err := adaptive.ReportBatch(gen.Initial()); err != nil {
+		return err
+	}
+	if err := frozen.ReportBatch(gen.Initial()); err != nil {
+		return err
+	}
+
+	// Per-store, per-window I/O accumulators. A query lands in "pre" before
+	// the switch and in "post" after it; the adaptive store's post window
+	// closes once its swap is observed (later in-stream queries are dropped
+	// — the tail window re-measures both stores cleanly at the end).
+	type acc struct{ io, n int64 }
+	sum := map[string]map[string]*acc{}
+	for _, st := range []string{"adaptive", "frozen"} {
+		sum[st] = map[string]*acc{"pre": {}, "post": {}, "tail": {}}
+	}
+	// The driver is single-threaded, so the only thing that can touch the
+	// counters during a Search is the adaptive store's background swap,
+	// whose InsertBulk migration reads pages and would be attributed to the
+	// query. A measurement is clean only if no swap was in flight on either
+	// side of the query and no swap started or finished across it —
+	// otherwise run the query but drop the sample.
+	measure := func(name string, s *vpindex.Store, q vpindex.RangeQuery, window string) error {
+		before := s.Stats()
+		if _, err := s.Search(q); err != nil {
+			return err
+		}
+		if window == "" {
+			return nil
+		}
+		after := s.Stats()
+		if before.SwapInFlight || after.SwapInFlight ||
+			after.PartitionEpoch != before.PartitionEpoch ||
+			after.Repartitions != before.Repartitions {
+			return nil
+		}
+		a := sum[name][window]
+		a.io += after.Reads - before.Reads
+		a.n++
+		return nil
+	}
+
+	// Predictive horizon at the paper's default ratio (60 ts on a 120 ts
+	// update interval): long enough that velocity expansion dominates query
+	// I/O, which is exactly what partition alignment buys back.
+	radius := sc.DomainSide / 40
+	predictive := p.UpdateInterval * 4
+	queries := gen.DriftQueries(sc.Queries, 0, p.Duration, radius, predictive, seed+13)
+	qi, reports := 0, 0
+	swapAt := -1
+	for {
+		o, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := adaptive.Report(o); err != nil {
+			return err
+		}
+		if err := frozen.Report(o); err != nil {
+			return err
+		}
+		reports++
+		if swapAt < 0 && adaptive.Stats().Repartitions > 0 {
+			swapAt = reports
+			fmt.Printf("drift: adaptive store repartitioned after %d reports (t=%.1f, switch at t=%.1f)\n",
+				reports, o.T, p.SwitchT)
+		}
+		for qi < len(queries) && queries[qi].Now <= o.T {
+			q := queries[qi]
+			qi++
+			// "pre" is the steady-state pre-drift level: the second half of
+			// phase 0, after the trees have matured under churn (a TPR*'s
+			// I/O right after load is unrepresentatively low).
+			window := ""
+			switch {
+			case q.Now >= p.SwitchT:
+				window = "post"
+			case q.Now >= p.SwitchT/2:
+				window = "pre"
+			}
+			aw := window
+			if aw == "post" && swapAt >= 0 {
+				aw = "" // between swap and tail: not a clean window
+			}
+			if err := measure("adaptive", adaptive, q, aw); err != nil {
+				return err
+			}
+			if err := measure("frozen", frozen, q, window); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Give the last background drift check a moment to land, then measure
+	// the tail window at the end of the run: 2x the query budget, first
+	// half discarded as page-cache warm-up for both stores alike.
+	for w := 0; w < 500 && adaptive.Stats().Repartitions == 0; w++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	// All tail queries are issued at the stream-end instant, so the time
+	// since each object's last report matches the in-stream windows and the
+	// comparison isolates partition alignment, not record staleness.
+	tail := gen.DriftQueries(2*sc.Queries, p.Duration, p.Duration, radius, predictive, seed+17)
+	for i, q := range tail {
+		window := "tail"
+		if i < len(tail)/2 {
+			window = ""
+		}
+		if err := measure("adaptive", adaptive, q, window); err != nil {
+			return err
+		}
+		if err := measure("frozen", frozen, q, window); err != nil {
+			return err
+		}
+	}
+
+	rep := driftReport{
+		Experiment:    "drift",
+		Objects:       sc.Objects,
+		Reports:       reports,
+		Duration:      p.Duration,
+		SwitchT:       p.SwitchT,
+		AngleDeltaDeg: (p.Angle1 - p.Angle0) * 180 / math.Pi,
+		Repartitions:  adaptive.Stats().Repartitions,
+		SwapObserved:  adaptive.Stats().Repartitions > 0,
+	}
+	perSearch := func(st, w string) float64 {
+		a := sum[st][w]
+		if a.n == 0 {
+			return 0
+		}
+		return float64(a.io) / float64(a.n)
+	}
+	for _, st := range []string{"adaptive", "frozen"} {
+		for _, w := range []string{"pre", "post", "tail"} {
+			rep.Windows = append(rep.Windows, driftWindow{
+				Store: st, Window: w,
+				Queries:     int(sum[st][w].n),
+				IOPerSearch: perSearch(st, w),
+			})
+			fmt.Printf("drift: %-8s %-4s  %4d queries, avg I/O %7.1f\n",
+				st, w, sum[st][w].n, perSearch(st, w))
+		}
+	}
+	if pre := perSearch("adaptive", "pre"); pre > 0 {
+		rep.AdaptiveRecovery = perSearch("adaptive", "tail") / pre
+	}
+	if pre := perSearch("frozen", "pre"); pre > 0 {
+		rep.FrozenDegradation = perSearch("frozen", "tail") / pre
+	}
+	fmt.Printf("drift: adaptive recovery %.2fx of pre-drift I/O; frozen baseline at %.2fx\n\n",
+		rep.AdaptiveRecovery, rep.FrozenDegradation)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("drift: wrote %s\n\n", outPath)
+	return nil
 }
 
 func writePoints(path string, pts []bench.ExpansionPoint) error {

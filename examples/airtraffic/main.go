@@ -100,5 +100,5 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\ntotal crossings counted: %d; simulated I/O: %+v\n", total, store.Stats())
+	fmt.Printf("\ntotal crossings counted: %d; simulated I/O: %+v\n", total, store.Stats().IOStats)
 }

@@ -760,3 +760,116 @@ func TestManagerReportUpserts(t *testing.T) {
 		t.Fatalf("len after bulk: %d", m.Len())
 	}
 }
+
+// failingIndex wraps an index and fails every insert after a budget is
+// exhausted, to force a mid-migration Reanalyze failure.
+type failingIndex struct {
+	model.Index
+	budget *int
+}
+
+func (f failingIndex) Insert(o model.Object) error {
+	if *f.budget <= 0 {
+		return fmt.Errorf("failingIndex: insert budget exhausted")
+	}
+	*f.budget--
+	return f.Index.Insert(o)
+}
+
+// TestReanalyzeFailureLeavesManagerIntact pins the rollback contract: a
+// Reanalyze that fails mid-migration must leave BOTH the partition set and
+// the lookup table exactly as they were. (A previous version restored the
+// partitions but kept the half-rerouted table entries, so every later
+// Update/Delete of a rerouted object targeted the wrong partition.)
+func TestReanalyzeFailureLeavesManagerIntact(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewDisk(), 500)
+	m := newManager(t, tprFactory(pool), sfLikeSample(2000, 0, math.Pi/2, 2.0, 0.02, 7))
+	rng := rand.New(rand.NewSource(23))
+	objs := roadObjects(300, rng)
+	for _, o := range objs {
+		if err := m.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Partitions()
+
+	// Fresh analysis over rotated traffic, but a factory whose indexes die
+	// partway through the re-routing migration.
+	vels := make([]geom.Vec2, len(objs))
+	for i, o := range objs {
+		d := geom.V(math.Cos(math.Pi/4), math.Sin(math.Pi/4))
+		vels[i] = d.Scale(o.Vel.Norm())
+	}
+	an, err := Analyze(vels, AnalyzerConfig{K: 2, Cluster: cluster.Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := len(objs) / 2 // enough to reroute half, then fail
+	inner := tprFactory(pool)
+	factory := func(spec PartitionSpec) (model.Index, error) {
+		idx, err := inner(spec)
+		if err != nil {
+			return nil, err
+		}
+		return failingIndex{Index: idx, budget: &budget}, nil
+	}
+	if err := m.Reanalyze(an, factory); err == nil {
+		t.Fatal("expected mid-migration Reanalyze failure")
+	}
+
+	// Partition set restored byte-for-byte (axes, taus, sizes).
+	after := m.Partitions()
+	if len(after) != len(before) {
+		t.Fatalf("partition count changed: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if after[i].Spec.Axis != before[i].Spec.Axis || after[i].Tau != before[i].Tau ||
+			after[i].Size != before[i].Size {
+			t.Fatalf("partition %d changed across failed rebuild:\n  %+v\n  %+v",
+				i, before[i], after[i])
+		}
+	}
+	// Every object is still updatable and deletable — the table must still
+	// point at the partition that actually holds each record.
+	for _, o := range objs {
+		upd := o
+		upd.Pos = o.PosAt(5)
+		upd.T = 5
+		if err := m.Update(o, upd); err != nil {
+			t.Fatalf("update of %d after failed rebuild: %v", o.ID, err)
+		}
+	}
+	for _, o := range objs {
+		if err := m.Delete(o); err != nil {
+			t.Fatalf("delete of %d after failed rebuild: %v", o.ID, err)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len %d after deleting everything", m.Len())
+	}
+}
+
+// TestManagerObjectsSnapshot covers the migration surface used by the
+// Store's repartition swap.
+func TestManagerObjectsSnapshot(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewDisk(), 200)
+	m := newManager(t, bxFactory(pool), sfLikeSample(1000, 0, math.Pi/2, 2.0, 0, 4))
+	rng := rand.New(rand.NewSource(3))
+	objs := roadObjects(120, rng)
+	if err := m.InsertBulk(objs); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Objects()
+	if len(snap) != len(objs) {
+		t.Fatalf("snapshot %d objects, want %d", len(snap), len(objs))
+	}
+	byID := make(map[model.ObjectID]model.Object, len(snap))
+	for _, o := range snap {
+		byID[o.ID] = o
+	}
+	for _, o := range objs {
+		if got, ok := byID[o.ID]; !ok || got != o {
+			t.Fatalf("object %d: snapshot %+v, want %+v", o.ID, got, o)
+		}
+	}
+}

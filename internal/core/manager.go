@@ -468,6 +468,20 @@ func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 	return out, nil
 }
 
+// Objects snapshots every live record in the world frame (iteration order
+// is unspecified). This is the migration surface of a partition rebuild:
+// the Store reads one manager's population and InsertBulks it into a
+// freshly built one.
+func (m *Manager) Objects() []model.Object {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]model.Object, 0, len(m.objs))
+	for _, rec := range m.objs {
+		out = append(out, rec.obj)
+	}
+	return out
+}
+
 // Get returns the current world-frame record for an object.
 func (m *Manager) Get(id model.ObjectID) (model.Object, bool) {
 	m.mu.RLock()
@@ -560,16 +574,25 @@ func (m *Manager) Reanalyze(an Analysis, factory IndexFactory) error {
 	}
 	fresh = append(fresh, partition{spec: outSpec, idx: outIdx, rot: geom.Identity2})
 
+	// Re-route every object into the fresh partitions through a fresh
+	// lookup table, committing the table only after the last insert
+	// succeeds. Updating m.objs in place would corrupt the manager on
+	// failure: restoring m.pars alone leaves the already-rerouted entries
+	// pointing at partition indices of the discarded fresh set, so later
+	// deletes and updates would target the wrong (or a nonexistent)
+	// partition.
+	objs := make(map[model.ObjectID]record, len(m.objs))
 	old := m.pars
 	m.pars = fresh
 	for id, rec := range m.objs {
 		pi := m.route(rec.obj)
 		if err := m.insertInto(pi, rec.obj); err != nil {
-			m.pars = old // restore; fresh partitions are discarded
+			m.pars = old // restore; fresh partitions are discarded whole
 			return fmt.Errorf("core: re-routing object %d: %w", id, err)
 		}
-		m.objs[id] = record{obj: rec.obj, part: pi}
+		objs[id] = record{obj: rec.obj, part: pi}
 	}
+	m.objs = objs
 	m.insertsSinceRefresh = 0
 	return nil
 }

@@ -16,6 +16,7 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/model"
@@ -48,6 +49,36 @@ type Event struct {
 	ID   model.ObjectID
 	Kind EventKind
 	T    float64 // evaluation time that produced the delta
+}
+
+// sortEvents orders one delta batch deterministically: by subscription,
+// then object, then kind. The result sets live in Go maps, whose iteration
+// order is deliberately randomized, so without this two identical runs
+// would emit identical deltas in shuffled order — and a consumer diffing or
+// replaying event logs would see phantom differences. Every emitting verb
+// sorts its batch before returning it.
+func sortEvents(evs []Event) []Event {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Sub != evs[j].Sub {
+			return evs[i].Sub < evs[j].Sub
+		}
+		if evs[i].ID != evs[j].ID {
+			return evs[i].ID < evs[j].ID
+		}
+		return evs[i].Kind < evs[j].Kind
+	})
+	return evs
+}
+
+// sortedSubIDs snapshots the subscription IDs in ascending order, for the
+// verbs that walk every subscription. Caller holds mu.
+func (m *Monitor) sortedSubIDs() []SubscriptionID {
+	ids := make([]SubscriptionID, 0, len(m.subs))
+	for id := range m.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Subscription describes a standing query.
@@ -176,7 +207,7 @@ func (m *Monitor) reevaluateLocked(o model.Object) []Event {
 			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Leave, T: m.now})
 		}
 	}
-	return evs
+	return sortEvents(evs)
 }
 
 // ProcessUpdate applies the object update to the index and incrementally
@@ -234,7 +265,7 @@ func (m *Monitor) ProcessRemove(id model.ObjectID) ([]Event, error) {
 			evs = append(evs, Event{Sub: sid, ID: id, Kind: Leave, T: m.now})
 		}
 	}
-	return evs, nil
+	return sortEvents(evs), nil
 }
 
 // ProcessInsert indexes a new object and evaluates it against every
@@ -263,18 +294,21 @@ func (m *Monitor) ProcessDelete(o model.Object) ([]Event, error) {
 			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Leave, T: m.now})
 		}
 	}
-	return evs, nil
+	return sortEvents(evs), nil
 }
 
 // Refresh re-runs every subscription's query at the given time, emitting
 // deltas caused by the passage of time (objects drifting in or out of the
-// predicted region without reporting updates).
+// predicted region without reporting updates). Subscriptions are refreshed
+// in ascending ID order and each one's deltas are sorted, so the emitted
+// stream is fully deterministic — including the partial stream returned
+// alongside an error.
 func (m *Monitor) Refresh(now float64) ([]Event, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.advance(now)
 	var evs []Event
-	for id := range m.subs {
+	for _, id := range m.sortedSubIDs() {
 		e, err := m.refreshLocked(id, now)
 		if err != nil {
 			return evs, err
@@ -308,7 +342,7 @@ func (m *Monitor) refreshLocked(id SubscriptionID, now float64) ([]Event, error)
 		}
 	}
 	m.results[id] = fresh
-	return evs, nil
+	return sortEvents(evs), nil
 }
 
 // advance moves the monitor clock monotonically forward.

@@ -303,3 +303,95 @@ func TestProcessReportUnsupportedIndex(t *testing.T) {
 		t.Fatalf("remove on plain index: %v", err)
 	}
 }
+
+// TestEventDeterminism pins the event-ordering contract: every emitting
+// verb returns its delta batch sorted by (Sub, ID, Kind), so two identical
+// runs produce byte-identical event streams even though the result sets
+// live in randomized-iteration Go maps.
+func TestEventDeterminism(t *testing.T) {
+	build := func() (*Monitor, []model.Object) {
+		m := New(reporterIndex{model.NewBruteForce()})
+		// Three overlapping fences, so most objects produce several events
+		// per verb — the shuffled-order symptom needs multi-event batches.
+		for _, c := range []geom.Vec2{geom.V(500, 500), geom.V(520, 500), geom.V(500, 540)} {
+			if _, _, err := m.Subscribe(circleSub(c, 300, 0), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(31))
+		objs := make([]model.Object, 40)
+		for i := range objs {
+			objs[i] = model.Object{
+				ID:  model.ObjectID(i + 1),
+				Pos: geom.V(rng.Float64()*1000, rng.Float64()*1000),
+				Vel: geom.V(rng.Float64()*20-10, rng.Float64()*20-10),
+				T:   0,
+			}
+		}
+		return m, objs
+	}
+
+	sorted := func(evs []Event) bool {
+		return sort.SliceIsSorted(evs, func(i, j int) bool {
+			if evs[i].Sub != evs[j].Sub {
+				return evs[i].Sub < evs[j].Sub
+			}
+			if evs[i].ID != evs[j].ID {
+				return evs[i].ID < evs[j].ID
+			}
+			return evs[i].Kind < evs[j].Kind
+		})
+	}
+
+	// drive runs the identical scenario and returns the full event log.
+	drive := func() []Event {
+		m, objs := build()
+		var log []Event
+		emit := func(evs []Event, err error, verb string) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %v", verb, err)
+			}
+			if !sorted(evs) {
+				t.Fatalf("%s batch not sorted: %v", verb, evs)
+			}
+			log = append(log, evs...)
+		}
+		for _, o := range objs {
+			evs, err := m.ProcessReport(o)
+			emit(evs, err, "report")
+		}
+		// Time passes: every membership is re-derived at once.
+		evs, err := m.Refresh(30)
+		emit(evs, err, "refresh")
+		// Move a batch of objects far away and re-report.
+		for i := 0; i < len(objs); i += 3 {
+			o := objs[i]
+			o.Pos = geom.V(5000, 5000)
+			o.T = 30
+			evs, err := m.ProcessReport(o)
+			emit(evs, err, "re-report")
+		}
+		// Removes leave every fence at once.
+		for i := 1; i < len(objs); i += 4 {
+			evs, err := m.ProcessRemove(objs[i].ID)
+			emit(evs, err, "remove")
+		}
+		evs, err = m.Refresh(60)
+		emit(evs, err, "refresh2")
+		return log
+	}
+
+	a, b := drive(), drive()
+	if len(a) != len(b) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("scenario emitted no events")
+	}
+}

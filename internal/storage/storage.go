@@ -152,9 +152,12 @@ type BufferPool struct {
 	frames   map[PageID]*frame
 	head     PageID // most recently used
 	tail     PageID // least recently used
-	hits     atomic.Int64
-	misses   atomic.Int64
-	writes   atomic.Int64
+	// owned tracks every page this pool allocated and has not yet freed,
+	// so Retire can release a whole abandoned index's disk footprint.
+	owned  map[PageID]struct{}
+	hits   atomic.Int64
+	misses atomic.Int64
+	writes atomic.Int64
 }
 
 // NewBufferPool returns a pool of the given capacity (pages) over disk.
@@ -167,6 +170,7 @@ func NewBufferPool(disk *Disk, capacity int) *BufferPool {
 		disk:     disk,
 		capacity: capacity,
 		frames:   make(map[PageID]*frame, capacity),
+		owned:    make(map[PageID]struct{}),
 	}
 	b.unpinned = sync.NewCond(&b.mu)
 	return b
@@ -342,6 +346,7 @@ func (b *BufferPool) Allocate() (PageID, error) {
 	f := &frame{page: Page{ID: id}, dirty: true}
 	b.frames[id] = f
 	b.lruPushFront(id, f)
+	b.owned[id] = struct{}{}
 	return id, nil
 }
 
@@ -358,9 +363,30 @@ func (b *BufferPool) Free(id PageID) error {
 		delete(b.frames, id)
 		b.unpinned.Broadcast()
 	}
+	delete(b.owned, id)
 	b.mu.Unlock()
 	b.disk.Free(id)
 	return nil
+}
+
+// Retire permanently releases the pool: every cached frame is dropped
+// without write-back and every page the pool ever allocated (and not since
+// freed) is released on the disk. This is for pools whose whole index
+// structure is being abandoned — a replaced partition epoch, a staging
+// index after the bootstrap cutover — so repeated rebuilds do not
+// accumulate dead pages and cached frames forever. The caller must
+// guarantee no index still uses the pool; the pool must not be used
+// afterwards.
+func (b *BufferPool) Retire() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.frames = make(map[PageID]*frame)
+	b.head, b.tail = NilPage, NilPage
+	for id := range b.owned {
+		b.disk.Free(id)
+	}
+	b.owned = nil
+	b.unpinned.Broadcast()
 }
 
 // FlushAll writes back every dirty frame (kept resident). Used by tests and

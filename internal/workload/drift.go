@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// DriftParams configures the direction-drift workload: a population of
+// linear movers whose dominant axis of travel rotates mid-run. This is the
+// scenario Section 5.5 of the VP paper warns about — "the dominant
+// direction of object travel changes significantly" — and the workload the
+// adaptive repartitioning experiment (vpbench -exp drift) runs: before
+// SwitchT objects travel (both ways) along Angle0 with a small
+// perpendicular jitter, after SwitchT along Angle1, so an index partitioned
+// for the first phase degrades in the second unless it re-analyzes.
+type DriftParams struct {
+	NumObjects int
+	Domain     geom.Rect
+	// MeanSpeed ± SpeedJitter is the speed along the dominant axis; the
+	// sign is random, so the axis carries traffic in both directions.
+	MeanSpeed   float64
+	SpeedJitter float64
+	// PerpJitter is the standard deviation of the speed component
+	// perpendicular to the dominant axis (a Gaussian truncated at 4 sigma:
+	// concentrated with a thin tail, the shape Eq. 10's tau optimization
+	// assumes; small ⇒ near-1D velocity space ⇒ strong VP benefit).
+	PerpJitter float64
+	// Axes is the number of dominant travel axes, spread evenly over a
+	// half-turn (2 ⇒ a perpendicular road grid, the paper's k=2 scenario;
+	// default 2). Each report draws one of them at random.
+	Axes int
+	// Angle0 and Angle1 rotate the whole axis bundle (radians) before and
+	// after SwitchT. With Axes=2 the axes repeat every 90°, so a rotation
+	// of π/4 is the worst-case drift.
+	Angle0, Angle1 float64
+	SwitchT        float64
+	Duration       float64
+	// UpdateInterval is how often each object reports; reports are
+	// staggered evenly across the population, so the stream carries
+	// NumObjects reports per interval.
+	UpdateInterval float64
+	Seed           int64
+}
+
+func (p DriftParams) withDefaults() DriftParams {
+	if p.NumObjects <= 0 {
+		p.NumObjects = 1000
+	}
+	if p.Domain.IsEmpty() || p.Domain.Area() == 0 {
+		p.Domain = geom.R(0, 0, 100000, 100000)
+	}
+	if p.MeanSpeed <= 0 {
+		p.MeanSpeed = 60
+	}
+	if p.SpeedJitter < 0 {
+		p.SpeedJitter = 0
+	}
+	if p.PerpJitter < 0 {
+		p.PerpJitter = 0
+	}
+	if p.Axes <= 0 {
+		p.Axes = 2
+	}
+	if p.Duration <= 0 {
+		p.Duration = 240
+	}
+	if p.SwitchT <= 0 || p.SwitchT >= p.Duration {
+		p.SwitchT = p.Duration / 2
+	}
+	if p.UpdateInterval <= 0 {
+		p.UpdateInterval = p.Duration / 8
+	}
+	return p
+}
+
+// DriftGenerator produces the deterministic direction-drift report stream.
+type DriftGenerator struct {
+	params DriftParams
+	rng    *rand.Rand
+	objs   []model.Object // current state per object
+	round  int
+	next   int // next object index within the round
+}
+
+// NewDriftGenerator builds the population at time 0 (phase-0 velocities).
+func NewDriftGenerator(p DriftParams) (*DriftGenerator, error) {
+	p = p.withDefaults()
+	if p.UpdateInterval > p.Duration {
+		return nil, fmt.Errorf("workload: drift update interval %g exceeds duration %g",
+			p.UpdateInterval, p.Duration)
+	}
+	g := &DriftGenerator{
+		params: p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		objs:   make([]model.Object, p.NumObjects),
+	}
+	for i := range g.objs {
+		g.objs[i] = model.Object{
+			ID: model.ObjectID(i + 1),
+			Pos: geom.V(
+				p.Domain.MinX+g.rng.Float64()*p.Domain.Width(),
+				p.Domain.MinY+g.rng.Float64()*p.Domain.Height(),
+			),
+			Vel: g.velocityAt(0),
+			T:   0,
+		}
+	}
+	return g, nil
+}
+
+// Params returns the (defaulted) parameter set in effect.
+func (g *DriftGenerator) Params() DriftParams { return g.params }
+
+// rotationAt is the axis-bundle rotation in effect at time t.
+func (g *DriftGenerator) rotationAt(t float64) float64 {
+	if t < g.params.SwitchT {
+		return g.params.Angle0
+	}
+	return g.params.Angle1
+}
+
+// AxesAt returns the dominant axes (unit vectors) in effect at time t.
+func (g *DriftGenerator) AxesAt(t float64) []geom.Vec2 {
+	p := g.params
+	rot := g.rotationAt(t)
+	out := make([]geom.Vec2, p.Axes)
+	for i := range out {
+		a := rot + float64(i)*math.Pi/float64(p.Axes)
+		out[i] = geom.V(math.Cos(a), math.Sin(a))
+	}
+	return out
+}
+
+// velocityAt draws one velocity for a report at time t: MeanSpeed ±
+// SpeedJitter along one of the phase's axes (random axis, random sign) plus
+// ±PerpJitter across it.
+func (g *DriftGenerator) velocityAt(t float64) geom.Vec2 {
+	p := g.params
+	a := g.rotationAt(t) + float64(g.rng.Intn(p.Axes))*math.Pi/float64(p.Axes)
+	speed := p.MeanSpeed + (g.rng.Float64()*2-1)*p.SpeedJitter
+	if g.rng.Intn(2) == 0 {
+		speed = -speed
+	}
+	perp := g.rng.NormFloat64()
+	if perp > 4 {
+		perp = 4
+	} else if perp < -4 {
+		perp = -4
+	}
+	perp *= p.PerpJitter
+	dir := geom.V(math.Cos(a), math.Sin(a))
+	n := geom.V(-dir.Y, dir.X)
+	return dir.Scale(speed).Add(n.Scale(perp))
+}
+
+// Initial returns the population at time 0. The returned slice is a copy;
+// the generator keeps evolving its own state as Next is called.
+func (g *DriftGenerator) Initial() []model.Object {
+	return append([]model.Object(nil), g.objs...)
+}
+
+// VelocitySample draws n phase-0 velocities — the upfront analysis sample
+// for a store partitioned before the drift.
+func (g *DriftGenerator) VelocitySample(n int) []geom.Vec2 {
+	rng := rand.New(rand.NewSource(g.params.Seed + 7))
+	sub := &DriftGenerator{params: g.params, rng: rng}
+	out := make([]geom.Vec2, n)
+	for i := range out {
+		out[i] = sub.velocityAt(0)
+	}
+	return out
+}
+
+// Next pulls the next location report, time-ordered: object i of round k
+// reports at (k + i/N) · UpdateInterval with a velocity drawn from the
+// phase in effect at that instant, its position advanced linearly since its
+// previous report (wrapped into the domain). ok is false once the stream
+// passes the duration.
+func (g *DriftGenerator) Next() (model.Object, bool) {
+	p := g.params
+	t := (float64(g.round) + float64(g.next)/float64(len(g.objs))) * p.UpdateInterval
+	if t > p.Duration {
+		return model.Object{}, false
+	}
+	i := g.next
+	g.next++
+	if g.next == len(g.objs) {
+		g.next = 0
+		g.round++
+	}
+	o := g.objs[i]
+	dt := t - o.T
+	o.Pos = g.wrap(o.Pos.Add(o.Vel.Scale(dt)))
+	o.Vel = g.velocityAt(t)
+	o.T = t
+	g.objs[i] = o
+	return o, true
+}
+
+// wrap folds a position back into the domain (toroidal), keeping the
+// population density constant however long the run.
+func (g *DriftGenerator) wrap(v geom.Vec2) geom.Vec2 {
+	d := g.params.Domain
+	w, h := d.Width(), d.Height()
+	x := math.Mod(v.X-d.MinX, w)
+	if x < 0 {
+		x += w
+	}
+	y := math.Mod(v.Y-d.MinY, h)
+	if y < 0 {
+		y += h
+	}
+	return geom.V(d.MinX+x, d.MinY+y)
+}
+
+// DriftQueries generates n circular predictive queries with issue times
+// spread uniformly over [t0, t1] (same shape as Generator.Queries, but over
+// an explicit time window so the drift experiment can sample each phase).
+func (g *DriftGenerator) DriftQueries(n int, t0, t1, radius, predictive float64, seed int64) []model.RangeQuery {
+	rng := rand.New(rand.NewSource(seed))
+	d := g.params.Domain
+	out := make([]model.RangeQuery, n)
+	for i := range out {
+		issue := t0 + (t1-t0)*float64(i+1)/float64(n+1)
+		c := geom.V(d.MinX+rng.Float64()*d.Width(), d.MinY+rng.Float64()*d.Height())
+		out[i] = model.RangeQuery{
+			Kind:   model.TimeSlice,
+			Circle: geom.Circle{C: c, R: radius},
+			Rect:   geom.Circle{C: c, R: radius}.Bound(),
+			Now:    issue,
+			T0:     issue + predictive,
+		}
+	}
+	return out
+}

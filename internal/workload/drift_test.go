@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func driftTestParams() DriftParams {
+	return DriftParams{
+		NumObjects:     200,
+		Domain:         geom.R(0, 0, 10000, 10000),
+		MeanSpeed:      60,
+		SpeedJitter:    30,
+		PerpJitter:     3,
+		Angle0:         0,
+		Angle1:         1.2,
+		SwitchT:        60,
+		Duration:       120,
+		UpdateInterval: 20,
+		Seed:           9,
+	}
+}
+
+// TestDriftGeneratorDeterminism: same params, same stream.
+func TestDriftGeneratorDeterminism(t *testing.T) {
+	a, err := NewDriftGenerator(driftTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDriftGenerator(driftTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := a.Initial(), b.Initial()
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("initial[%d]: %v vs %v", i, ia[i], ib[i])
+		}
+	}
+	for n := 0; ; n++ {
+		oa, oka := a.Next()
+		ob, okb := b.Next()
+		if oka != okb {
+			t.Fatalf("stream lengths diverge at %d", n)
+		}
+		if !oka {
+			if n == 0 {
+				t.Fatal("empty stream")
+			}
+			return
+		}
+		if oa != ob {
+			t.Fatalf("event %d: %v vs %v", n, oa, ob)
+		}
+	}
+}
+
+// TestDriftGeneratorPhases pins the drift semantics: reports are
+// time-ordered, positions stay inside the domain, and velocities align with
+// Angle0 before SwitchT and Angle1 after (within the perpendicular jitter).
+func TestDriftGeneratorPhases(t *testing.T) {
+	p := driftTestParams()
+	g, err := NewDriftGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// closest returns the axis of the bundle the velocity rides and its
+	// perpendicular speed off it.
+	closest := func(v geom.Vec2, axes []geom.Vec2) (geom.Vec2, float64) {
+		best, bestD := axes[0], v.PerpDistToAxis(axes[0])
+		for _, a := range axes[1:] {
+			if d := v.PerpDistToAxis(a); d < bestD {
+				best, bestD = a, d
+			}
+		}
+		return best, bestD
+	}
+	last := -1.0
+	n, pre, post := 0, 0, 0
+	for {
+		o, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+		if o.T < last {
+			t.Fatalf("time went backwards: %g after %g", o.T, last)
+		}
+		last = o.T
+		if !p.Domain.ContainsPoint(o.Pos) {
+			t.Fatalf("object %d left the domain: %v", o.ID, o.Pos)
+		}
+		if o.T >= p.SwitchT {
+			post++
+		} else {
+			pre++
+		}
+		axis, d := closest(o.Vel, g.AxesAt(o.T))
+		if d > 4*p.PerpJitter+1e-9 {
+			t.Fatalf("report at t=%g: perp speed %g exceeds 4-sigma jitter %g", o.T, d, 4*p.PerpJitter)
+		}
+		speed := math.Abs(o.Vel.Dot(axis))
+		lo, hi := p.MeanSpeed-p.SpeedJitter-4*p.PerpJitter, p.MeanSpeed+p.SpeedJitter+1e-9
+		if speed < lo-1e-9 || speed > hi {
+			t.Fatalf("report at t=%g: axis speed %g outside [%g, %g]", o.T, speed, lo, hi)
+		}
+	}
+	// Duration/UpdateInterval rounds plus the t=Duration boundary round.
+	if n < p.NumObjects*int(p.Duration/p.UpdateInterval) {
+		t.Fatalf("stream too short: %d reports", n)
+	}
+	if pre == 0 || post == 0 {
+		t.Fatalf("phases not both exercised: pre=%d post=%d", pre, post)
+	}
+	// The upfront sample is phase-0 and deterministic.
+	s1, s2 := g.VelocitySample(50), g.VelocitySample(50)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("velocity sample not deterministic at %d", i)
+		}
+		if _, d := closest(s1[i], g.AxesAt(0)); d > 4*p.PerpJitter+1e-9 {
+			t.Fatalf("sample %d not phase-0 aligned: %v", i, s1[i])
+		}
+	}
+}

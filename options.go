@@ -11,6 +11,34 @@ import (
 // sample set of 10,000 velocities").
 const DefaultAutoPartitionSample = 10_000
 
+// DefaultDriftThreshold is the axis-drift angle (radians, ~11.5 degrees)
+// past which the adaptive repartition policy rebuilds the partitions when no
+// explicit WithDriftThreshold is given.
+const DefaultDriftThreshold = 0.2
+
+// RepartitionPolicy configures adaptive online repartitioning (Section 5.5
+// of the paper: re-run the velocity analyzer when "the dominant direction of
+// object travel changes significantly"). Once the Store is partitioned it
+// keeps a bounded reservoir of recently reported velocities; after Every
+// post-partition reports a fresh DVA analysis runs over the reservoir off
+// the write path, and when any live axis has drifted past DriftThreshold the
+// Store rebuilds every shard's partitions from the new analysis while
+// queries keep serving.
+type RepartitionPolicy struct {
+	// Every is the check cadence in post-partition reports. <= 0 disables
+	// automatic checks; Store.Repartition remains available as the manual
+	// trigger.
+	Every int
+	// DriftThreshold is the largest angle (radians) any live DVA may drift
+	// from the matching axis of a fresh analysis before the partitions are
+	// rebuilt. <= 0 takes DefaultDriftThreshold.
+	DriftThreshold float64
+	// ReservoirSize bounds the pooled recent-velocity reservoir that feeds
+	// the fresh analysis (split evenly across the shards). <= 0 takes
+	// DefaultAutoPartitionSample.
+	ReservoirSize int
+}
+
 // Option configures a Store. Pass any combination to Open; later options
 // override earlier ones.
 type Option func(*storeConfig)
@@ -30,6 +58,11 @@ type storeConfig struct {
 	tauBuckets int
 	tauRefresh int
 	seed       int64
+
+	// repart is the adaptive repartitioning policy; maintHook observes
+	// maintenance outcomes (bootstrap cutovers, drift checks, swaps).
+	repart    RepartitionPolicy
+	maintHook func(MaintenanceEvent)
 
 	// shards is the ObjectID-hash shard count (normalized to >= 1);
 	// searchPar bounds the query fan-out worker pools (0 = GOMAXPROCS).
@@ -124,6 +157,41 @@ func WithAutoPartition(n int) Option {
 	}
 }
 
+// WithRepartitionPolicy sets the complete adaptive repartitioning policy at
+// once. The shorthand options WithRepartitionEvery and WithDriftThreshold
+// cover the common cases; later options override earlier ones field-wise
+// only when they set a field.
+func WithRepartitionPolicy(p RepartitionPolicy) Option {
+	return func(c *storeConfig) { c.repart = p }
+}
+
+// WithRepartitionEvery enables the adaptive repartition policy: after every
+// n post-partition reports the Store re-analyzes its recent-velocity
+// reservoir off the write path and rebuilds the partitions if the dominant
+// axes drifted past the threshold (WithDriftThreshold, default
+// DefaultDriftThreshold). n <= 0 disables automatic checks.
+func WithRepartitionEvery(n int) Option {
+	return func(c *storeConfig) { c.repart.Every = n }
+}
+
+// WithDriftThreshold sets the axis-drift angle (radians) past which an
+// automatic repartition check rebuilds the partitions. It only takes effect
+// together with WithRepartitionEvery (or a full WithRepartitionPolicy).
+func WithDriftThreshold(radians float64) Option {
+	return func(c *storeConfig) { c.repart.DriftThreshold = radians }
+}
+
+// WithMaintenanceHook observes every completed maintenance action — the
+// bootstrap cutover, automatic drift checks, and repartition swaps — with
+// its outcome. Maintenance failures never surface through Report or
+// ReportBatch (the triggering write is already applied when maintenance
+// runs); the hook and LastMaintenanceError are how they are seen. The hook
+// is called outside the Store's locks and may itself call Store methods; it
+// must be safe for concurrent calls.
+func WithMaintenanceHook(h func(MaintenanceEvent)) Option {
+	return func(c *storeConfig) { c.maintHook = h }
+}
+
 // WithShards splits the Store into n ObjectID-hash shards, each with its own
 // lock, id→record table, and index structure, so writes to different shards
 // run in parallel (see the Store type docs). n <= 0 (the default) uses
@@ -173,5 +241,14 @@ func (c *storeConfig) normalize() {
 		c.autoN = 0 // upfront sample wins; nothing to bootstrap
 	} else if c.autoN <= 0 {
 		c.autoN = DefaultAutoPartitionSample
+	}
+	// The velocity reservoir is always collected once partitioned (it is
+	// what the manual Repartition analyzes); the policy's Every only gates
+	// the automatic checks.
+	if c.repart.ReservoirSize <= 0 {
+		c.repart.ReservoirSize = DefaultAutoPartitionSample
+	}
+	if c.repart.DriftThreshold <= 0 {
+		c.repart.DriftThreshold = DefaultDriftThreshold
 	}
 }

@@ -54,16 +54,41 @@ import (
 // cuts every shard over to freshly built partitions in a single coordinated
 // migration under all shard locks — queries work identically before,
 // during, and after the cutover.
+//
+// # Adaptive repartitioning
+//
+// Once partitioned, each shard keeps a bounded ring of recently reported
+// velocities. With a repartition policy configured (WithRepartitionEvery /
+// WithDriftThreshold / WithRepartitionPolicy), every policy-cadence reports
+// a fresh DVA analysis of the pooled reservoir runs in the background and,
+// when any live axis has drifted past the threshold, the Store rebuilds the
+// partitions: per shard, a new manager (with fresh per-partition pools) is
+// built, the live population is migrated with InsertBulk under that shard's
+// write lock, and the manager is swapped in — the same cutover machinery as
+// the bootstrap, applied one shard at a time so the other shards keep
+// serving reads and writes throughout. Repartition is the synchronous
+// manual trigger.
+//
+// Maintenance is decoupled from the write path: a failed background
+// analysis (e.g. a degenerate reservoir) is recorded — LastMaintenanceError,
+// WithMaintenanceHook — never returned from Report/ReportBatch, and the
+// cadence keeps counting so the next multiple re-arms the check.
 type Store struct {
 	cfg    storeConfig
 	disk   *storage.Disk
 	shards []*storeShard
 
-	// pools tracks every buffer pool the Store has created (one per shard
-	// staging index, one per partition per shard after the cutover) so
-	// Stats can aggregate I/O counters across all of them.
-	poolMu sync.Mutex
-	pools  []*storage.BufferPool
+	// pools tracks every live buffer pool (one per shard staging index, one
+	// per partition per shard after the cutover) so Stats can aggregate I/O
+	// counters across all of them. When a partition epoch is replaced — the
+	// bootstrap cutover retiring the staging indexes, a repartition swap
+	// retiring the previous epoch — the outgoing pools' counters are folded
+	// into retired (keeping Stats cumulative and monotonic) and the pools
+	// themselves are retired, releasing their cached frames and their
+	// indexes' disk pages, so repeated swaps do not grow memory forever.
+	poolMu  sync.Mutex
+	pools   []*storage.BufferPool
+	retired IOStats
 
 	// Bootstrap coordination: sampled counts staged velocities across all
 	// shards; a report that pushes it to nextTrip attempts the cutover;
@@ -78,6 +103,51 @@ type Store struct {
 
 	anMu     sync.RWMutex
 	analysis core.Analysis
+
+	// Adaptive repartitioning: resCap is each shard's velocity-ring
+	// capacity; reports counts post-partition reports toward the policy
+	// cadence (never reset — each multiple of Every fires exactly once);
+	// maintMu serializes maintenance actions (drift checks, swaps) without
+	// ever blocking the write path (background checks TryLock and yield);
+	// epoch tags the current partition generation and repartitions counts
+	// completed swaps.
+	resCap       int
+	reports      atomic.Int64
+	maintMu      sync.Mutex
+	epoch        atomic.Int64
+	repartitions atomic.Int64
+	swapping     atomic.Bool
+
+	maintErrMu sync.Mutex
+	maintErr   error
+}
+
+// MaintenanceOp names a Store maintenance action.
+type MaintenanceOp string
+
+const (
+	// MaintBootstrap is the one-shot auto-partition cutover.
+	MaintBootstrap MaintenanceOp = "bootstrap"
+	// MaintDriftCheck is an automatic analyze-and-compare round that did
+	// not swap (below threshold, or failed before the swap decision).
+	MaintDriftCheck MaintenanceOp = "drift-check"
+	// MaintRepartition is an analyze round that decided to rebuild the
+	// partitions (threshold tripped, or the manual Repartition trigger).
+	MaintRepartition MaintenanceOp = "repartition"
+)
+
+// MaintenanceEvent reports one completed maintenance action to the
+// WithMaintenanceHook observer.
+type MaintenanceEvent struct {
+	Op  MaintenanceOp
+	Err error // nil on success
+	// Drift is the largest angle (radians) between a live DVA and the
+	// matching axis of the fresh analysis (drift checks and repartitions).
+	Drift float64
+	// SampleSize is the number of velocities the analysis consumed.
+	SampleSize int
+	// Swapped reports whether a new partition set went live.
+	Swapped bool
 }
 
 // storeShard is one lock domain of the Store: the objects whose IDs hash
@@ -98,6 +168,43 @@ type storeShard struct {
 	// sample accumulates reported velocities toward the auto-partition
 	// threshold; nil when not bootstrapping.
 	sample []Vec2
+
+	// epoch tags the partition generation mgr belongs to, so Partitions()
+	// can tell when it observes shards on opposite sides of an in-flight
+	// repartition swap, and the drift check can tell a partial swap needs
+	// finishing.
+	epoch int
+
+	// pools are the buffer pools behind the shard's current index
+	// structure (the staging pool, then one per partition); the previous
+	// generation is retired when a new one swaps in.
+	pools []*storage.BufferPool
+
+	// res is a bounded ring of the shard's most recently reported
+	// velocities (the repartition analysis sample); resPos is the next
+	// overwrite position once the ring is full.
+	res    []Vec2
+	resPos int
+}
+
+// observeVel records a reported velocity in the shard's recent-velocity
+// ring (capacity cap; oldest entry overwritten first). Caller holds sh.mu.
+func (sh *storeShard) observeVel(v Vec2, cap int) {
+	if cap <= 0 {
+		return
+	}
+	if len(sh.res) < cap {
+		if sh.res == nil {
+			sh.res = make([]Vec2, 0, cap)
+		}
+		sh.res = append(sh.res, v)
+		return
+	}
+	sh.res[sh.resPos] = v
+	sh.resPos++
+	if sh.resPos == len(sh.res) {
+		sh.resPos = 0
+	}
 }
 
 // Store satisfies the full index interface, so it drops into every API that
@@ -135,6 +242,9 @@ func Open(opts ...Option) (*Store, error) {
 	}
 	s := &Store{cfg: cfg, disk: storage.NewDisk()}
 	s.disk.SetLatency(cfg.base.DiskLatency)
+	if cfg.vpEnabled() {
+		s.resCap = (cfg.repart.ReservoirSize + cfg.shards - 1) / cfg.shards
+	}
 	s.shards = make([]*storeShard, cfg.shards)
 	for i := range s.shards {
 		s.shards[i] = &storeShard{}
@@ -151,17 +261,57 @@ func Open(opts ...Option) (*Store, error) {
 		s.nextTrip.Store(int64(cfg.autoN))
 	}
 	for _, sh := range s.shards {
-		idx, err := buildBase(s.newPool(), cfg.base, cfg.base.Domain, suffix)
+		pool := s.newPool()
+		idx, err := buildBase(pool, cfg.base, cfg.base.Domain, suffix)
 		if err != nil {
 			return nil, err
 		}
 		sh.base = idx
+		sh.pools = []*storage.BufferPool{pool}
 		sh.objs = make(map[ObjectID]Object)
 		if cfg.autoN > 0 {
 			sh.sample = make([]Vec2, 0, cfg.autoN/len(s.shards)+1)
 		}
 	}
 	return s, nil
+}
+
+// retireUnregistered releases a failed attempt's pools: they were never
+// registered for Stats, so nothing folds in — frames and disk pages are
+// simply freed and the attempt leaves no trace.
+func retireUnregistered(pools []*storage.BufferPool) {
+	for _, p := range pools {
+		p.Retire()
+	}
+}
+
+// retirePools removes an outgoing index generation's pools from Stats
+// aggregation — folding their counters into the cumulative retired total
+// first — and releases their frames and disk pages.
+func (s *Store) retirePools(ps []*storage.BufferPool) {
+	if len(ps) == 0 {
+		return
+	}
+	dead := make(map[*storage.BufferPool]bool, len(ps))
+	s.poolMu.Lock()
+	for _, p := range ps {
+		dead[p] = true
+		st := p.Stats()
+		s.retired.Reads += st.Misses
+		s.retired.Writes += st.Writes
+		s.retired.Hits += st.Hits
+	}
+	live := s.pools[:0]
+	for _, p := range s.pools {
+		if !dead[p] {
+			live = append(live, p)
+		}
+	}
+	s.pools = live
+	s.poolMu.Unlock()
+	for _, p := range ps {
+		p.Retire()
+	}
 }
 
 // shardFor routes an ObjectID to its shard. Fibonacci hashing spreads the
@@ -229,11 +379,20 @@ func (s *Store) partitionLocked(sample []Vec2) error {
 		return fmt.Errorf("vpindex: velocity analysis: %w", err)
 	}
 	mgrs := make([]*core.Manager, len(s.shards))
-	var pools []*storage.BufferPool
+	shardPools := make([][]*storage.BufferPool, len(s.shards))
+	// A failed attempt's pools were never registered; retire them directly
+	// (freeing their pages) so the attempt leaves no trace in Stats or on
+	// the simulated disk.
+	fail := func(err error) error {
+		for _, ps := range shardPools {
+			retireUnregistered(ps)
+		}
+		return err
+	}
 	for i, sh := range s.shards {
-		mgr, err := s.buildManager(an, &pools)
+		mgr, err := s.buildManager(an, &shardPools[i])
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		if len(sh.objs) > 0 {
 			live := make([]Object, 0, len(sh.objs))
@@ -241,24 +400,34 @@ func (s *Store) partitionLocked(sample []Vec2) error {
 				live = append(live, o)
 			}
 			if err := mgr.InsertBulk(live); err != nil {
-				return fmt.Errorf("vpindex: bootstrap migration: %w", err)
+				return fail(fmt.Errorf("vpindex: bootstrap migration: %w", err))
 			}
 		}
 		mgrs[i] = mgr
 	}
-	// Commit the cutover: the staging indexes are abandoned in place — their
-	// pools stop being touched and only still count toward cumulative Stats —
-	// and each shard's manager table becomes the only record copy. The new
-	// partition pools become visible to Stats only now, so a failed attempt
-	// above left no trace.
-	s.poolMu.Lock()
-	s.pools = append(s.pools, pools...)
-	s.poolMu.Unlock()
+	// Commit the cutover: each shard's manager table becomes the only
+	// record copy, the staging pools are retired (their counters fold into
+	// the cumulative Stats totals, their frames and disk pages are
+	// released), and the new partition pools become visible to Stats only
+	// now — so a failed attempt above left no trace.
+	epoch := int(s.epoch.Add(1))
 	for i, sh := range s.shards {
 		sh.mgr = mgrs[i]
 		sh.base = nil
 		sh.objs = nil
 		sh.sample = nil
+		sh.epoch = epoch
+		s.retirePools(sh.pools)
+		sh.pools = shardPools[i]
+		s.poolMu.Lock()
+		s.pools = append(s.pools, shardPools[i]...)
+		s.poolMu.Unlock()
+	}
+	// Seed the recent-velocity reservoir from the analysis sample so a
+	// drift check (or manual Repartition) right after the cutover has a
+	// population to analyze instead of an empty ring.
+	for i, v := range sample {
+		s.shards[i%len(s.shards)].observeVel(v, s.resCap)
 	}
 	s.anMu.Lock()
 	s.analysis = an
@@ -270,25 +439,21 @@ func (s *Store) partitionLocked(sample []Vec2) error {
 // cutover performs the coordinated bootstrap migration: it pools the
 // per-shard samples under every shard's lock and partitions all shards at
 // once. Safe to call from any number of tripping reporters; only the first
-// does the work. On failure (a degenerate sample the analysis rejects) the
-// staging state keeps serving — the triggering report itself was already
-// applied — and the trip threshold is re-armed a full sample size later,
-// so the O(n) analysis is not retried on every subsequent write but gets a
-// fresh chance once the workload has produced new velocities.
-func (s *Store) cutover() error {
+// does the work. The outcome is recorded as a maintenance event — never
+// returned to the tripping writer, whose own report was already applied. On
+// failure (a degenerate sample the analysis rejects) the staging state
+// keeps serving and the trip threshold is re-armed a full sample size
+// later, so the O(n) analysis is not retried on every subsequent write but
+// gets a fresh chance once the workload has produced new velocities.
+func (s *Store) cutover() {
 	s.bootMu.Lock()
-	defer s.bootMu.Unlock()
 	if s.partitioned.Load() {
-		return nil
+		s.bootMu.Unlock()
+		return
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 	}
-	defer func() {
-		for i := len(s.shards) - 1; i >= 0; i-- {
-			s.shards[i].mu.Unlock()
-		}
-	}()
 	sample := make([]Vec2, 0, s.sampled.Load())
 	for _, sh := range s.shards {
 		sample = append(sample, sh.sample...)
@@ -297,7 +462,205 @@ func (s *Store) cutover() error {
 	if err != nil {
 		s.nextTrip.Store(s.sampled.Load() + int64(s.cfg.autoN))
 	}
-	return err
+	ev := MaintenanceEvent{
+		Op: MaintBootstrap, Err: err, SampleSize: len(sample), Swapped: err == nil,
+	}
+	s.recordMaintenance(ev)
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+	s.bootMu.Unlock()
+	s.notifyMaintenance(ev)
+}
+
+// recordMaintenance stores the outcome of one maintenance action for
+// LastMaintenanceError. Callers invoke it while still holding the mutex
+// that serialized the action (maintMu, or bootMu for the cutover), so
+// outcomes are recorded in completion order and a stale action can never
+// overwrite a newer one.
+func (s *Store) recordMaintenance(ev MaintenanceEvent) {
+	s.maintErrMu.Lock()
+	s.maintErr = ev.Err
+	s.maintErrMu.Unlock()
+}
+
+// notifyMaintenance delivers the event to the hook. Called with no Store
+// locks held: the hook contract allows it to call Store methods, including
+// Repartition, which takes maintMu.
+func (s *Store) notifyMaintenance(ev MaintenanceEvent) {
+	if s.cfg.maintHook != nil {
+		s.cfg.maintHook(ev)
+	}
+}
+
+// LastMaintenanceError returns the error of the most recently completed
+// maintenance action (bootstrap cutover, drift check, repartition swap), or
+// nil if it succeeded. Maintenance failures are reported here and through
+// WithMaintenanceHook only: they never surface as a Report/ReportBatch
+// error, because the triggering write is already applied by the time
+// maintenance runs.
+func (s *Store) LastMaintenanceError() error {
+	s.maintErrMu.Lock()
+	defer s.maintErrMu.Unlock()
+	return s.maintErr
+}
+
+// driftCheck is the automatic repartition probe launched by the policy
+// cadence: re-analyze the recent-velocity reservoir off the write path and
+// rebuild the partitions when any live axis drifted past the threshold. At
+// most one maintenance action runs at a time; a probe that finds one in
+// flight yields — the cadence counter keeps running, so the next multiple
+// tries again.
+func (s *Store) driftCheck() {
+	if !s.maintMu.TryLock() {
+		return
+	}
+	ev := s.repartitionLocked(false)
+	s.recordMaintenance(ev)
+	s.maintMu.Unlock()
+	s.notifyMaintenance(ev)
+}
+
+// Repartition synchronously re-analyzes the recent-velocity reservoir and
+// rebuilds every shard's partitions from the result, regardless of the
+// drift threshold — the manual maintenance trigger of Section 5.5. It
+// requires the Store to be velocity-partitioned already (the bootstrap
+// handles the first partitioning) and at least k reservoir velocities.
+// Queries and writes keep serving while it runs; only the shard whose
+// population is being migrated blocks, one shard at a time. The outcome is
+// also recorded like any other maintenance action (LastMaintenanceError,
+// hook).
+func (s *Store) Repartition() error {
+	s.maintMu.Lock()
+	ev := s.repartitionLocked(true)
+	s.recordMaintenance(ev)
+	s.maintMu.Unlock()
+	s.notifyMaintenance(ev)
+	return ev.Err
+}
+
+// repartitionLocked runs one analyze → compare → swap round. force skips
+// the drift threshold (the manual trigger). Caller holds maintMu.
+func (s *Store) repartitionLocked(force bool) MaintenanceEvent {
+	ev := MaintenanceEvent{Op: MaintDriftCheck}
+	if force {
+		ev.Op = MaintRepartition
+	}
+	if !s.partitioned.Load() {
+		ev.Err = fmt.Errorf("vpindex: repartition before the store is partitioned: %w", ErrUnsupported)
+		return ev
+	}
+	sample := s.reservoirSnapshot()
+	ev.SampleSize = len(sample)
+	an, err := core.Analyze(sample, core.AnalyzerConfig{
+		K:          s.cfg.k,
+		TauBuckets: s.cfg.tauBuckets,
+		Cluster:    clusterOptions(s.cfg.seed),
+	})
+	if err != nil {
+		ev.Err = fmt.Errorf("vpindex: repartition analysis: %w", err)
+		return ev
+	}
+	// Drift of the live axes against the fresh analysis; shard 0 is the
+	// representative (all shards share one analysis per epoch). While
+	// collecting, also detect a partial previous swap: if the shards sit on
+	// mixed epochs, shard 0 already carries the new axes — its drift reads
+	// ~0 — but the unswapped shards are still degraded, so the threshold
+	// must not be allowed to veto finishing the job.
+	mixed := false
+	var (
+		drifts []float64
+		epoch0 int
+	)
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		if i == 0 {
+			drifts = sh.mgr.AxisDrift(an)
+			epoch0 = sh.epoch
+		} else if sh.epoch != epoch0 {
+			mixed = true
+		}
+		sh.mu.RUnlock()
+	}
+	for _, d := range drifts {
+		if d > ev.Drift {
+			ev.Drift = d
+		}
+	}
+	if !force && !mixed && ev.Drift <= s.cfg.repart.DriftThreshold {
+		return ev
+	}
+	ev.Op = MaintRepartition
+	if err := s.swapPartitions(an); err != nil {
+		ev.Err = err
+		return ev
+	}
+	ev.Swapped = true
+	return ev
+}
+
+// reservoirSnapshot pools every shard's recent-velocity ring.
+func (s *Store) reservoirSnapshot() []Vec2 {
+	out := make([]Vec2, 0, s.resCap*len(s.shards))
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		out = append(out, sh.res...)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// swapPartitions rebuilds every shard's partition set from a fresh
+// analysis, one shard at a time: build the empty manager with its
+// per-partition pools, then, under that shard's write lock, migrate the
+// live population with InsertBulk and swap the manager in — the bootstrap
+// cutover machinery re-applied per shard. Only the shard being migrated
+// blocks its callers; every other shard keeps serving reads and writes.
+// Shards therefore cross to the new epoch one at a time, which Partitions()
+// tolerates by matching epochs. A mid-swap failure leaves a mix of epochs:
+// correctness is unaffected (every shard answers queries exactly, whatever
+// its axes), the error is recorded, and the next check detects the epoch
+// mix and re-swaps every shard regardless of the drift threshold. Each
+// shard's outgoing generation is retired as its replacement goes live —
+// counters folded into the cumulative Stats totals, frames and disk pages
+// released — so repeated swaps do not accumulate dead structures.
+func (s *Store) swapPartitions(an core.Analysis) error {
+	s.swapping.Store(true)
+	defer s.swapping.Store(false)
+	epoch := int(s.epoch.Add(1))
+	for _, sh := range s.shards {
+		var pools []*storage.BufferPool
+		mgr, err := s.buildManager(an, &pools)
+		if err != nil {
+			// Partitions built before the failure already own pools and
+			// pages; a failed attempt leaves no trace.
+			retireUnregistered(pools)
+			return fmt.Errorf("vpindex: repartition rebuild: %w", err)
+		}
+		sh.mu.Lock()
+		live := sh.mgr.Objects()
+		if len(live) > 0 {
+			if err := mgr.InsertBulk(live); err != nil {
+				sh.mu.Unlock()
+				retireUnregistered(pools)
+				return fmt.Errorf("vpindex: repartition migration: %w", err)
+			}
+		}
+		old := sh.pools
+		sh.mgr = mgr
+		sh.epoch = epoch
+		sh.pools = pools
+		sh.mu.Unlock()
+		s.retirePools(old)
+		s.poolMu.Lock()
+		s.pools = append(s.pools, pools...)
+		s.poolMu.Unlock()
+	}
+	s.anMu.Lock()
+	s.analysis = an
+	s.anMu.Unlock()
+	s.repartitions.Add(1)
+	return nil
 }
 
 // reportShardLocked applies one ID-keyed upsert to sh and advances the
@@ -306,7 +669,11 @@ func (s *Store) cutover() error {
 // shard lock — the cutover needs every shard's lock). Caller holds sh.mu.
 func (s *Store) reportShardLocked(sh *storeShard, o Object) (trip bool, err error) {
 	if sh.mgr != nil {
-		return false, sh.mgr.Report(o)
+		if err := sh.mgr.Report(o); err != nil {
+			return false, err
+		}
+		sh.observeVel(o.Vel, s.resCap)
+		return false, nil
 	}
 	old, exists := sh.objs[o.ID]
 	if exists {
@@ -325,10 +692,32 @@ func (s *Store) reportShardLocked(sh *storeShard, o Object) (trip bool, err erro
 	return s.sampled.Add(1) >= s.nextTrip.Load(), nil
 }
 
+// noteReports advances the repartition cadence by n post-partition reports
+// and, with an automatic policy configured, kicks a background drift check
+// each time the running counter crosses a multiple of the cadence. The
+// counter is never reset, and atomic.Add hands each caller a unique value,
+// so every multiple fires exactly once — including after a failed check,
+// which is how the trigger re-arms itself.
+func (s *Store) noteReports(n int) {
+	every := int64(s.cfg.repart.Every)
+	if n <= 0 || every <= 0 || !s.partitioned.Load() {
+		return
+	}
+	after := s.reports.Add(int64(n))
+	if after/every != (after-int64(n))/every {
+		go s.driftCheck()
+	}
+}
+
 // Report upserts one object by ID: a new ID is inserted, a known ID replaces
 // its previous record (routing between partitions as the velocity dictates).
 // The record's T must carry the report timestamp; the Store never needs the
 // previous record from the caller. Only the object's shard is locked.
+//
+// Report returns an error only when the write itself fails. Maintenance the
+// write triggers (the bootstrap cutover, drift checks) runs after the write
+// is applied and reports its outcome through LastMaintenanceError and the
+// maintenance hook instead.
 func (s *Store) Report(o Object) error {
 	sh := s.shardFor(o.ID)
 	sh.mu.Lock()
@@ -338,7 +727,9 @@ func (s *Store) Report(o Object) error {
 		return err
 	}
 	if trip {
-		return s.cutover()
+		s.cutover()
+	} else {
+		s.noteReports(1)
 	}
 	return nil
 }
@@ -364,7 +755,10 @@ func (s *Store) ReportBatch(objs []Object) error {
 			groups[i] = append(groups[i], o)
 		}
 	}
-	var trip atomic.Bool
+	var (
+		trip     atomic.Bool
+		reported atomic.Int64 // post-partition reports, for the repartition cadence
+	)
 	// Write fan-out is bounded by GOMAXPROCS, independent of the query knob
 	// WithSearchParallelism: the final state is identical whatever order the
 	// groups land in (each shard applies its group in batch order), so
@@ -379,7 +773,12 @@ func (s *Store) ReportBatch(objs []Object) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		if sh.mgr != nil {
-			if _, err := sh.mgr.ReportBatch(group); err != nil {
+			applied, err := sh.mgr.ReportBatch(group)
+			for _, o := range group[:applied] {
+				sh.observeVel(o.Vel, s.resCap)
+			}
+			reported.Add(int64(applied))
+			if err != nil {
 				return fmt.Errorf("vpindex: batch report: %w", err)
 			}
 			return nil
@@ -395,11 +794,12 @@ func (s *Store) ReportBatch(objs []Object) error {
 		}
 		return nil
 	})
+	s.noteReports(int(reported.Load()))
 	if err != nil {
 		return err
 	}
 	if trip.Load() {
-		return s.cutover()
+		s.cutover()
 	}
 	return nil
 }
@@ -544,8 +944,9 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // cutover in auto-partition mode; always false otherwise).
 func (s *Store) Partitioned() bool { return s.partitioned.Load() }
 
-// Analysis returns the velocity analysis that shaped the partitions, and
-// whether one has run yet.
+// Analysis returns the velocity analysis that shaped the current partition
+// epoch (the bootstrap analysis, or the most recent completed repartition
+// swap's), and whether one has run yet.
 func (s *Store) Analysis() (core.Analysis, bool) {
 	s.anMu.RLock()
 	defer s.anMu.RUnlock()
@@ -569,17 +970,34 @@ func (s *Store) BootstrapProgress() (collected, target int) {
 // partitioned): one entry per velocity partition, with Size summed across
 // every shard. Spec, rotation, tau, and the Index handle come from shard 0
 // (shards may drift apart slightly in tau once online refresh runs).
+//
+// The aggregation never aliases manager-internal state: Manager.Partitions
+// returns a freshly built snapshot slice each call, so adding sizes into
+// shard 0's entries mutates only this snapshot. A repartition swap crosses
+// the shards one at a time, so shards observed mid-swap can be on a
+// different partition epoch — possibly with a different partition count —
+// than shard 0; those shards are skipped rather than mis-summed, so a
+// mid-swap snapshot may undercount sizes but never panics or mixes axes
+// from two epochs.
 func (s *Store) Partitions() []core.PartitionInfo {
 	if !s.partitioned.Load() {
 		return nil
 	}
-	var out []core.PartitionInfo
+	var (
+		out    []core.PartitionInfo
+		epoch0 int
+	)
 	for i, sh := range s.shards {
 		sh.mu.RLock()
 		infos := sh.mgr.Partitions()
+		epoch := sh.epoch
 		sh.mu.RUnlock()
 		if i == 0 {
 			out = infos
+			epoch0 = epoch
+			continue
+		}
+		if epoch != epoch0 || len(infos) != len(out) {
 			continue
 		}
 		for j := range infos {
@@ -589,25 +1007,48 @@ func (s *Store) Partitions() []core.PartitionInfo {
 	return out
 }
 
-// Stats returns cumulative simulated I/O counters aggregated across every
-// buffer pool the Store has created (one per staging index, one per
-// partition per shard).
-func (s *Store) Stats() IOStats {
+// StoreStats extends the simulated I/O counters with the Store's
+// maintenance counters. IOStats is embedded, so existing callers reading
+// Reads/Writes/Hits off Stats() keep working unchanged.
+type StoreStats struct {
+	IOStats
+	// Repartitions counts completed partition swaps (adaptive and manual),
+	// not including the bootstrap cutover.
+	Repartitions int64
+	// PartitionEpoch counts partition generations ever started: 0 while
+	// unpartitioned, 1 from the bootstrap (or upfront-sample) partitioning,
+	// +1 at the start of each repartition swap attempt (failed attempts
+	// consume an epoch too — their already-swapped shards carry the tag).
+	PartitionEpoch int64
+	// SwapInFlight reports whether a repartition swap is migrating shards
+	// right now (its I/O is landing in the shared counters).
+	SwapInFlight bool
+}
+
+// Stats returns cumulative simulated I/O counters — every live buffer pool
+// (one per staging index, one per partition per shard) plus the folded-in
+// totals of pools retired by past cutovers and repartition swaps — and the
+// maintenance counters. The counters are monotonic across swaps.
+func (s *Store) Stats() StoreStats {
 	s.poolMu.Lock()
 	pools := append([]*storage.BufferPool(nil), s.pools...)
+	st := StoreStats{IOStats: s.retired}
 	s.poolMu.Unlock()
-	var st IOStats
 	for _, p := range pools {
 		ps := p.Stats()
 		st.Reads += ps.Misses
 		st.Writes += ps.Writes
 		st.Hits += ps.Hits
 	}
+	st.Repartitions = s.repartitions.Load()
+	st.PartitionEpoch = s.epoch.Load()
+	st.SwapInFlight = s.swapping.Load()
 	return st
 }
 
-// Pools snapshots every buffer pool the Store has created, for
-// instrumentation (benchmarks snapshot miss counters around operations).
+// Pools snapshots every live buffer pool (pools retired by cutovers and
+// repartition swaps are excluded; their counters live on in Stats), for
+// instrumentation.
 func (s *Store) Pools() []*storage.BufferPool {
 	s.poolMu.Lock()
 	defer s.poolMu.Unlock()
@@ -626,7 +1067,7 @@ func (s *Store) Name() string {
 }
 
 // IO implements model.Index (same counters as Stats).
-func (s *Store) IO() IOStats { return s.Stats() }
+func (s *Store) IO() IOStats { return s.Stats().IOStats }
 
 // Insert implements model.Index with strict semantics: reporting an ID that
 // is already indexed returns ErrDuplicate. Application code should prefer
@@ -640,7 +1081,9 @@ func (s *Store) Insert(o Object) error {
 	)
 	switch {
 	case sh.mgr != nil:
-		err = sh.mgr.Insert(o)
+		if err = sh.mgr.Insert(o); err == nil {
+			sh.observeVel(o.Vel, s.resCap)
+		}
 	default:
 		if _, dup := sh.objs[o.ID]; dup {
 			err = fmt.Errorf("vpindex: insert of object %d: %w", o.ID, ErrDuplicate)
@@ -653,7 +1096,9 @@ func (s *Store) Insert(o Object) error {
 		return err
 	}
 	if trip {
-		return s.cutover()
+		s.cutover()
+	} else {
+		s.noteReports(1)
 	}
 	return nil
 }
@@ -677,7 +1122,9 @@ func (s *Store) Update(old, new Object) error {
 	)
 	switch {
 	case sh.mgr != nil:
-		err = sh.mgr.UpdateByID(new)
+		if err = sh.mgr.UpdateByID(new); err == nil {
+			sh.observeVel(new.Vel, s.resCap)
+		}
 	default:
 		if _, ok := sh.objs[old.ID]; !ok {
 			err = fmt.Errorf("vpindex: update of object %d: %w", old.ID, ErrNotFound)
@@ -690,7 +1137,9 @@ func (s *Store) Update(old, new Object) error {
 		return err
 	}
 	if trip {
-		return s.cutover()
+		s.cutover()
+	} else {
+		s.noteReports(1)
 	}
 	return nil
 }

@@ -3,10 +3,13 @@ package vpindex_test
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	vpindex "repro"
 	"repro/internal/model"
@@ -285,5 +288,196 @@ func TestStoreShardsOption(t *testing.T) {
 	}
 	if got, want := s.NumShards(), runtime.GOMAXPROCS(0); got != want {
 		t.Fatalf("WithShards(-2): got %d, want %d", got, want)
+	}
+}
+
+// TestStoreConcurrentRepartitionOracle mirrors the bootstrap-cutover oracle
+// across the other migration: writers with disjoint ID ranges whose traffic
+// rotates 45° mid-storm, readers running Search/SearchKNN/Get/Len
+// throughout, while repartition swaps (manual triggers plus the automatic
+// drift policy) rebuild every shard's partitions live. After the storm the
+// merged writer states seed a BruteForce mirror and the Store must agree
+// exactly on Len, Get, Search and kNN distances.
+func TestStoreConcurrentRepartitionOracle(t *testing.T) {
+	const (
+		writers   = 4
+		readers   = 2
+		perWriter = 400
+		idsPer    = 500
+	)
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+		vpindex.WithBufferPages(30),
+		vpindex.WithShards(4),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithVelocitySample(axisSample(500, 0, 12)),
+		vpindex.WithRepartitionPolicy(vpindex.RepartitionPolicy{
+			Every:          300,
+			DriftThreshold: 0.3,
+			ReservoirSize:  400,
+		}),
+		vpindex.WithTauRefreshInterval(250),
+		vpindex.WithSeed(6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		written atomic.Int64
+		wg      sync.WaitGroup
+	)
+	final := make([]map[vpindex.ObjectID]*vpindex.Object, writers)
+	errs := make(chan error, writers+readers+1)
+
+	for w := 0; w < writers; w++ {
+		final[w] = make(map[vpindex.ObjectID]*vpindex.Object)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + w)))
+			base := w * idsPer
+			for i := 0; i < perWriter; i++ {
+				id := base + 1 + rng.Intn(idsPer)
+				// Traffic rotates 45° halfway through the storm.
+				angle := 0.0
+				if i >= perWriter/2 {
+					angle = math.Pi / 4
+				}
+				o := axisObject(id, angle, rng)
+				o.T = float64(i) / 8
+				if i%9 == 8 {
+					err := store.Remove(o.ID)
+					if err != nil && !errors.Is(err, vpindex.ErrNotFound) {
+						errs <- fmt.Errorf("writer %d remove: %w", w, err)
+						return
+					}
+					if err == nil {
+						delete(final[w], o.ID)
+					}
+					continue
+				}
+				if err := store.Report(o); err != nil {
+					errs <- fmt.Errorf("writer %d report: %w", w, err)
+					return
+				}
+				final[w][o.ID] = &o
+				written.Add(1)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(600 + r)))
+			for i := 0; i < 200; i++ {
+				now := float64(i) / 4
+				q := vpindex.SliceQuery(vpindex.Circle{
+					C: vpindex.V(rng.Float64()*20000, rng.Float64()*20000), R: 3000,
+				}, now, now+10)
+				if _, err := store.Search(q); err != nil {
+					errs <- fmt.Errorf("reader %d search: %w", r, err)
+					return
+				}
+				if _, err := store.SearchKNN(vpindex.KNNQuery{
+					Center: vpindex.V(rng.Float64()*20000, rng.Float64()*20000),
+					K:      5, Now: now, T: now + 10,
+				}); err != nil {
+					errs <- fmt.Errorf("reader %d knn: %w", r, err)
+					return
+				}
+				store.Get(vpindex.ObjectID(1 + rng.Intn(writers*idsPer)))
+				store.Len()
+				store.Partitions()
+				store.Stats()
+			}
+		}(r)
+	}
+	// A maintenance goroutine forces two manual swaps mid-storm (at roughly
+	// one-third and two-thirds of the write volume), racing the writers,
+	// readers, and any automatic drift checks the policy fires.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total := int64(writers * perWriter)
+		for _, frac := range []int64{3, 2} {
+			for written.Load() < total/frac {
+				time.Sleep(time.Millisecond)
+			}
+			if err := store.Repartition(); err != nil {
+				errs <- fmt.Errorf("manual repartition: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := store.Stats().Repartitions; n < 2 {
+		t.Fatalf("expected at least the two manual swaps, got %d", n)
+	}
+	if err := store.LastMaintenanceError(); err != nil {
+		t.Fatalf("maintenance error after storm: %v", err)
+	}
+
+	// Quiescent oracle comparison against the merged final states.
+	oracle := model.NewBruteForce()
+	for w := range final {
+		for _, o := range final[w] {
+			if err := oracle.Insert(*o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if store.Len() != oracle.Len() {
+		t.Fatalf("len %d vs oracle %d", store.Len(), oracle.Len())
+	}
+	for id := 1; id <= writers*idsPer; id++ {
+		g, gok := store.Get(vpindex.ObjectID(id))
+		w, wok := oracle.Get(vpindex.ObjectID(id))
+		if gok != wok || (gok && g != w) {
+			t.Fatalf("get %d: (%v,%v) vs oracle (%v,%v)", id, g, gok, w, wok)
+		}
+	}
+	rng := rand.New(rand.NewSource(56))
+	now := float64(perWriter) / 8
+	for i := 0; i < 12; i++ {
+		queries := []vpindex.RangeQuery{
+			vpindex.SliceQuery(vpindex.Circle{C: vpindex.V(rng.Float64()*20000, rng.Float64()*20000), R: 2500}, now, now+20),
+			vpindex.IntervalQuery(vpindex.R(2000, 2000, 9000, 9000), now, now+5, now+25),
+			vpindex.MovingQuery(vpindex.R(0, 0, 6000, 6000), vpindex.V(30, 10), now, now, now+30),
+		}
+		for _, q := range queries {
+			got, err := store.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want = sortedIDs(got), sortedIDs(want)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%v: got %v want %v", q.Kind, got, want)
+			}
+		}
+	}
+	q := vpindex.KNNQuery{Center: vpindex.V(10000, 10000), K: 10, Now: now, T: now + 30}
+	got, err := store.SearchKNN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := oracle.SearchKNN(q)
+	if len(got) != len(want) {
+		t.Fatalf("kNN %d vs %d results", len(got), len(want))
+	}
+	for i := range got {
+		if diff := got[i].Dist - want[i].Dist; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("kNN %d: dist %g vs %g", i, got[i].Dist, want[i].Dist)
+		}
 	}
 }

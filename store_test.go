@@ -3,10 +3,12 @@ package vpindex_test
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	vpindex "repro"
 	"repro/internal/model"
@@ -484,5 +486,403 @@ func TestStoreMonitorIntegration(t *testing.T) {
 	}
 	if _, err := mon.ProcessRemove(1); !errors.Is(err, vpindex.ErrNotFound) {
 		t.Fatalf("remove absent via monitor: %v", err)
+	}
+}
+
+// axisSample synthesizes velocities riding a single axis bundle (angle and
+// angle+90°) with small Gaussian cross-axis jitter — a road grid that the
+// repartition tests can rotate wholesale.
+func axisSample(n int, angle float64, seed int64) []vpindex.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vpindex.Vec2, n)
+	for i := range out {
+		a := angle
+		if i%2 == 1 {
+			a += math.Pi / 2
+		}
+		speed := 30 + rng.Float64()*60
+		if rng.Intn(2) == 0 {
+			speed = -speed
+		}
+		dir := vpindex.V(math.Cos(a), math.Sin(a))
+		perp := vpindex.V(-dir.Y, dir.X)
+		out[i] = dir.Scale(speed).Add(perp.Scale(rng.NormFloat64()))
+	}
+	return out
+}
+
+// axisObject builds a mover whose velocity follows axisSample's rotated
+// grid.
+func axisObject(id int, angle float64, rng *rand.Rand) vpindex.Object {
+	v := axisSample(2, angle, rng.Int63())[id%2]
+	return vpindex.Object{
+		ID:  vpindex.ObjectID(id),
+		Pos: vpindex.V(rng.Float64()*20000, rng.Float64()*20000),
+		Vel: v,
+		T:   0,
+	}
+}
+
+// maxAxisAngle returns the largest angle (radians) between any DVA of the
+// analysis and the closest axis of the bundle at the given angle.
+func maxAxisAngle(t *testing.T, s *vpindex.Store, angle float64) float64 {
+	t.Helper()
+	an, ok := s.Analysis()
+	if !ok {
+		t.Fatal("store has no analysis")
+	}
+	worst := 0.0
+	for _, d := range an.DVAs {
+		best := math.Pi
+		for k := 0; k < 2; k++ {
+			a := angle + float64(k)*math.Pi/2
+			axis := vpindex.V(math.Cos(a), math.Sin(a))
+			cos := math.Abs(d.Axis.Normalize().Dot(axis))
+			if cos > 1 {
+				cos = 1
+			}
+			if ang := math.Acos(cos); ang < best {
+				best = ang
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// TestStoreRepartitionManual drives the full manual repartition path: a
+// store partitioned for one axis grid serves a population whose traffic has
+// rotated 45°; Repartition must re-analyze the recent-velocity reservoir,
+// swap every shard to axes matching the new grid, preserve every record,
+// and keep answering queries exactly.
+func TestStoreRepartitionManual(t *testing.T) {
+	const rotated = math.Pi / 4
+	for _, kind := range []vpindex.Kind{vpindex.TPRStar, vpindex.Bx} {
+		t.Run(kind.String(), func(t *testing.T) {
+			store, err := vpindex.Open(
+				vpindex.WithKind(kind),
+				vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+				vpindex.WithBufferPages(30),
+				vpindex.WithShards(3),
+				vpindex.WithVelocityPartitioning(2),
+				vpindex.WithVelocitySample(axisSample(600, 0, 8)),
+				// Bounded reservoir (no automatic cadence): by analysis time
+				// the rings hold only the most recent — rotated — traffic,
+				// not the seeded bootstrap sample.
+				vpindex.WithRepartitionPolicy(vpindex.RepartitionPolicy{ReservoirSize: 300}),
+				vpindex.WithSeed(5),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if drift := maxAxisAngle(t, store, 0); drift > 0.15 {
+				t.Fatalf("initial axes off the 0° grid by %g rad", drift)
+			}
+
+			// The whole fleet reports with rotated velocities.
+			rng := rand.New(rand.NewSource(17))
+			oracle := model.NewBruteForce()
+			for i := 1; i <= 500; i++ {
+				o := axisObject(i, rotated, rng)
+				if err := store.Report(o); err != nil {
+					t.Fatal(err)
+				}
+				_ = oracle.Insert(o)
+			}
+			if n := store.Stats().Repartitions; n != 0 {
+				t.Fatalf("repartitions before trigger: %d", n)
+			}
+
+			if err := store.Repartition(); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.LastMaintenanceError(); err != nil {
+				t.Fatalf("maintenance error after successful repartition: %v", err)
+			}
+			if n := store.Stats().Repartitions; n != 1 {
+				t.Fatalf("repartitions after trigger: %d", n)
+			}
+			if drift := maxAxisAngle(t, store, rotated); drift > 0.15 {
+				t.Fatalf("axes off the rotated grid by %g rad after repartition", drift)
+			}
+			if store.Len() != oracle.Len() {
+				t.Fatalf("len %d vs oracle %d across repartition", store.Len(), oracle.Len())
+			}
+			// Partition sizes reflect the new epoch and sum to the population.
+			total := 0
+			for _, p := range store.Partitions() {
+				total += p.Size
+			}
+			if total != oracle.Len() {
+				t.Fatalf("partition sizes sum to %d, want %d", total, oracle.Len())
+			}
+
+			// Every verb still agrees with the oracle.
+			for i := 1; i <= 500; i += 13 {
+				g, gok := store.Get(vpindex.ObjectID(i))
+				w, wok := oracle.Get(vpindex.ObjectID(i))
+				if gok != wok || g != w {
+					t.Fatalf("get %d after repartition: (%v,%v) vs (%v,%v)", i, g, gok, w, wok)
+				}
+			}
+			for trial := 0; trial < 12; trial++ {
+				q := vpindex.SliceQuery(vpindex.Circle{
+					C: vpindex.V(rng.Float64()*20000, rng.Float64()*20000), R: 2500,
+				}, 0, rng.Float64()*40)
+				got, err := store.Search(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := oracle.Search(q)
+				got, want = sortedIDs(got), sortedIDs(want)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("search after repartition: got %v want %v", got, want)
+				}
+			}
+			// Writes keep flowing into the new partitions.
+			for i := 501; i <= 550; i++ {
+				if err := store.Report(axisObject(i, rotated, rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if store.Len() != 550 {
+				t.Fatalf("len after post-repartition reports: %d", store.Len())
+			}
+		})
+	}
+}
+
+// TestStoreAutoRepartition exercises the automatic drift policy end to end:
+// once traffic rotates, the cadence-triggered background check must detect
+// the drift, swap the partitions without any write ever failing, and leave
+// the store aligned with the new grid.
+func TestStoreAutoRepartition(t *testing.T) {
+	const rotated = math.Pi / 4
+	var (
+		hookMu sync.Mutex
+		events []vpindex.MaintenanceEvent
+	)
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+		vpindex.WithBufferPages(30),
+		vpindex.WithShards(2),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithVelocitySample(axisSample(400, 0, 8)),
+		// The drift threshold must sit below the test's 0.15 rad convergence
+		// bound: a first swap fired on a mixed reservoir can land anywhere
+		// between the grids, and only drift above the threshold triggers
+		// the follow-up swap that corrects it.
+		vpindex.WithRepartitionPolicy(vpindex.RepartitionPolicy{
+			Every:          150,
+			DriftThreshold: 0.12,
+			ReservoirSize:  400,
+		}),
+		vpindex.WithMaintenanceHook(func(ev vpindex.MaintenanceEvent) {
+			hookMu.Lock()
+			events = append(events, ev)
+			hookMu.Unlock()
+		}),
+		vpindex.WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream rotated traffic until the background checks have swapped the
+	// partitions AND the axes have converged on the rotated grid. The first
+	// swap can fire on a reservoir still mixed with pre-drift velocities
+	// (its axes land in between); as rotated reports keep flowing the
+	// reservoir purifies and a follow-up check corrects the axes — the
+	// property to pin is convergence, with a generous deadline.
+	rng := rand.New(rand.NewSource(33))
+	deadline := time.Now().Add(30 * time.Second)
+	id := 0
+	for store.Stats().Repartitions == 0 || maxAxisAngle(t, store, rotated) > 0.15 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drift policy never converged: %d swaps, axes %g rad off",
+				store.Stats().Repartitions, maxAxisAngle(t, store, rotated))
+		}
+		for i := 0; i < 150; i++ {
+			id++
+			if err := store.Report(axisObject(id%800+1, rotated, rng)); err != nil {
+				t.Fatalf("report during drift: %v", err)
+			}
+		}
+	}
+	// Wait for the in-flight maintenance event to be recorded.
+	for time.Now().Before(deadline) {
+		hookMu.Lock()
+		var swap *vpindex.MaintenanceEvent
+		for i := range events {
+			if events[i].Op == vpindex.MaintRepartition && events[i].Swapped {
+				swap = &events[i]
+			}
+		}
+		hookMu.Unlock()
+		if swap != nil {
+			if swap.Err != nil {
+				t.Fatalf("swap event carries error: %v", swap.Err)
+			}
+			if swap.Drift <= 0.12 {
+				t.Fatalf("swap fired below threshold: drift %g", swap.Drift)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := store.LastMaintenanceError(); err != nil {
+		t.Fatalf("maintenance error after adaptive swap: %v", err)
+	}
+	if drift := maxAxisAngle(t, store, rotated); drift > 0.15 {
+		t.Fatalf("axes off the rotated grid by %g rad after adaptive swap", drift)
+	}
+}
+
+// TestStoreMaintenanceFailureDecoupled pins the error contract of ISSUE 3:
+// a failing background analysis (here: a reservoir too small to form k
+// partitions) must never surface through Report, must be visible via
+// LastMaintenanceError and the hook, and must not wedge the repartition
+// loop — the cadence keeps re-arming, producing a fresh failed check every
+// interval.
+func TestStoreMaintenanceFailureDecoupled(t *testing.T) {
+	var (
+		hookMu   sync.Mutex
+		failures int
+	)
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+		vpindex.WithBufferPages(30),
+		vpindex.WithShards(1),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithVelocitySample(axisSample(300, 0, 8)),
+		// ReservoirSize 1 < k=2: every analysis must fail.
+		vpindex.WithRepartitionPolicy(vpindex.RepartitionPolicy{
+			Every:          50,
+			DriftThreshold: 0.2,
+			ReservoirSize:  1,
+		}),
+		vpindex.WithMaintenanceHook(func(ev vpindex.MaintenanceEvent) {
+			hookMu.Lock()
+			if ev.Err != nil {
+				failures++
+			}
+			hookMu.Unlock()
+		}),
+		vpindex.WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The manual trigger reports the analysis failure synchronously...
+	if err := store.Repartition(); err == nil {
+		t.Fatal("repartition with a degenerate reservoir should fail")
+	}
+	if err := store.LastMaintenanceError(); err == nil {
+		t.Fatal("LastMaintenanceError nil after failed repartition")
+	}
+
+	// ...but the write path never sees it, however many cadence intervals
+	// fire: every Report must return nil, and the failure count must keep
+	// growing (the trigger re-arms after each failure).
+	rng := rand.New(rand.NewSource(44))
+	deadline := time.Now().Add(30 * time.Second)
+	id := 0
+	for {
+		hookMu.Lock()
+		n := failures
+		hookMu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("repartition loop wedged: only %d failed checks recorded", n)
+		}
+		for i := 0; i < 50; i++ {
+			id++
+			if err := store.Report(axisObject(id%600+1, 0, rng)); err != nil {
+				t.Fatalf("report surfaced a maintenance error: %v", err)
+			}
+		}
+	}
+	if err := store.LastMaintenanceError(); err == nil {
+		t.Fatal("LastMaintenanceError nil while checks keep failing")
+	}
+	if n := store.Stats().Repartitions; n != 0 {
+		t.Fatalf("failed checks still swapped partitions: %d", n)
+	}
+	if !store.Partitioned() {
+		t.Fatal("store lost its partitions over failed maintenance")
+	}
+}
+
+// TestStoreRepartitionRetiresOldEpochs pins the resource contract of
+// repeated swaps: each repartition retires the previous generation's
+// buffer pools and frees its indexes' disk pages, so the live pool set and
+// the simulated disk stay bounded however many swaps run — while the I/O
+// counters stay cumulative and monotonic.
+func TestStoreRepartitionRetiresOldEpochs(t *testing.T) {
+	store, err := vpindex.Open(
+		vpindex.WithKind(vpindex.Bx),
+		vpindex.WithDomain(vpindex.R(0, 0, 20000, 20000)),
+		vpindex.WithBufferPages(20),
+		vpindex.WithShards(2),
+		vpindex.WithVelocityPartitioning(2),
+		vpindex.WithVelocitySample(axisSample(400, 0, 8)),
+		vpindex.WithRepartitionPolicy(vpindex.RepartitionPolicy{ReservoirSize: 400}),
+		vpindex.WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	for i := 1; i <= 400; i++ {
+		if err := store.Report(axisObject(i, 0, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2 shards x (2 DVA + outlier) partitions, staging pools retired.
+	wantPools := 2 * 3
+	if got := len(store.Pools()); got != wantPools {
+		t.Fatalf("live pools after bootstrap: %d, want %d", got, wantPools)
+	}
+	disk := store.Pools()[0].Disk()
+
+	var pagesAfterFirst int
+	prev := store.Stats()
+	for swap := 1; swap <= 4; swap++ {
+		angle := float64(swap) * math.Pi / 7
+		for i := 1; i <= 400; i++ {
+			if err := store.Report(axisObject(i, angle, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := store.Repartition(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(store.Pools()); got != wantPools {
+			t.Fatalf("live pools after swap %d: %d, want %d", swap, got, wantPools)
+		}
+		st := store.Stats()
+		if st.Reads < prev.Reads || st.Writes < prev.Writes || st.Hits < prev.Hits {
+			t.Fatalf("stats regressed across swap %d: %+v -> %+v", swap, prev, st)
+		}
+		prev = st
+		if swap == 1 {
+			pagesAfterFirst = disk.NumPages()
+		} else if pages := disk.NumPages(); pages > pagesAfterFirst*2 {
+			t.Fatalf("disk grows across swaps: %d pages after swap 1, %d after swap %d",
+				pagesAfterFirst, pages, swap)
+		}
+	}
+	if n := store.Stats().Repartitions; n != 4 {
+		t.Fatalf("repartitions: %d", n)
+	}
+	if store.Len() != 400 {
+		t.Fatalf("population changed across swaps: %d", store.Len())
 	}
 }

@@ -47,6 +47,15 @@
 // partitions itself and migrates every live object, with queries serving
 // throughout.
 //
+// The partitions also stay adaptive after the bootstrap (Section 5.5 of
+// the paper): each shard keeps a bounded reservoir of recently reported
+// velocities, and a configured policy (WithRepartitionEvery /
+// WithDriftThreshold) periodically re-analyzes it off the write path,
+// rebuilding the partitions shard by shard when the dominant axes have
+// drifted — Store.Repartition is the manual trigger. Maintenance outcomes
+// are decoupled from the write verbs: see Store.LastMaintenanceError and
+// WithMaintenanceHook.
+//
 // # Concurrency
 //
 // The Store is sharded by ObjectID (WithShards, default GOMAXPROCS): each
