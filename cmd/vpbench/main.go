@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig19", "experiment: store|concurrency|drift|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
+		exp      = flag.String("exp", "fig19", "experiment: store|concurrency|drift|monitor|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
 		objects  = flag.Int("objects", 20000, "number of moving objects")
 		queries  = flag.Int("queries", 200, "number of range queries")
 		duration = flag.Float64("duration", 120, "workload duration (ts)")
@@ -46,8 +46,9 @@ func main() {
 		points   = flag.String("points", "", "CSV file for fig7 scatter points")
 		dataset  = flag.String("dataset", "CH", "dataset for fig17/dva: CH|SA|MEL|NY|uniform")
 		out      = flag.String("out", "", "JSON output path for -exp concurrency/drift (default BENCH_<exp>.json)")
-		procs    = flag.Int("procs", 0, "worker goroutines for -exp concurrency (0 = max(8, GOMAXPROCS))")
+		procs    = flag.Int("procs", 0, "worker goroutines for -exp concurrency/monitor (0 = max(8, GOMAXPROCS))")
 		latency  = flag.Duration("latency", 20*time.Microsecond, "simulated per-page disk latency for -exp concurrency")
+		subs     = flag.Int("subs", 1000, "standing subscriptions for -exp monitor")
 	)
 	flag.Parse()
 
@@ -75,6 +76,8 @@ func main() {
 			return runConcurrency(workload.Dataset(*dataset), sc, *seed, *procs, *latency, outFor("BENCH_concurrency.json"))
 		case "drift":
 			return runDrift(sc, *seed, outFor("BENCH_drift.json"))
+		case "monitor":
+			return runMonitor(workload.Dataset(*dataset), sc, *seed, *procs, *subs, outFor("BENCH_monitor.json"))
 		case "dva":
 			tab, err := bench.RunDVADump(workload.Dataset(*dataset), sc, *seed)
 			if err != nil {
@@ -152,7 +155,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"store", "concurrency", "drift", "dva", "fig7", "fig17", "fig18", "fig19",
+		names = []string{"store", "concurrency", "drift", "monitor", "dva", "fig7", "fig17", "fig18", "fig19",
 			"fig20", "fig21", "fig22", "fig23", "fig24"}
 	}
 	for _, n := range names {

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	vpindex "repro"
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// monitorResult is one engine's throughput measurement of the continuous-
+// query experiment.
+type monitorResult struct {
+	Engine        string  `json:"engine"` // "store" (native) or "legacy" (NewMonitor wrapper)
+	Goroutines    int     `json:"goroutines"`
+	Ops           int     `json:"ops"`
+	Seconds       float64 `json:"seconds"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	Events        int64   `json:"events"`
+	DroppedEvents int64   `json:"dropped_events"`
+}
+
+// monitorReport is the BENCH_monitor.json schema: the continuous-query
+// datapoint of the repo's perf trajectory — mixed report throughput at K
+// standing subscriptions, Store-native subscription engine vs the legacy
+// single-lock NewMonitor wrapper.
+type monitorReport struct {
+	Experiment    string          `json:"experiment"`
+	Dataset       string          `json:"dataset"`
+	Objects       int             `json:"objects"`
+	Subscriptions int             `json:"subscriptions"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	Results       []monitorResult `json:"results"`
+	SpeedupMixed  float64         `json:"speedup_mixed"`
+}
+
+// runMonitor measures continuous-query serving under a concurrent mixed
+// workload (7:1 ID-keyed reports to predictive range searches) with K
+// standing subscriptions registered. Both engines run over identically
+// configured velocity-partitioned Bx Stores loaded with the same fleet:
+//
+//   - "legacy" drives every report through NewMonitor(store).ProcessReport —
+//     one wrapper mutex re-serializing the sharded write path, and every
+//     report exact-tested against all K subscriptions.
+//   - "store" drives the same reports through store.Report with the K
+//     subscriptions registered Store-natively — evaluation sharded like the
+//     write path, and the velocity-class spatial filter reducing each
+//     report to the subscriptions it could actually affect — while a
+//     consumer goroutine drains the async Events() stream.
+//
+// Results go to stdout and to the JSON report at outPath.
+func runMonitor(ds workload.Dataset, sc bench.Scale, seed int64, procs, subsN int, outPath string) error {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+		if procs < 8 {
+			procs = 8
+		}
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := workload.DefaultParams(ds, sc.Objects)
+	p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+	p.Duration = sc.Duration
+	p.Seed = seed
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		return err
+	}
+	objs := gen.Initial()
+	sample := make([]vpindex.Vec2, len(objs))
+	for i, o := range objs {
+		sample[i] = o.Vel
+	}
+
+	// The subscription population: fences spread over the domain, each
+	// watching a predictive horizon — the workload of a zone-alerting
+	// service with subsN standing zones.
+	subRng := rand.New(rand.NewSource(seed + 99))
+	mkSub := func() vpindex.Subscription {
+		return vpindex.Subscription{
+			Query: vpindex.SliceQuery(vpindex.Circle{
+				C: vpindex.V(subRng.Float64()*sc.DomainSide, subRng.Float64()*sc.DomainSide),
+				R: sc.DomainSide / 50,
+			}, 0, 0),
+			Horizon: 30,
+		}
+	}
+	subsList := make([]vpindex.Subscription, subsN)
+	for i := range subsList {
+		subsList[i] = mkSub()
+	}
+
+	// Both engines pay the same index cost per report; this experiment
+	// isolates the continuous-query evaluation on top of it, so the page
+	// cache is sized generously (identically for both) — a thrashing
+	// 10-page pool would just dilute the quantity being measured under
+	// simulated I/O that the concurrency experiment already covers.
+	buffer := sc.Buffer
+	if buffer < 64 {
+		buffer = 64
+	}
+	openLoaded := func() (*vpindex.Store, error) {
+		store, err := vpindex.Open(
+			vpindex.WithKind(vpindex.Bx),
+			vpindex.WithDomain(p.Domain),
+			vpindex.WithShards(procs),
+			vpindex.WithBufferPages(buffer),
+			vpindex.WithMaxUpdateInterval(p.Duration),
+			vpindex.WithVelocityPartitioning(2),
+			vpindex.WithVelocitySample(sample),
+			vpindex.WithSeed(seed),
+			vpindex.WithEventBuffer(8192, vpindex.DropOldest),
+		)
+		if err != nil {
+			return nil, err
+		}
+		return store, store.ReportBatch(objs)
+	}
+
+	rep := monitorReport{
+		Experiment:    "monitor",
+		Dataset:       string(ds),
+		Objects:       len(objs),
+		Subscriptions: subsN,
+		GoMaxProcs:    procs,
+	}
+	totalOps := 2 * len(objs)
+	tput := map[string]float64{}
+
+	for _, engine := range []string{"legacy", "store"} {
+		store, err := openLoaded()
+		if err != nil {
+			return err
+		}
+		var (
+			events  atomic.Int64
+			report  func(o vpindex.Object) error
+			stop    = make(chan struct{})
+			drained sync.WaitGroup
+		)
+		switch engine {
+		case "legacy":
+			mon := vpindex.NewMonitor(store)
+			// Count subscribe seeds too: the store engine delivers its
+			// seeds to the Events() stream, so both Events fields cover
+			// the same delta population and are comparable.
+			for _, s := range subsList {
+				_, seed, err := mon.Subscribe(s, 0)
+				if err != nil {
+					return err
+				}
+				events.Add(int64(len(seed)))
+			}
+			report = func(o vpindex.Object) error {
+				evs, err := mon.ProcessReport(o)
+				events.Add(int64(len(evs)))
+				return err
+			}
+		case "store":
+			ch := store.Events()
+			drained.Add(1)
+			go func() {
+				defer drained.Done()
+				for {
+					select {
+					case <-ch:
+						events.Add(1)
+					case <-stop:
+						return
+					}
+				}
+			}()
+			for _, s := range subsList {
+				if _, _, err := store.Subscribe(s, 0); err != nil {
+					return err
+				}
+			}
+			report = store.Report
+		}
+
+		ran, seconds, err := hammerMonitor(store, report, objs, procs, totalOps, seed)
+		close(stop)
+		drained.Wait()
+		if err != nil {
+			return err
+		}
+		// Count whatever was still buffered when the consumer stopped.
+		if engine == "store" {
+			for {
+				select {
+				case <-store.Events():
+					events.Add(1)
+					continue
+				default:
+				}
+				break
+			}
+		}
+		r := monitorResult{
+			Engine:        engine,
+			Goroutines:    procs,
+			Ops:           ran,
+			Seconds:       seconds,
+			OpsPerSec:     float64(ran) / seconds,
+			Events:        events.Load(),
+			DroppedEvents: store.DroppedEvents(),
+		}
+		tput[engine] = r.OpsPerSec
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("monitor: %-6s  %d subs, %7d ops, %8.3fs, %9.0f ops/s, %7d events\n",
+			engine, subsN, ran, seconds, r.OpsPerSec, r.Events)
+	}
+	rep.SpeedupMixed = tput["store"] / tput["legacy"]
+	fmt.Printf("monitor: store-native speedup over legacy wrapper: %.2fx mixed\n\n", rep.SpeedupMixed)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("monitor: wrote %s\n\n", outPath)
+	return nil
+}
+
+// hammerMonitor runs ~ops operations of the 7:1 report:search mix across g
+// goroutines, reporting through the engine-specific report verb and
+// searching through the Store directly (searches don't touch subscription
+// state on either engine).
+func hammerMonitor(store *vpindex.Store, report func(vpindex.Object) error, objs []vpindex.Object, g, ops int, seed int64) (int, float64, error) {
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Mutex
+		firstE  error
+	)
+	fail := func(err error) {
+		errOnce.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		errOnce.Unlock()
+	}
+	side := 0.0
+	for _, o := range objs {
+		if o.Pos.X > side {
+			side = o.Pos.X
+		}
+		if o.Pos.Y > side {
+			side = o.Pos.Y
+		}
+	}
+	per := ops / g
+	if per < 1 {
+		per = 1
+	}
+	start := time.Now()
+	wg.Add(g)
+	for w := 0; w < g; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*1000))
+			for i := 0; i < per; i++ {
+				if rng.Intn(8) == 0 {
+					// The one-shot queries a zone-alert service interleaves
+					// with its report stream: small "who is near this point
+					// soon" probes (the standing zones themselves are served
+					// by the subscriptions, not by ad-hoc searches).
+					c := vpindex.V(rng.Float64()*side, rng.Float64()*side)
+					if _, err := store.Search(vpindex.SliceQuery(vpindex.Circle{C: c, R: side / 100}, 0, 30)); err != nil {
+						fail(err)
+						return
+					}
+					continue
+				}
+				o := objs[rng.Intn(len(objs))]
+				o.Pos = vpindex.V(rng.Float64()*side, rng.Float64()*side)
+				if err := report(o); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return per * g, time.Since(start).Seconds(), firstE
+}

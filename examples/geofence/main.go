@@ -1,10 +1,13 @@
-// Geofence: continuous queries over a velocity-partitioned Store. Security
-// zones are registered once as standing subscriptions; as vehicles stream
-// bare position/velocity reports, the monitor emits enter/leave events for
-// each zone's *predicted* membership (who will be inside the fence 30 ts
-// from now) — the location-based-service pattern the VP paper's
-// introduction motivates. The monitor drives the Store through the ID-keyed
-// ProcessReport verb, so the pipeline never handles old records.
+// Geofence: Store-native continuous queries over a velocity-partitioned
+// Store. Security zones are registered once as standing subscriptions on
+// the Store itself; as vehicles stream bare position/velocity reports
+// through the ordinary Report verb, the Store's subscription engine emits
+// enter/leave events for each zone's *predicted* membership (who will be
+// inside the fence 30 ts from now) onto the asynchronous Events() stream —
+// the location-based-service pattern the VP paper's introduction motivates.
+// No wrapper object, no second lock: the same sharded write path that
+// indexes the report also evaluates only the fences the report could
+// affect, thanks to the velocity-class spatial filter.
 //
 // Run with: go run ./examples/geofence
 package main
@@ -12,6 +15,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	vpindex "repro"
 	"repro/internal/workload"
@@ -33,16 +37,43 @@ func main() {
 		vpindex.WithVelocityPartitioning(2),
 		vpindex.WithVelocitySample(gen.VelocitySample(4000)),
 		vpindex.WithSeed(params.Seed),
+		// Lossless stream: the consumer below keeps up, so reports never
+		// stall; a dashboard that might fall behind would pick DropOldest.
+		vpindex.WithEventBuffer(4096, vpindex.BlockOnFull),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	mon := vpindex.NewMonitor(store)
-	for _, o := range gen.Initial() {
-		if _, err := mon.ProcessReport(o); err != nil {
-			log.Fatal(err)
+	// Consume the event stream concurrently with the report pipeline.
+	counts := map[vpindex.SubscriptionID]map[string]int{}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+	)
+	events := store.Events()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case e := <-events:
+				mu.Lock()
+				if counts[e.Sub] == nil {
+					counts[e.Sub] = map[string]int{}
+				}
+				counts[e.Sub][e.Kind.String()]++
+				mu.Unlock()
+			case <-stop:
+				return
+			}
 		}
+	}()
+
+	// Load the fleet before fencing, so each subscription seeds instantly.
+	if err := store.ReportBatch(gen.Initial()); err != nil {
+		log.Fatal(err)
 	}
 
 	// Three fences, each watching who will be inside 30 ts ahead.
@@ -56,52 +87,66 @@ func main() {
 		{"stadium", vpindex.V(15000, 6000), 1000},
 		{"port", vpindex.V(9000, 18000), 2000},
 	} {
-		id, seed, err := mon.Subscribe(vpindex.Subscription{
+		id, seed, err := store.Subscribe(vpindex.Subscription{
 			Query:   vpindex.SliceQuery(vpindex.Circle{C: f.c, R: f.r}, 0, 0),
 			Horizon: 30,
 		}, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
+		mu.Lock()
 		fences[id] = f.name
+		if counts[id] == nil {
+			counts[id] = map[string]int{}
+		}
+		mu.Unlock()
 		fmt.Printf("fence %-8s seeded with %d predicted occupants\n", f.name, len(seed))
 	}
 
-	// Stream location reports; count events per fence, refresh every 15 ts
-	// so pure time drift is also caught.
-	counts := map[string]map[string]int{}
-	for _, name := range fences {
-		counts[name] = map[string]int{}
-	}
+	// Stream location reports through the plain Store verb; refresh every
+	// 15 ts so pure time drift is also caught.
 	nextRefresh := 15.0
-	handle := func(evs []vpindex.MonitorEvent) {
-		for _, e := range evs {
-			counts[fences[e.Sub]][e.Kind.String()]++
-		}
-	}
 	for {
 		ev, ok := gen.NextUpdate()
 		if !ok {
 			break
 		}
-		evs, err := mon.ProcessReport(ev.New)
-		if err != nil {
+		if err := store.Report(ev.New); err != nil {
 			log.Fatal(err)
 		}
-		handle(evs)
 		if ev.T >= nextRefresh {
 			nextRefresh += 15
-			evs, err := mon.Refresh(ev.T)
-			if err != nil {
+			if _, err := store.RefreshSubscriptions(ev.T); err != nil {
 				log.Fatal(err)
 			}
-			handle(evs)
 		}
 	}
+	close(stop)
+	wg.Wait()
+	// Drain anything still buffered after the consumer stopped.
+	for {
+		select {
+		case e := <-events:
+			if counts[e.Sub] == nil {
+				counts[e.Sub] = map[string]int{}
+			}
+			counts[e.Sub][e.Kind.String()]++
+			continue
+		default:
+		}
+		break
+	}
 
-	fmt.Println("\nevents over 90 ts of traffic:")
-	for name, c := range counts {
-		fmt.Printf("  %-8s %4d enter, %4d leave\n", name, c["enter"], c["leave"])
+	// The stream carries the complete membership history, so the enter
+	// totals include each fence's initial seeding.
+	fmt.Println("\nevents over 90 ts of traffic (including subscription seeds):")
+	for id, name := range fences {
+		c := counts[id]
+		fmt.Printf("  %-8s %4d enter, %4d leave (final occupancy %d)\n",
+			name, c["enter"], c["leave"], func() int {
+				r, _ := store.SubscriptionResults(id)
+				return len(r)
+			}())
 	}
 	st := store.Stats()
 	fmt.Printf("\nsimulated I/O: %d reads / %d writes\n", st.Reads, st.Writes)

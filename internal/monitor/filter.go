@@ -1,0 +1,293 @@
+package monitor
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// This file implements the coarse spatial subscription filter: a uniform
+// grid per velocity class that maps a location report to the (usually few)
+// subscriptions it could possibly affect, so incremental evaluation costs
+// O(relevant subscriptions) instead of O(all subscriptions).
+//
+// The core idea is the standing-query dual of a range query's velocity
+// expansion. A subscription watches its region at t+Horizon (through
+// t+Horizon+Window); an object reported with velocity v can only reach that
+// region if it starts within Δ·v of it, Δ = Horizon+Window. Indexing each
+// subscription under its region expanded by Δ times a bound on object
+// velocity makes a single point probe at the report's current position a
+// conservative candidate test.
+//
+// Velocity partitioning is what makes the expansion tight. A global bound
+// must expand every region by Δ·vmax in every direction — quadratic growth
+// in the maximum speed, the exact pathology Section 4 of the VP paper
+// ascribes to unpartitioned indexes. With the DVA analysis in hand, the
+// filter keeps one grid per velocity class (one per DVA, plus an isotropic
+// catch-all for outliers): a class with axis a and perpendicular bound τ
+// expands regions by Δ·smax along a but only Δ·τ across it — near-linear
+// growth, because τ is small for a good DVA. A report is routed to the one
+// class covering its velocity (the same nearest-axis / τ rule the partition
+// manager uses) and probes only that class's grid.
+//
+// The along-axis speed bounds (and the catch-all's radius) are discovered
+// online: they start at zero and grow, with headroom, the first time a
+// routed velocity exceeds them, rebuilding that class's grid. A probe that
+// observes a not-yet-covered velocity reports ok=false and the caller falls
+// back to testing every subscription for that one report — soundness never
+// depends on the bounds being up to date.
+
+// VelocityClass bounds one velocity population for the filter: speeds along
+// Axis (discovered online) and at most Perp across it. A zero Axis declares
+// the class isotropic: a disc of online-discovered radius, used for
+// outliers and for unpartitioned stores.
+type VelocityClass struct {
+	// Axis is the class's dominant velocity axis (unit length; zero for an
+	// isotropic class).
+	Axis geom.Vec2
+	// Perp bounds the velocity component perpendicular to Axis — the
+	// partition's τ. Ignored for isotropic classes.
+	Perp float64
+}
+
+// filterClass is one velocity class's grid.
+type filterClass struct {
+	axis      geom.Vec2
+	isotropic bool
+	perp      float64
+	// along is the online speed bound: |v·axis| for DVA classes, |v| for
+	// the isotropic class. Grown (with headroom) on the first violation.
+	along float64
+	// rects caches each subscription's expanded region under this class's
+	// bounds, so removal and cell assignment never recompute geometry.
+	rects map[SubscriptionID]geom.Rect
+	// cells is the n×n grid of subscription lists, row-major.
+	cells [][]SubscriptionID
+}
+
+// DefaultFilterCells is the per-axis grid resolution used when NewFilter is
+// given a non-positive cell count.
+const DefaultFilterCells = 64
+
+// Filter is the coarse spatial subscription filter. It does no locking;
+// the caller serializes Add/Remove/SetClasses/Grow against Candidates.
+type Filter struct {
+	domain geom.Rect
+	n      int
+	cw, ch float64
+	// classes holds the DVA classes first and the isotropic catch-all
+	// last, mirroring the partition manager's layout. There is always at
+	// least the catch-all.
+	classes []*filterClass
+}
+
+// NewFilter builds a filter over the given data space with an n×n grid per
+// velocity class (n <= 0 takes DefaultFilterCells). It starts with a single
+// isotropic class — the right shape for an unpartitioned store; SetClasses
+// installs the per-DVA classes once a velocity analysis exists.
+func NewFilter(domain geom.Rect, n int) *Filter {
+	if n <= 0 {
+		n = DefaultFilterCells
+	}
+	if domain.IsEmpty() || domain.Area() == 0 {
+		domain = geom.R(0, 0, 100000, 100000)
+	}
+	f := &Filter{
+		domain: domain,
+		n:      n,
+		cw:     domain.Width() / float64(n),
+		ch:     domain.Height() / float64(n),
+	}
+	f.classes = []*filterClass{f.newClass(VelocityClass{}, 0)}
+	return f
+}
+
+// newClass builds an empty class grid with the given seed speed bound.
+func (f *Filter) newClass(vc VelocityClass, along float64) *filterClass {
+	c := &filterClass{
+		axis:      vc.Axis.Normalize(),
+		isotropic: vc.Axis == (geom.Vec2{}),
+		perp:      vc.Perp,
+		along:     along,
+		rects:     make(map[SubscriptionID]geom.Rect),
+		cells:     make([][]SubscriptionID, f.n*f.n),
+	}
+	return c
+}
+
+// SetClasses rebuilds the filter around a fresh velocity analysis: one
+// class per DVA (axis + τ) plus the trailing isotropic catch-all, each
+// grid re-populated from subs. The new classes' speed bounds are seeded
+// from the largest bound discovered so far — a conservative (larger =
+// safer) carry-over that avoids a rebuild storm right after a partition
+// swap.
+func (f *Filter) SetClasses(classes []VelocityClass, subs map[SubscriptionID]Subscription) {
+	seed := 0.0
+	for _, c := range f.classes {
+		seed = math.Max(seed, c.along)
+	}
+	fresh := make([]*filterClass, 0, len(classes)+1)
+	for _, vc := range classes {
+		if vc.Axis == (geom.Vec2{}) {
+			continue // isotropic classes collapse into the catch-all
+		}
+		fresh = append(fresh, f.newClass(vc, seed))
+	}
+	fresh = append(fresh, f.newClass(VelocityClass{}, seed))
+	f.classes = fresh
+	for id, s := range subs {
+		f.Add(id, s)
+	}
+}
+
+// expandedRect returns sub's region grown by everything an object of class
+// c could contribute: the region's swept bound over the evaluation window
+// (circles by their MBR, moving regions by the union of their start and
+// end rectangles — the exact predicate refines later) expanded per world
+// axis by Δ times the class's velocity AABB, Δ = Horizon+Window.
+func (f *Filter) expandedRect(c *filterClass, s Subscription) geom.Rect {
+	delta := s.Horizon + s.Window
+	b := s.Query.Region()
+	if s.Query.Kind == model.MovingRange && s.Window > 0 {
+		b = b.Union(b.Translate(s.Query.Vel.Scale(s.Window)))
+	}
+	if c.isotropic {
+		return b.Expand(delta * c.along)
+	}
+	ax, ay := math.Abs(c.axis.X), math.Abs(c.axis.Y)
+	return b.ExpandXY(
+		delta*(c.along*ax+c.perp*ay),
+		delta*(c.along*ay+c.perp*ax),
+	)
+}
+
+// cellRange returns the grid index range covered by r, clamped into the
+// domain — geometry outside the domain lands on the border cells, which
+// keeps out-of-domain subscriptions and reports conservatively matched.
+func (f *Filter) cellRange(r geom.Rect) (ix0, iy0, ix1, iy1 int) {
+	return f.ix(r.MinX), f.iy(r.MinY), f.ix(r.MaxX), f.iy(r.MaxY)
+}
+
+func (f *Filter) ix(x float64) int { return clampCell((x-f.domain.MinX)/f.cw, f.n) }
+func (f *Filter) iy(y float64) int { return clampCell((y-f.domain.MinY)/f.ch, f.n) }
+
+func clampCell(v float64, n int) int {
+	i := int(v)
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// addToClass indexes one subscription into one class grid.
+func (f *Filter) addToClass(c *filterClass, id SubscriptionID, s Subscription) {
+	r := f.expandedRect(c, s)
+	c.rects[id] = r
+	ix0, iy0, ix1, iy1 := f.cellRange(r)
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			cell := iy*f.n + ix
+			c.cells[cell] = append(c.cells[cell], id)
+		}
+	}
+}
+
+// Add indexes a subscription into every class grid.
+func (f *Filter) Add(id SubscriptionID, s Subscription) {
+	for _, c := range f.classes {
+		f.addToClass(c, id, s)
+	}
+}
+
+// Remove strips a subscription out of every class grid.
+func (f *Filter) Remove(id SubscriptionID) {
+	for _, c := range f.classes {
+		r, ok := c.rects[id]
+		if !ok {
+			continue
+		}
+		delete(c.rects, id)
+		ix0, iy0, ix1, iy1 := f.cellRange(r)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				cell := iy*f.n + ix
+				list := c.cells[cell]
+				for i, sid := range list {
+					if sid == id {
+						c.cells[cell] = append(list[:i], list[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// route picks the class covering v: the DVA class whose axis is nearest in
+// perpendicular velocity distance, if that distance is within its τ;
+// otherwise the trailing catch-all.
+func (f *Filter) route(v geom.Vec2) (int, float64) {
+	best, bestDist := -1, 0.0
+	for i, c := range f.classes {
+		if c.isotropic {
+			continue
+		}
+		d := v.PerpDistToAxis(c.axis)
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best >= 0 && bestDist <= f.classes[best].perp {
+		return best, math.Abs(v.Dot(f.classes[best].axis))
+	}
+	return len(f.classes) - 1, v.Norm()
+}
+
+// Candidates returns the subscriptions the report could affect when
+// evaluated at time now: the grid cell of the object's extrapolated
+// position in its velocity class. ok == false means the class's online
+// speed bound does not cover the report's velocity yet; the caller must
+// treat every subscription as a candidate for this report and call Grow.
+// The returned slice aliases filter internals — read it before the next
+// mutation and do not modify it.
+func (f *Filter) Candidates(o model.Object, now float64) (cands []SubscriptionID, ok bool) {
+	ci, along := f.route(o.Vel)
+	c := f.classes[ci]
+	if along > c.along {
+		return nil, false
+	}
+	p := o.PosAt(now)
+	return c.cells[f.iy(p.Y)*f.n+f.ix(p.X)], true
+}
+
+// Covers reports whether v fits inside its routed class's speed bound.
+func (f *Filter) Covers(v geom.Vec2) bool {
+	ci, along := f.route(v)
+	return along <= f.classes[ci].along
+}
+
+// Grow raises the routed class's online speed bound to cover v — with 50%
+// headroom, so bound growth is logarithmic in the observed speed range —
+// and rebuilds that class's grid from subs. A no-op when v is already
+// covered.
+func (f *Filter) Grow(v geom.Vec2, subs map[SubscriptionID]Subscription) {
+	ci, along := f.route(v)
+	c := f.classes[ci]
+	if along <= c.along {
+		return
+	}
+	c.along = along * 1.5
+	c.rects = make(map[SubscriptionID]geom.Rect, len(subs))
+	c.cells = make([][]SubscriptionID, f.n*f.n)
+	for id, s := range subs {
+		f.addToClass(c, id, s)
+	}
+}
+
+// NumClasses returns the number of velocity classes (DVA classes plus the
+// catch-all).
+func (f *Filter) NumClasses() int { return len(f.classes) }

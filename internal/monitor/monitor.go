@@ -1,5 +1,5 @@
-// Package monitor layers continuous (standing) range queries over any
-// moving-object index. This is the service shape the VP paper's
+// Package monitor implements continuous (standing) range queries over
+// moving-object indexes. This is the service shape the VP paper's
 // introduction motivates: GPS devices "report their locations to a server
 // in order to get location based services", and those services watch
 // regions — a dispatch zone, a geofence, a protective box — continuously
@@ -7,11 +7,19 @@
 //
 // A subscription is a region plus a prediction horizon h. At evaluation
 // time t its result set is every object that satisfies the region at t+h.
-// The monitor maintains result sets incrementally: an object update only
-// re-evaluates that object against each subscription (O(#subscriptions)
-// exact predicate tests, no index I/O), while Refresh re-runs the full
-// index query per subscription to pick up membership changes caused purely
-// by the passage of time.
+// The package is layered:
+//
+//   - eval.go is the reusable evaluation core — subscription instantiation
+//     (QueryAt), validation, the exact predicate (MatchesAt), and the
+//     ResultSet membership table with incremental reconcile / snapshot
+//     diffing — decoupled from any index.
+//   - filter.go is the coarse spatial subscription filter: per-velocity-
+//     class grids that map one report to the few subscriptions it could
+//     affect, with per-partition τ bounds keeping the expansion tight.
+//   - monitor.go (this file) is the legacy single-lock Monitor that wraps
+//     one model.Index. The package-root Store composes the same core and
+//     filter into its sharded, Store-native subscription engine instead;
+//     new code should subscribe on the Store directly.
 package monitor
 
 import (
@@ -51,13 +59,13 @@ type Event struct {
 	T    float64 // evaluation time that produced the delta
 }
 
-// sortEvents orders one delta batch deterministically: by subscription,
+// SortEvents orders one delta batch deterministically: by subscription,
 // then object, then kind. The result sets live in Go maps, whose iteration
 // order is deliberately randomized, so without this two identical runs
 // would emit identical deltas in shuffled order — and a consumer diffing or
 // replaying event logs would see phantom differences. Every emitting verb
 // sorts its batch before returning it.
-func sortEvents(evs []Event) []Event {
+func SortEvents(evs []Event) []Event {
 	sort.Slice(evs, func(i, j int) bool {
 		if evs[i].Sub != evs[j].Sub {
 			return evs[i].Sub < evs[j].Sub
@@ -109,34 +117,41 @@ type Reporter interface {
 // write lock (result-set deltas must be totally ordered); the snapshot
 // accessors (Results, Now) take the read lock so concurrent dashboards
 // polling result sets never serialize against each other.
+//
+// The Monitor evaluates every subscription on every update — O(all
+// subscriptions) per report. The package-root Store's native subscription
+// engine shares this package's evaluation core but adds the spatial filter
+// and sharding; prefer Store.Subscribe for production traffic.
 type Monitor struct {
 	mu     sync.RWMutex
 	idx    model.Index
 	nextID SubscriptionID
 	subs   map[SubscriptionID]Subscription
-	// results holds the current membership per subscription.
-	results map[SubscriptionID]map[model.ObjectID]bool
-	now     float64
+	// rs holds the current membership per subscription.
+	rs  *ResultSet
+	now float64
 }
 
 // New wraps an index (which may already contain objects; call Refresh to
 // seed result sets).
 func New(idx model.Index) *Monitor {
 	return &Monitor{
-		idx:     idx,
-		subs:    make(map[SubscriptionID]Subscription),
-		results: make(map[SubscriptionID]map[model.ObjectID]bool),
+		idx:  idx,
+		subs: make(map[SubscriptionID]Subscription),
+		rs:   NewResultSet(),
 	}
 }
 
 // Index returns the wrapped index.
 func (m *Monitor) Index() model.Index { return m.idx }
 
-// Subscribe registers a standing query and returns its id. The initial
-// result set is computed immediately at the monitor's current time.
+// Subscribe registers a standing query and returns its id. The subscription
+// is validated up front — a negative horizon/window or a malformed region
+// template fails here, once, instead of failing every later refresh. The
+// initial result set is computed immediately at the monitor's current time.
 func (m *Monitor) Subscribe(s Subscription, now float64) (SubscriptionID, []Event, error) {
-	if s.Horizon < 0 || s.Window < 0 {
-		return 0, nil, fmt.Errorf("monitor: negative horizon/window")
+	if err := s.Validate(); err != nil {
+		return 0, nil, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -144,11 +159,10 @@ func (m *Monitor) Subscribe(s Subscription, now float64) (SubscriptionID, []Even
 	m.nextID++
 	id := m.nextID
 	m.subs[id] = s
-	m.results[id] = make(map[model.ObjectID]bool)
 	evs, err := m.refreshLocked(id, now)
 	if err != nil {
 		delete(m.subs, id)
-		delete(m.results, id)
+		m.rs.DropSub(id)
 		return 0, nil, err
 	}
 	return id, evs, nil
@@ -159,55 +173,16 @@ func (m *Monitor) Unsubscribe(id SubscriptionID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.subs, id)
-	delete(m.results, id)
+	m.rs.DropSub(id)
 }
 
-// Results snapshots the current result set of a subscription.
+// Results snapshots the current result set of a subscription, in ascending
+// ObjectID order — deterministic, matching the event-stream ordering
+// guarantee, so two identical runs produce byte-identical snapshots.
 func (m *Monitor) Results(id SubscriptionID) []model.ObjectID {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	set := m.results[id]
-	out := make([]model.ObjectID, 0, len(set))
-	for oid := range set {
-		out = append(out, oid)
-	}
-	return out
-}
-
-// queryAt instantiates the subscription's query for evaluation time t.
-func (s Subscription) queryAt(t float64) model.RangeQuery {
-	q := s.Query
-	q.Now = t
-	q.T0 = t + s.Horizon
-	if s.Window > 0 {
-		q.Kind = model.TimeInterval
-		q.T1 = q.T0 + s.Window
-	} else if q.Kind != model.MovingRange {
-		q.Kind = model.TimeSlice
-	} else {
-		q.T1 = q.T0
-	}
-	return q
-}
-
-// reevaluateLocked incrementally re-evaluates one object against every
-// subscription, emitting enter/leave deltas. Caller holds mu.
-func (m *Monitor) reevaluateLocked(o model.Object) []Event {
-	var evs []Event
-	for id, s := range m.subs {
-		member := m.results[id][o.ID]
-		q := s.queryAt(m.now)
-		matches := model.Matches(o, q)
-		switch {
-		case matches && !member:
-			m.results[id][o.ID] = true
-			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Enter, T: m.now})
-		case !matches && member:
-			delete(m.results[id], o.ID)
-			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Leave, T: m.now})
-		}
-	}
-	return sortEvents(evs)
+	return m.rs.Members(id)
 }
 
 // ProcessUpdate applies the object update to the index and incrementally
@@ -221,7 +196,7 @@ func (m *Monitor) ProcessUpdate(old, new model.Object) ([]Event, error) {
 		return nil, err
 	}
 	m.advance(new.T)
-	return m.reevaluateLocked(new), nil
+	return SortEvents(m.rs.Reconcile(new.ID, new, true, m.now, nil, true, m.subs)), nil
 }
 
 // ProcessReport applies an ID-keyed upsert through a Reporter index (the
@@ -241,7 +216,7 @@ func (m *Monitor) ProcessReport(o model.Object) ([]Event, error) {
 		return nil, err
 	}
 	m.advance(o.T)
-	return m.reevaluateLocked(o), nil
+	return SortEvents(m.rs.Reconcile(o.ID, o, true, m.now, nil, true, m.subs)), nil
 }
 
 // ProcessRemove deletes an object by ID through a Reporter index; the
@@ -258,14 +233,7 @@ func (m *Monitor) ProcessRemove(id model.ObjectID) ([]Event, error) {
 	if err := rep.Remove(id); err != nil {
 		return nil, err
 	}
-	var evs []Event
-	for sid := range m.subs {
-		if m.results[sid][id] {
-			delete(m.results[sid], id)
-			evs = append(evs, Event{Sub: sid, ID: id, Kind: Leave, T: m.now})
-		}
-	}
-	return sortEvents(evs), nil
+	return SortEvents(m.rs.Reconcile(id, model.Object{}, false, m.now, nil, false, nil)), nil
 }
 
 // ProcessInsert indexes a new object and evaluates it against every
@@ -277,7 +245,7 @@ func (m *Monitor) ProcessInsert(o model.Object) ([]Event, error) {
 		return nil, err
 	}
 	m.advance(o.T)
-	return m.reevaluateLocked(o), nil
+	return SortEvents(m.rs.Reconcile(o.ID, o, true, m.now, nil, true, m.subs)), nil
 }
 
 // ProcessDelete removes an object; it leaves every result set it was in.
@@ -287,14 +255,7 @@ func (m *Monitor) ProcessDelete(o model.Object) ([]Event, error) {
 	if err := m.idx.Delete(o); err != nil {
 		return nil, err
 	}
-	var evs []Event
-	for id := range m.subs {
-		if m.results[id][o.ID] {
-			delete(m.results[id], o.ID)
-			evs = append(evs, Event{Sub: id, ID: o.ID, Kind: Leave, T: m.now})
-		}
-	}
-	return sortEvents(evs), nil
+	return SortEvents(m.rs.Reconcile(o.ID, model.Object{}, false, m.now, nil, false, nil)), nil
 }
 
 // Refresh re-runs every subscription's query at the given time, emitting
@@ -321,28 +282,11 @@ func (m *Monitor) Refresh(now float64) ([]Event, error) {
 // refreshLocked recomputes one subscription's result set via the index.
 func (m *Monitor) refreshLocked(id SubscriptionID, now float64) ([]Event, error) {
 	s := m.subs[id]
-	ids, err := m.idx.Search(s.queryAt(now))
+	ids, err := m.idx.Search(s.QueryAt(now))
 	if err != nil {
 		return nil, err
 	}
-	fresh := make(map[model.ObjectID]bool, len(ids))
-	for _, oid := range ids {
-		fresh[oid] = true
-	}
-	old := m.results[id]
-	var evs []Event
-	for oid := range fresh {
-		if !old[oid] {
-			evs = append(evs, Event{Sub: id, ID: oid, Kind: Enter, T: now})
-		}
-	}
-	for oid := range old {
-		if !fresh[oid] {
-			evs = append(evs, Event{Sub: id, ID: oid, Kind: Leave, T: now})
-		}
-	}
-	m.results[id] = fresh
-	return sortEvents(evs), nil
+	return m.rs.ApplySnapshot(id, ids, now), nil
 }
 
 // advance moves the monitor clock monotonically forward.

@@ -192,7 +192,7 @@ func TestMonitorConsistencyUnderStream(t *testing.T) {
 			s := m.subs[id]
 			want := []model.ObjectID{}
 			for _, o := range objs {
-				if model.Matches(o, s.queryAt(now)) {
+				if model.Matches(o, s.QueryAt(now)) {
 					want = append(want, o.ID)
 				}
 			}

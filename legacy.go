@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/monitor"
 	"repro/internal/storage"
 )
 
@@ -146,3 +147,24 @@ func (ix *VPIndex) Stats() IOStats {
 
 // Pool exposes the shared buffer pool for instrumentation.
 func (ix *VPIndex) Pool() *storage.BufferPool { return ix.pool }
+
+// Monitor maintains standing range queries over one index behind a single
+// mutex.
+//
+// Deprecated: subscribe on the Store directly (Store.Subscribe,
+// Store.Events, Store.RefreshSubscriptions). The Store evaluates
+// subscriptions shard-parallel and filters them spatially, where the
+// Monitor re-serializes every report and re-evaluates every subscription.
+type Monitor = monitor.Monitor
+
+// NewMonitor wraps an index with the legacy single-lock continuous-query
+// layer. Drive all further traffic through the monitor so result sets stay
+// consistent; wrapping a Store enables the ID-keyed
+// ProcessReport/ProcessRemove verbs.
+//
+// Deprecated: use the Store's native subscription surface instead —
+// Store.Subscribe registers the standing query, every Report/ReportBatch
+// evaluates it incrementally without an extra wrapper lock, and
+// Store.Events delivers the deltas asynchronously. NewMonitor remains for
+// wrapping raw indexes and as the comparison baseline in benchmarks.
+func NewMonitor(idx Searcher) *Monitor { return monitor.New(idx) }

@@ -68,6 +68,11 @@ type storeConfig struct {
 	// searchPar bounds the query fan-out worker pools (0 = GOMAXPROCS).
 	shards    int
 	searchPar int
+
+	// eventBuf / eventPolicy configure the Events() subscription stream
+	// (see WithEventBuffer).
+	eventBuf    int
+	eventPolicy BackpressurePolicy
 }
 
 // WithKind selects the base index structure for every partition (default
@@ -210,6 +215,21 @@ func WithShards(n int) Option { return func(c *storeConfig) { c.shards = n } }
 // serialize writes).
 func WithSearchParallelism(n int) Option { return func(c *storeConfig) { c.searchPar = n } }
 
+// WithEventBuffer configures the Store's subscription event stream (see
+// Store.Events): n is the channel buffer capacity (n <= 0 takes
+// DefaultEventBuffer) and policy says what happens when it fills —
+// BlockOnFull (the default) applies back-pressure to the write verbs and
+// loses nothing, DropOldest discards the oldest buffered deltas so the
+// write path never waits on a slow consumer (Store.DroppedEvents counts
+// the losses). The setting takes effect when the stream is created by the
+// first Events call.
+func WithEventBuffer(n int, policy BackpressurePolicy) Option {
+	return func(c *storeConfig) {
+		c.eventBuf = n
+		c.eventPolicy = policy
+	}
+}
+
 // WithTauBuckets sizes the tau histograms (default 100, paper setting).
 func WithTauBuckets(n int) Option { return func(c *storeConfig) { c.tauBuckets = n } }
 
@@ -230,6 +250,9 @@ func (c *storeConfig) normalize() {
 	c.base = c.base.withDefaults()
 	if c.shards <= 0 {
 		c.shards = runtime.GOMAXPROCS(0)
+	}
+	if c.eventBuf <= 0 {
+		c.eventBuf = DefaultEventBuffer
 	}
 	if !c.vpEnabled() {
 		return

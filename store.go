@@ -73,6 +73,17 @@ import (
 // analysis (e.g. a degenerate reservoir) is recorded — LastMaintenanceError,
 // WithMaintenanceHook — never returned from Report/ReportBatch, and the
 // cadence keeps counting so the next multiple re-arms the check.
+//
+// # Continuous queries
+//
+// Standing subscriptions (Subscribe, Unsubscribe, SubscriptionResults,
+// RefreshSubscriptions, Events) are served by a Store-native engine whose
+// evaluation state is sharded with the same ObjectID hash as the write
+// path and updated outside the shard locks — see subscriptions.go.
+// Subscription result sets reference ObjectIDs, not index internals, so
+// they ride through bootstrap cutovers and repartition swaps unchanged;
+// only the engine's coarse velocity-class filter is re-seeded from each
+// new epoch's analysis.
 type Store struct {
 	cfg    storeConfig
 	disk   *storage.Disk
@@ -120,6 +131,13 @@ type Store struct {
 
 	maintErrMu sync.Mutex
 	maintErr   error
+
+	// subEng is the Store-native continuous-query engine (see
+	// subscriptions.go), created lazily by the first Subscribe or Events
+	// call; nil until then, so sub-less stores pay one atomic load per
+	// write. Its evaluation state is sharded with the same ObjectID hash
+	// as the write path and updated outside the shard locks.
+	subEng atomic.Pointer[subEngine]
 }
 
 // MaintenanceOp names a Store maintenance action.
@@ -470,6 +488,12 @@ func (s *Store) cutover() {
 		s.shards[i].mu.Unlock()
 	}
 	s.bootMu.Unlock()
+	if err == nil {
+		// The subscription filter's velocity classes follow the partition
+		// epoch; reseed with no shard locks held (the engine's registry
+		// lock is held shared by report evaluation, which reads shards).
+		s.refreshSubClasses()
+	}
 	s.notifyMaintenance(ev)
 }
 
@@ -660,6 +684,9 @@ func (s *Store) swapPartitions(an core.Analysis) error {
 	s.analysis = an
 	s.anMu.Unlock()
 	s.repartitions.Add(1)
+	// Re-seed the subscription filter's velocity classes from the new
+	// epoch's analysis (no shard locks are held here).
+	s.refreshSubClasses()
 	return nil
 }
 
@@ -726,6 +753,9 @@ func (s *Store) Report(o Object) error {
 	if err != nil {
 		return err
 	}
+	if e := s.subEng.Load(); e != nil {
+		e.noteReport(o)
+	}
 	if trip {
 		s.cutover()
 	} else {
@@ -759,6 +789,10 @@ func (s *Store) ReportBatch(objs []Object) error {
 		trip     atomic.Bool
 		reported atomic.Int64 // post-partition reports, for the repartition cadence
 	)
+	// applied[i] counts how many of groups[i] landed before any error, so
+	// the subscription engine evaluates exactly the records that are in
+	// the index — applied records stay applied on a partial failure.
+	applied := make([]int, len(s.shards))
 	// Write fan-out is bounded by GOMAXPROCS, independent of the query knob
 	// WithSearchParallelism: the final state is identical whatever order the
 	// groups land in (each shard applies its group in batch order), so
@@ -773,11 +807,12 @@ func (s *Store) ReportBatch(objs []Object) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		if sh.mgr != nil {
-			applied, err := sh.mgr.ReportBatch(group)
-			for _, o := range group[:applied] {
+			n, err := sh.mgr.ReportBatch(group)
+			for _, o := range group[:n] {
 				sh.observeVel(o.Vel, s.resCap)
 			}
-			reported.Add(int64(applied))
+			reported.Add(int64(n))
+			applied[i] = n
 			if err != nil {
 				return fmt.Errorf("vpindex: batch report: %w", err)
 			}
@@ -788,12 +823,23 @@ func (s *Store) ReportBatch(objs []Object) error {
 			if err != nil {
 				return fmt.Errorf("vpindex: batch report of object %d: %w", o.ID, err)
 			}
+			applied[i]++
 			if t {
 				trip.Store(true)
 			}
 		}
 		return nil
 	})
+	// Subscription deltas are computed after the shard locks are released,
+	// from the records the batch just applied, and emitted as one sorted
+	// batch — even when the batch failed partway, for the applied prefix.
+	if e := s.subEng.Load(); e != nil {
+		evalGroups := make([][]Object, len(groups))
+		for i := range groups {
+			evalGroups[i] = groups[i][:applied[i]]
+		}
+		e.noteBatch(evalGroups)
+	}
 	s.noteReports(int(reported.Load()))
 	if err != nil {
 		return err
@@ -805,23 +851,31 @@ func (s *Store) ReportBatch(objs []Object) error {
 }
 
 // Remove deletes the object by ID. Returns ErrNotFound (errors.Is-able) when
-// no such object is indexed.
+// no such object is indexed. The object leaves every subscription result
+// set it was in (evaluated after the shard lock is released).
 func (s *Store) Remove(id ObjectID) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.mgr != nil {
+	var err error
+	switch {
+	case sh.mgr != nil:
 		// The manager only consults the ID; its table supplies the record.
-		return sh.mgr.Delete(Object{ID: id})
+		err = sh.mgr.Delete(Object{ID: id})
+	default:
+		old, ok := sh.objs[id]
+		if !ok {
+			err = fmt.Errorf("vpindex: remove of object %d: %w", id, ErrNotFound)
+		} else if err = sh.base.Delete(old); err == nil {
+			delete(sh.objs, id)
+		}
 	}
-	old, ok := sh.objs[id]
-	if !ok {
-		return fmt.Errorf("vpindex: remove of object %d: %w", id, ErrNotFound)
-	}
-	if err := sh.base.Delete(old); err != nil {
+	sh.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	delete(sh.objs, id)
+	if e := s.subEng.Load(); e != nil {
+		e.noteRemove(id)
+	}
 	return nil
 }
 
@@ -1095,6 +1149,9 @@ func (s *Store) Insert(o Object) error {
 	if err != nil {
 		return err
 	}
+	if e := s.subEng.Load(); e != nil {
+		e.noteReport(o)
+	}
 	if trip {
 		s.cutover()
 	} else {
@@ -1135,6 +1192,9 @@ func (s *Store) Update(old, new Object) error {
 	sh.mu.Unlock()
 	if err != nil {
 		return err
+	}
+	if e := s.subEng.Load(); e != nil {
+		e.noteReport(new)
 	}
 	if trip {
 		s.cutover()

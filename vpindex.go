@@ -23,6 +23,17 @@
 // predictive queries in every configuration. Failures are typed — compare
 // with errors.Is against ErrNotFound, ErrDuplicate and ErrUnsupported.
 //
+// # Continuous queries
+//
+// Standing queries are first-class on the Store: Subscribe registers a
+// region plus a prediction horizon, every report incrementally maintains
+// the result sets (evaluation is sharded like the write path and filtered
+// by a velocity-class spatial grid, so a report only tests the
+// subscriptions it could affect), RefreshSubscriptions picks up pure time
+// drift, and Events delivers the enter/leave deltas as an ordered
+// asynchronous stream with configurable back-pressure (WithEventBuffer).
+// The deprecated NewMonitor wrapper remains for raw indexes.
+//
 // # Model
 //
 // Objects are linear movers (Section 2.1 of the paper): a record carries a
@@ -260,12 +271,14 @@ func buildBase(pool *storage.BufferPool, opts Options, domain Rect, nameSuffix s
 	}
 }
 
-// Continuous-query layer: standing subscriptions over any index, with
-// incremental enter/leave events as updates stream in (see
-// internal/monitor for semantics).
+// Continuous-query types: standing subscriptions with incremental
+// enter/leave events as reports stream in. The Store serves them natively —
+// Subscribe/Unsubscribe/SubscriptionResults/RefreshSubscriptions/Events —
+// with sharded incremental evaluation and a coarse velocity-class spatial
+// filter, so the cost per report is proportional to the subscriptions the
+// report could actually affect (see subscriptions.go). The deprecated
+// single-lock wrapper lives in legacy.go as NewMonitor.
 type (
-	// Monitor maintains standing range queries over an index.
-	Monitor = monitor.Monitor
 	// Subscription is a standing region + prediction horizon.
 	Subscription = monitor.Subscription
 	// MonitorEvent is one result-set delta (enter/leave).
@@ -274,13 +287,8 @@ type (
 	SubscriptionID = monitor.SubscriptionID
 )
 
-// Monitor event kinds.
+// Subscription event kinds.
 const (
 	Enter = monitor.Enter
 	Leave = monitor.Leave
 )
-
-// NewMonitor wraps an index with the continuous-query layer. Drive all
-// further traffic through the monitor so result sets stay consistent:
-// wrapping a Store enables the ID-keyed ProcessReport/ProcessRemove verbs.
-func NewMonitor(idx Searcher) *Monitor { return monitor.New(idx) }
