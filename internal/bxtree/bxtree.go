@@ -48,12 +48,20 @@ type Config struct {
 	// (the paper uses 1000 on a 100k-object workload; default here 64 —
 	// resolution is a pure precision/CPU knob, see the ablation bench).
 	HistogramCells int
-	// MaxScanRanges caps the number of B+-tree range scans per bucket per
-	// query; curve intervals beyond the cap are bridged (scanning a few
-	// extra keys instead of paying extra tree descents). Default 16.
+	// MaxScanRanges caps the number of key ranges scanned per bucket per
+	// query; curve intervals beyond the cap are bridged smallest-gap-first
+	// (scanning a few extra keys instead of fragmenting the scan). Default
+	// 16.
 	MaxScanRanges int
 	// ExpansionRounds bounds the iterative query enlargement (default 4).
 	ExpansionRounds int
+	// LegacyScan restores the per-interval scan path — one full B+-tree
+	// root-to-leaf descent per curve interval — instead of the batched
+	// leaf-walk engine (bptree.ScanMany) that serves a whole bucket's
+	// intervals with one descent plus sibling hops. Results are identical
+	// either way; the knob exists as the measured baseline of the scan
+	// benchmark (vpbench -exp scan) and for differential tests.
+	LegacyScan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -268,48 +276,74 @@ func (t *Tree) Update(old, new model.Object) error {
 // --- queries -------------------------------------------------------------------
 
 // Search implements model.Index for all three query kinds of Section 2.1.
+// Matching IDs are collected directly through the scan visitor — no
+// intermediate []model.Object is materialized just to copy the IDs out.
 func (t *Tree) Search(q model.RangeQuery) ([]model.ObjectID, error) {
-	objs, err := t.SearchObjects(q)
+	out := make([]model.ObjectID, 0, 8)
+	err := t.searchVisit(q, func(o model.Object) {
+		out = append(out, o.ID)
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]model.ObjectID, len(objs))
-	for i, o := range objs {
-		out[i] = o.ID
 	}
 	return out, nil
 }
 
 // SearchObjects is Search returning full records (the kNN refinement needs
-// positions, not just ids). Buckets are visited in ascending boundary order
-// so results are deterministic for a given tree state — the property the
-// parallel partition fan-out leans on when asserting its merge is
-// byte-identical to the sequential path.
+// positions, not just ids).
 func (t *Tree) SearchObjects(q model.RangeQuery) ([]model.Object, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	idxs := make([]int64, 0, len(t.buckets))
-	for idx := range t.buckets {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	var out []model.Object
-	for _, idx := range idxs {
-		objs, err := t.searchBucket(t.buckets[idx], q)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, objs...)
+	err := t.searchVisit(q, func(o model.Object) {
+		out = append(out, o)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// searchBucket runs the enlarged-window scan over one time bucket.
-func (t *Tree) searchBucket(b *bucket, q model.RangeQuery) ([]model.Object, error) {
+// queryScratch is the per-query scratch state searchVisit threads through
+// the buckets: the bucket order, the curve-interval buffer and the scan
+// batch are each allocated once and recycled bucket to bucket.
+type queryScratch struct {
+	idxs   []int64
+	ivs    []sfc.Interval
+	ranges []bptree.ScanRange
+}
+
+// searchVisit runs q over every time bucket, emitting each matching object
+// exactly once. Buckets are visited in ascending boundary order so results
+// are deterministic for a given tree state — the property the parallel
+// partition fan-out leans on when asserting its merge is byte-identical to
+// the sequential path; within a bucket, objects stream in key order.
+func (t *Tree) searchVisit(q model.RangeQuery, emit func(model.Object)) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	var sc queryScratch
+	sc.idxs = make([]int64, 0, len(t.buckets))
+	for idx := range t.buckets {
+		sc.idxs = append(sc.idxs, idx)
+	}
+	sort.Slice(sc.idxs, func(i, j int) bool { return sc.idxs[i] < sc.idxs[j] })
+	for _, idx := range sc.idxs {
+		if err := t.searchBucket(t.buckets[idx], q, &sc, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// searchBucket runs the enlarged-window scan over one time bucket: the
+// window is decomposed into curve intervals once, the interval list is
+// merged gap-aware down to the scan budget, and the whole batch is served
+// by a single bptree.ScanMany leaf walk (one descent, sibling hops between
+// nearby intervals, path-stack re-seeks across gaps) unless cfg.LegacyScan
+// requests the per-interval descent baseline.
+func (t *Tree) searchBucket(b *bucket, q model.RangeQuery, sc *queryScratch, emit func(model.Object)) error {
 	w := t.enlargedWindow(b, q)
 	if w.IsEmpty() {
-		return nil, nil
+		return nil
 	}
 	// Map the window to cell coordinates through cellOf, which *saturates*
 	// at the boundary cells. Keys were generated from positions clamped the
@@ -318,24 +352,30 @@ func (t *Tree) searchBucket(b *bucket, q model.RangeQuery) ([]model.Object, erro
 	// removes any false candidates this admits.
 	x0, y0 := t.cellOf(geom.V(w.MinX, w.MinY))
 	x1, y1 := t.cellOf(geom.V(w.MaxX, w.MaxY))
-	ivs := t.curve.DecomposeWindow(x0, y0, x1, y1)
-	ivs = sfc.MergeIntervals(ivs, t.cfg.MaxScanRanges)
+	sc.ivs = t.curve.AppendWindow(sc.ivs[:0], x0, y0, x1, y1)
+	ivs := sfc.MergeIntervals(sc.ivs, t.cfg.MaxScanRanges)
 
 	prefix := uint64(b.idx) << (2 * t.cfg.GridOrder)
-	var out []model.Object
-	for _, iv := range ivs {
-		err := t.bt.Scan(prefix+iv.Lo, prefix+iv.Hi, func(e bptree.Entry) bool {
-			o := e.Object()
-			if model.Matches(o, q) {
-				out = append(out, o)
-			}
-			return true
-		})
-		if err != nil {
-			return nil, err
+	visit := func(e bptree.Entry) bool {
+		o := e.Object()
+		if model.Matches(o, q) {
+			emit(o)
 		}
+		return true
 	}
-	return out, nil
+	if t.cfg.LegacyScan {
+		for _, iv := range ivs {
+			if err := t.bt.Scan(prefix+iv.Lo, prefix+iv.Hi, visit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sc.ranges = sc.ranges[:0]
+	for _, iv := range ivs {
+		sc.ranges = append(sc.ranges, bptree.ScanRange{Lo: prefix + iv.Lo, Hi: prefix + iv.Hi})
+	}
+	return t.bt.ScanMany(sc.ranges, visit)
 }
 
 // enlargedWindow computes the query window in the bucket's reference frame.

@@ -419,11 +419,14 @@ func (m *Manager) UpdateByID(new model.Object) error {
 // The merge is the exact refinement of Algorithm 3 line 8, driven entirely
 // by the lookup table: a candidate id counts only if the table places it in
 // the partition that returned it (which also makes cross-partition
-// duplicates structurally impossible — no seen-set needed), and DVA
-// candidates are re-checked against the original query in the world frame
-// because the transformed query region is only a conservative bound there.
-// Outlier candidates skip that re-check: their partition ran the query
-// unchanged and the base indexes already refine through model.Matches.
+// duplicates structurally impossible — no seen-set needed). DVA candidates
+// of rectangular queries are re-checked against the original query in the
+// world frame, because a rotated rectangle is only conservatively bounded
+// by its MBR in the partition frame. Circular queries skip that re-check
+// on the hot path: rotations are isometries, so the circle survives the
+// frame change exactly and the partition index's own Matches refinement
+// already was the exact world-frame predicate. Outlier candidates always
+// skip it: their partition ran the query unchanged.
 func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -451,15 +454,16 @@ func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 	for _, ids := range lists {
 		total += len(ids)
 	}
+	exactInFrame := q.IsCircle()
 	out := make([]model.ObjectID, 0, total)
 	for i, ids := range lists {
-		outlier := m.pars[i].spec.IsOutlier
+		recheck := !m.pars[i].spec.IsOutlier && !exactInFrame
 		for _, id := range ids {
 			rec, ok := m.objs[id]
 			if !ok || rec.part != i {
 				continue
 			}
-			if !outlier && !model.Matches(rec.obj, q) {
+			if recheck && !model.Matches(rec.obj, q) {
 				continue
 			}
 			out = append(out, id)

@@ -112,13 +112,18 @@ func (h *Hilbert) Decode(d uint64) (uint32, uint32) {
 // (contiguous) curve range; a partially covered quadrant is recursed into
 // with the window translated and un-rotated into the child frame.
 func (h *Hilbert) DecomposeWindow(x0, y0, x1, y1 uint32) []Interval {
+	return h.AppendWindow(nil, x0, y0, x1, y1)
+}
+
+// AppendWindow implements Curve.
+func (h *Hilbert) AppendWindow(dst []Interval, x0, y0, x1, y1 uint32) []Interval {
 	size := h.Size()
 	if !normalizeWindow(size, &x0, &y0, &x1, &y1) {
-		return nil
+		return dst
 	}
-	var out []Interval
-	h.decompose(x0, y0, x1, y1, size, 0, &out)
-	return compactIntervals(out)
+	mark := len(dst)
+	h.decompose(x0, y0, x1, y1, size, 0, &dst)
+	return compactAppended(dst, mark)
 }
 
 // decompose handles one square of side `size` whose curve values span

@@ -13,6 +13,7 @@ package sfc
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -34,6 +35,13 @@ type Curve interface {
 	// intervals [Lo, Hi) of curve values covering the inclusive cell
 	// window [x0, x1] x [y0, y1] (clipped to the grid).
 	DecomposeWindow(x0, y0, x1, y1 uint32) []Interval
+	// AppendWindow is DecomposeWindow appending into dst (like append),
+	// so a caller decomposing many windows — the Bx-tree does one per time
+	// bucket per query — can reuse a single scratch buffer instead of
+	// allocating a fresh interval list each time. The appended region is
+	// itself sorted, disjoint and maximal; dst's existing contents are not
+	// touched.
+	AppendWindow(dst []Interval, x0, y0, x1, y1 uint32) []Interval
 	// Name identifies the curve ("hilbert" or "zorder").
 	Name() string
 }
@@ -49,39 +57,48 @@ func (iv Interval) Len() uint64 { return iv.Hi - iv.Lo }
 // String implements fmt.Stringer.
 func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
 
-// MergeIntervals coalesces a sorted interval list down to at most max
-// entries by repeatedly bridging the smallest gaps between consecutive
-// intervals. The result covers a superset of the input (callers filter
-// exactly afterwards). max <= 0 or max >= len(ivs) returns ivs unchanged.
+// MergeIntervals coalesces a sorted, disjoint interval list down to at most
+// max entries by bridging the smallest inter-interval gaps first, so a
+// fixed scan budget wastes the fewest bridged (non-matching) keys — the
+// gap-aware counterpart of simply merging adjacent intervals left to right.
+// Ties between equal gaps are broken toward the earlier gap, making the
+// output deterministic. The result covers a superset of the input (callers
+// filter exactly afterwards) and reuses ivs' backing array; the input is
+// consumed. max <= 0 or max >= len(ivs) returns ivs unchanged.
 func MergeIntervals(ivs []Interval, max int) []Interval {
 	if max <= 0 || len(ivs) <= max {
 		return ivs
 	}
-	type gap struct {
-		idx  int
-		size uint64
+	gaps := make([]uint64, len(ivs)-1)
+	for i := range gaps {
+		gaps[i] = ivs[i+1].Lo - ivs[i].Hi
 	}
-	gaps := make([]gap, 0, len(ivs)-1)
-	for i := 0; i+1 < len(ivs); i++ {
-		gaps = append(gaps, gap{idx: i, size: ivs[i+1].Lo - ivs[i].Hi})
-	}
-	sort.Slice(gaps, func(a, b int) bool { return gaps[a].size < gaps[b].size })
-	// Bridge the len(ivs)-max smallest gaps.
-	bridge := make(map[int]bool, len(ivs)-max)
-	for i := 0; i < len(ivs)-max; i++ {
-		bridge[gaps[i].idx] = true
-	}
-	out := make([]Interval, 0, max)
-	cur := ivs[0]
-	for i := 0; i+1 < len(ivs); i++ {
-		if bridge[i] {
-			cur.Hi = ivs[i+1].Hi
-		} else {
-			out = append(out, cur)
-			cur = ivs[i+1]
+	ordered := make([]uint64, len(gaps))
+	copy(ordered, gaps)
+	slices.Sort(ordered)
+	// Bridge every gap strictly below the selection threshold, plus the
+	// earliest gaps equal to it until exactly len(ivs)-max are bridged.
+	nBridge := len(ivs) - max
+	threshold := ordered[nBridge-1]
+	atThreshold := 0
+	for _, g := range ordered[:nBridge] {
+		if g == threshold {
+			atThreshold++
 		}
 	}
-	out = append(out, cur)
+	out := ivs[:1]
+	for i := 0; i+1 < len(ivs); i++ {
+		bridge := gaps[i] < threshold
+		if gaps[i] == threshold && atThreshold > 0 {
+			bridge = true
+			atThreshold--
+		}
+		if bridge {
+			out[len(out)-1].Hi = ivs[i+1].Hi
+		} else {
+			out = append(out, ivs[i+1])
+		}
+	}
 	return out
 }
 
@@ -103,22 +120,26 @@ func normalizeWindow(size uint32, x0, y0, x1, y1 *uint32) bool {
 	return true
 }
 
-// compactIntervals sorts and merges touching/overlapping intervals.
-func compactIntervals(ivs []Interval) []Interval {
-	if len(ivs) <= 1 {
+// compactAppended sorts and merges the touching/overlapping intervals in
+// ivs[mark:], leaving ivs[:mark] untouched — the post-pass of AppendWindow,
+// which must only normalize the region it appended.
+func compactAppended(ivs []Interval, mark int) []Interval {
+	tail := ivs[mark:]
+	if len(tail) <= 1 {
 		return ivs
 	}
-	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Lo < ivs[b].Lo })
-	out := ivs[:1]
-	for _, iv := range ivs[1:] {
-		last := &out[len(out)-1]
+	sort.Slice(tail, func(a, b int) bool { return tail[a].Lo < tail[b].Lo })
+	n := 1
+	for _, iv := range tail[1:] {
+		last := &tail[n-1]
 		if iv.Lo <= last.Hi {
 			if iv.Hi > last.Hi {
 				last.Hi = iv.Hi
 			}
 		} else {
-			out = append(out, iv)
+			tail[n] = iv
+			n++
 		}
 	}
-	return out
+	return ivs[:mark+n]
 }

@@ -235,6 +235,68 @@ func TestMergeIntervalsCoversInput(t *testing.T) {
 	}
 }
 
+func TestMergeIntervalsTieBreaksTowardEarlierGaps(t *testing.T) {
+	// Three equal 10-wide gaps; budget 3 forces bridging exactly one.
+	// Deterministic gap-aware merging must pick the earliest.
+	ivs := []Interval{{0, 5}, {15, 20}, {30, 35}, {45, 50}}
+	got := MergeIntervals(append([]Interval(nil), ivs...), 3)
+	want := []Interval{{0, 20}, {30, 35}, {45, 50}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeIntervalsPrefersSmallestGaps(t *testing.T) {
+	// Gaps: 1, 100, 2, 50. Budget 3 bridges the two smallest (1 and 2).
+	ivs := []Interval{{0, 10}, {11, 20}, {120, 130}, {132, 140}, {190, 200}}
+	got := MergeIntervals(append([]Interval(nil), ivs...), 3)
+	want := []Interval{{0, 20}, {120, 140}, {190, 200}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendWindowMatchesDecomposeAndKeepsPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, c := range []Curve{MustHilbert(5), MustZOrder(5)} {
+		size := c.Size()
+		prefix := []Interval{{999, 1000}}
+		buf := append([]Interval(nil), prefix...)
+		for trial := 0; trial < 200; trial++ {
+			x0 := rng.Uint32() % size
+			x1 := x0 + rng.Uint32()%(size-x0)
+			y0 := rng.Uint32() % size
+			y1 := y0 + rng.Uint32()%(size-y0)
+			want := c.DecomposeWindow(x0, y0, x1, y1)
+			buf = c.AppendWindow(buf[:len(prefix)], x0, y0, x1, y1)
+			if buf[0] != prefix[0] {
+				t.Fatalf("%s: AppendWindow clobbered the prefix: %v", c.Name(), buf[0])
+			}
+			got := buf[len(prefix):]
+			if len(got) != len(want) {
+				t.Fatalf("%s window (%d,%d)-(%d,%d): append %v != decompose %v",
+					c.Name(), x0, y0, x1, y1, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s window (%d,%d)-(%d,%d): append %v != decompose %v",
+						c.Name(), x0, y0, x1, y1, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestHilbertLocalityBeatsZOrder(t *testing.T) {
 	// Sanity for the paper's choice: average number of intervals per window
 	// should be no worse for Hilbert than Z-order on random windows.

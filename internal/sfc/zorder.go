@@ -80,13 +80,18 @@ func (z *ZOrder) Decode(d uint64) (uint32, uint32) {
 // DecomposeWindow implements Curve via quadtree recursion. Z-order needs no
 // frame rotation: quadrants are visited in (y,x) bit order.
 func (z *ZOrder) DecomposeWindow(x0, y0, x1, y1 uint32) []Interval {
+	return z.AppendWindow(nil, x0, y0, x1, y1)
+}
+
+// AppendWindow implements Curve.
+func (z *ZOrder) AppendWindow(dst []Interval, x0, y0, x1, y1 uint32) []Interval {
 	size := z.Size()
 	if !normalizeWindow(size, &x0, &y0, &x1, &y1) {
-		return nil
+		return dst
 	}
-	var out []Interval
-	z.decompose(x0, y0, x1, y1, size, 0, &out)
-	return compactIntervals(out)
+	mark := len(dst)
+	z.decompose(x0, y0, x1, y1, size, 0, &dst)
+	return compactAppended(dst, mark)
 }
 
 func (z *ZOrder) decompose(x0, y0, x1, y1, size uint32, base uint64, out *[]Interval) {

@@ -30,13 +30,6 @@ type PageID uint64
 // NilPage is the invalid page id.
 const NilPage PageID = 0
 
-// Page is a fixed-size page image. Callers mutate Data and must mark the
-// page dirty through the buffer pool API so write-back happens on eviction.
-type Page struct {
-	ID   PageID
-	Data [PageSize]byte
-}
-
 // Disk is the simulated non-volatile store. It is safe for concurrent use:
 // multiple buffer pools may front a single Disk (the Store gives every
 // partition its own pool over one shared disk).
@@ -127,37 +120,83 @@ func (d *Disk) NumPages() int {
 	return len(d.pages)
 }
 
-// frame is a buffer-pool slot.
+// frame is a buffer-pool slot. Pin counts and the LRU stamp are atomic so
+// the hit fast path can take them under the stripe's shared (read) lock,
+// concurrently with other readers; dirty is atomic for the same reason
+// (Write marks it outside any lock). The page image itself is only ever
+// mutated by a Write closure while the frame is pinned.
 type frame struct {
-	page  Page
-	dirty bool
-	pins  int
-	// LRU doubly-linked list links (nil page id terminates).
-	prev, next PageID
+	id    PageID
+	data  [PageSize]byte
+	pins  atomic.Int32
+	dirty atomic.Bool
+	stamp atomic.Uint64 // pool-global LRU clock value of the last access
+}
+
+// poolStripe is one lock domain of a striped BufferPool: a slice of the page
+// table plus its share of the frame budget. Pages are assigned to stripes by
+// an id hash, so two goroutines touching unrelated pages almost never meet
+// on the same lock.
+type poolStripe struct {
+	mu       sync.RWMutex
+	cond     *sync.Cond // on the write side of mu; signaled on unpin / frame exit
+	waiters  atomic.Int32
+	capacity int
+	frames   map[PageID]*frame
+	// owned tracks every page this stripe's pool allocated and has not yet
+	// freed, so Retire can release a whole abandoned index's disk footprint.
+	owned map[PageID]struct{}
+}
+
+// Stripe sizing: a pool only splits into multiple LRU domains when every
+// domain still gets a healthy number of frames, so tiny pools (including
+// every exact-eviction unit-test configuration) keep the classic single-LRU
+// behavior bit for bit. Stripes are a pure function of capacity — never of
+// GOMAXPROCS — so eviction patterns and I/O counts are reproducible across
+// machines.
+const (
+	maxPoolStripes     = 8
+	minFramesPerStripe = 16
+)
+
+func stripeCount(capacity int) int {
+	n := capacity / minFramesPerStripe
+	if n > maxPoolStripes {
+		n = maxPoolStripes
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
 }
 
 // BufferPool is an LRU page cache in front of a Disk. It is safe for
-// concurrent use by multiple goroutines: a single mutex guards the frame
-// table, and a fetch that finds every frame pinned by other goroutines
-// applies back-pressure — it waits for a pin to release instead of failing
-// — so even a pool smaller than the number of concurrent readers serves
-// every request under its RAM budget. Pins are only ever held across the
-// in-memory encode/decode closures of Read/Write, never across another
-// pool access, which is what makes the waiting deadlock-free.
+// concurrent use by multiple goroutines and is lock-striped: the page table
+// is sharded by page-id hash into independent stripes, each with its own
+// RWMutex, frame budget and eviction state, so the shard×partition query
+// fan-out above it stops serializing on a single pool mutex. A page hit
+// takes only its stripe's read lock — lookups, pins, LRU stamps and the
+// hit counter are all atomic — so concurrent readers of cached pages
+// proceed in parallel; only misses (which pay the simulated disk access
+// anyway) take the stripe's write lock.
+//
+// Eviction is exact LRU within a stripe: every access stamps the frame from
+// a pool-global monotonic clock and a miss evicts the unpinned frame with
+// the smallest stamp. A stripe whose frames are all pinned by other
+// goroutines applies back-pressure — the fetch waits for a pin to release
+// instead of failing — so even a pool smaller than the number of concurrent
+// readers serves every request under its RAM budget. Pins are only ever
+// held across the in-memory encode/decode closures of Read/Write, never
+// across another pool access, which is what makes the waiting deadlock-free.
 type BufferPool struct {
-	mu       sync.Mutex
-	unpinned *sync.Cond // signaled whenever a pin releases or a frame leaves
 	disk     *Disk
 	capacity int
-	frames   map[PageID]*frame
-	head     PageID // most recently used
-	tail     PageID // least recently used
-	// owned tracks every page this pool allocated and has not yet freed,
-	// so Retire can release a whole abandoned index's disk footprint.
-	owned  map[PageID]struct{}
-	hits   atomic.Int64
-	misses atomic.Int64
-	writes atomic.Int64
+	stripes  []poolStripe
+	clock    atomic.Uint64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	writes   atomic.Int64
 }
 
 // NewBufferPool returns a pool of the given capacity (pages) over disk.
@@ -169,12 +208,34 @@ func NewBufferPool(disk *Disk, capacity int) *BufferPool {
 	b := &BufferPool{
 		disk:     disk,
 		capacity: capacity,
-		frames:   make(map[PageID]*frame, capacity),
-		owned:    make(map[PageID]struct{}),
+		stripes:  make([]poolStripe, stripeCount(capacity)),
 	}
-	b.unpinned = sync.NewCond(&b.mu)
+	per := capacity / len(b.stripes)
+	extra := capacity % len(b.stripes)
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.capacity = per
+		if i < extra {
+			s.capacity++
+		}
+		s.frames = make(map[PageID]*frame, s.capacity)
+		s.owned = make(map[PageID]struct{})
+		s.cond = sync.NewCond(&s.mu)
+	}
 	return b
 }
+
+// stripeFor hashes a page id to its stripe. Fibonacci hashing spreads the
+// sequential ids the disk allocator hands out evenly across stripes.
+func (b *BufferPool) stripeFor(id PageID) *poolStripe {
+	if len(b.stripes) == 1 {
+		return &b.stripes[0]
+	}
+	return &b.stripes[uint64(id)*0x9E3779B97F4A7C15%uint64(len(b.stripes))]
+}
+
+// Stripes returns the number of lock stripes (diagnostics).
+func (b *BufferPool) Stripes() int { return len(b.stripes) }
 
 // Disk returns the underlying disk.
 func (b *BufferPool) Disk() *Disk { return b.disk }
@@ -194,91 +255,114 @@ func (b *BufferPool) Stats() Stats {
 	return Stats{Misses: b.misses.Load(), Hits: b.hits.Load(), Writes: b.writes.Load()}
 }
 
-// lruRemove unlinks f (id) from the LRU list.
-func (b *BufferPool) lruRemove(id PageID, f *frame) {
-	if f.prev != NilPage {
-		b.frames[f.prev].next = f.next
-	} else {
-		b.head = f.next
-	}
-	if f.next != NilPage {
-		b.frames[f.next].prev = f.prev
-	} else {
-		b.tail = f.prev
-	}
-	f.prev, f.next = NilPage, NilPage
-}
-
-// lruPushFront makes f (id) the most recently used.
-func (b *BufferPool) lruPushFront(id PageID, f *frame) {
-	f.prev = NilPage
-	f.next = b.head
-	if b.head != NilPage {
-		b.frames[b.head].prev = id
-	}
-	b.head = id
-	if b.tail == NilPage {
-		b.tail = id
-	}
-}
-
-// evictOne writes back and drops the least recently used unpinned frame.
-// evicted is false (with a nil error) when every frame is pinned — the
-// caller waits for an unpin; err reports only real write-back failures.
-func (b *BufferPool) evictOne() (evicted bool, err error) {
-	for id := b.tail; id != NilPage; {
-		f := b.frames[id]
-		if f.pins == 0 {
-			if f.dirty {
-				if err := b.disk.write(id, &f.page.Data); err != nil {
-					return false, err
-				}
-				b.writes.Add(1)
-			}
-			b.lruRemove(id, f)
-			delete(b.frames, id)
-			return true, nil
+// evictOne writes back and drops the stripe's least recently used unpinned
+// frame. evicted is false (with a nil error) when every frame is pinned —
+// the caller waits for an unpin; err reports only real write-back failures.
+// Caller holds s.mu (write). Pin counts cannot rise while the write lock is
+// held (pinning needs at least the read lock), so a zero-pin victim stays
+// evictable through the write-back.
+//
+// Victim selection scans the stripe — O(stripe capacity) — instead of
+// popping an intrusive LRU list. That is the deliberate price of the hit
+// fast path: a linked list would need the write lock on every hit to relink,
+// which is exactly the serialization the stamp design removes, while the
+// scan runs only on evictions, which accompany a disk access anyway and are
+// bounded by the stripe (not pool) capacity.
+func (b *BufferPool) evictOne(s *poolStripe) (evicted bool, err error) {
+	var victim *frame
+	for _, f := range s.frames {
+		if f.pins.Load() != 0 {
+			continue
 		}
-		id = f.prev
+		if victim == nil || f.stamp.Load() < victim.stamp.Load() {
+			victim = f
+		}
 	}
-	return false, nil
+	if victim == nil {
+		return false, nil
+	}
+	if victim.dirty.Load() {
+		if err := b.disk.write(victim.id, &victim.data); err != nil {
+			return false, err
+		}
+		b.writes.Add(1)
+	}
+	delete(s.frames, victim.id)
+	return true, nil
 }
 
-// fetch returns the frame for id, loading it from disk on a miss. When the
-// pool is full of pinned frames it waits for a pin to release (pins are
-// never held across another pool access, so some other goroutine always
-// makes progress) and re-checks the table, since the waited-for page may
-// have been loaded by a concurrent fetch meanwhile.
-func (b *BufferPool) fetch(id PageID) (*frame, error) {
+// pin returns the frame for id with one pin taken, loading the page from
+// disk on a miss. The fast path serves hits under the stripe's read lock;
+// the slow path takes the write lock, evicting (or waiting out a stripe
+// full of pinned frames — pins are never held across another pool access,
+// so some other goroutine always makes progress) and re-checks the table
+// each round, since the waited-for page may have been loaded by a
+// concurrent fetch meanwhile.
+func (b *BufferPool) pin(id PageID) (*frame, error) {
 	if id == NilPage {
 		return nil, fmt.Errorf("storage: fetch of nil page")
 	}
+	s := b.stripeFor(id)
+	s.mu.RLock()
+	if f, ok := s.frames[id]; ok {
+		f.pins.Add(1)
+		f.stamp.Store(b.clock.Add(1))
+		s.mu.RUnlock()
+		b.hits.Add(1)
+		return f, nil
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
 	for {
-		if f, ok := b.frames[id]; ok {
+		if f, ok := s.frames[id]; ok {
+			f.pins.Add(1)
+			f.stamp.Store(b.clock.Add(1))
+			s.mu.Unlock()
 			b.hits.Add(1)
-			b.lruRemove(id, f)
-			b.lruPushFront(id, f)
 			return f, nil
 		}
-		if len(b.frames) < b.capacity {
+		if len(s.frames) < s.capacity {
 			break
 		}
-		evicted, err := b.evictOne()
+		evicted, err := b.evictOne(s)
 		if err != nil {
+			s.mu.Unlock()
 			return nil, err
 		}
 		if !evicted {
-			b.unpinned.Wait()
+			s.waiters.Add(1)
+			s.cond.Wait()
+			s.waiters.Add(-1)
 		}
 	}
-	f := &frame{page: Page{ID: id}}
-	if err := b.disk.read(id, &f.page.Data); err != nil {
+	f := &frame{id: id}
+	if err := b.disk.read(id, &f.data); err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
+	f.pins.Store(1)
+	f.stamp.Store(b.clock.Add(1))
+	s.frames[id] = f
+	s.mu.Unlock()
 	b.misses.Add(1)
-	b.frames[id] = f
-	b.lruPushFront(id, f)
 	return f, nil
+}
+
+// unpin releases one pin and wakes any fetch waiting out a fully pinned
+// stripe. The waiter count is read under the stripe's read lock: a waiter
+// increments it and parks while holding the write lock, so by the time our
+// RLock is granted the waiter is either not yet committed to waiting (its
+// next table scan sees the released pin) or already parked in Wait (the
+// broadcast reaches it) — no wake-up can fall between.
+func (b *BufferPool) unpin(s *poolStripe, f *frame) {
+	s.mu.RLock()
+	f.pins.Add(-1)
+	waiters := s.waiters.Load()
+	s.mu.RUnlock()
+	if waiters > 0 {
+		s.cond.Broadcast()
+	}
 }
 
 // Read runs fn with read access to the page contents. The page is pinned
@@ -286,85 +370,71 @@ func (b *BufferPool) fetch(id PageID) (*frame, error) {
 // any buffer pool (a pin held across another pool access could make a full
 // pool wait on itself).
 func (b *BufferPool) Read(id PageID, fn func(data []byte)) error {
-	b.mu.Lock()
-	f, err := b.fetch(id)
+	f, err := b.pin(id)
 	if err != nil {
-		b.mu.Unlock()
 		return err
 	}
-	f.pins++
-	b.mu.Unlock()
-
-	fn(f.page.Data[:])
-
-	b.mu.Lock()
-	f.pins--
-	b.unpinned.Broadcast()
-	b.mu.Unlock()
+	fn(f.data[:])
+	b.unpin(b.stripeFor(id), f)
 	return nil
 }
 
 // Write runs fn with mutable access to the page contents and marks the page
 // dirty. The same rules as Read apply to fn.
 func (b *BufferPool) Write(id PageID, fn func(data []byte)) error {
-	b.mu.Lock()
-	f, err := b.fetch(id)
+	f, err := b.pin(id)
 	if err != nil {
-		b.mu.Unlock()
 		return err
 	}
-	f.pins++
-	b.mu.Unlock()
-
-	fn(f.page.Data[:])
-
-	b.mu.Lock()
-	f.dirty = true
-	f.pins--
-	b.unpinned.Broadcast()
-	b.mu.Unlock()
+	fn(f.data[:])
+	f.dirty.Store(true)
+	b.unpin(b.stripeFor(id), f)
 	return nil
 }
 
 // Allocate reserves a new page and installs a zeroed, dirty frame for it so
 // the first access is not charged as a read miss (freshly allocated pages
-// have no on-disk image worth reading). Like fetch, it waits out a pool
+// have no on-disk image worth reading). Like pin, it waits out a stripe
 // full of pinned frames.
 func (b *BufferPool) Allocate() (PageID, error) {
 	id := b.disk.Allocate()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for len(b.frames) >= b.capacity {
-		evicted, err := b.evictOne()
+	s := b.stripeFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.frames) >= s.capacity {
+		evicted, err := b.evictOne(s)
 		if err != nil {
 			return NilPage, err
 		}
 		if !evicted {
-			b.unpinned.Wait()
+			s.waiters.Add(1)
+			s.cond.Wait()
+			s.waiters.Add(-1)
 		}
 	}
-	f := &frame{page: Page{ID: id}, dirty: true}
-	b.frames[id] = f
-	b.lruPushFront(id, f)
-	b.owned[id] = struct{}{}
+	f := &frame{id: id}
+	f.dirty.Store(true)
+	f.stamp.Store(b.clock.Add(1))
+	s.frames[id] = f
+	s.owned[id] = struct{}{}
 	return id, nil
 }
 
 // Free drops the page from the pool (without write-back) and releases it on
 // disk. The page must not be pinned.
 func (b *BufferPool) Free(id PageID) error {
-	b.mu.Lock()
-	if f, ok := b.frames[id]; ok {
-		if f.pins > 0 {
-			b.mu.Unlock()
+	s := b.stripeFor(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		if f.pins.Load() > 0 {
+			s.mu.Unlock()
 			return fmt.Errorf("storage: freeing pinned page %d", id)
 		}
-		b.lruRemove(id, f)
-		delete(b.frames, id)
-		b.unpinned.Broadcast()
+		delete(s.frames, id)
 	}
-	delete(b.owned, id)
-	b.mu.Unlock()
+	delete(s.owned, id)
+	s.mu.Unlock()
+	s.cond.Broadcast() // a frame left: a waiting fetch may now have room
 	b.disk.Free(id)
 	return nil
 }
@@ -378,37 +448,48 @@ func (b *BufferPool) Free(id PageID) error {
 // guarantee no index still uses the pool; the pool must not be used
 // afterwards.
 func (b *BufferPool) Retire() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.frames = make(map[PageID]*frame)
-	b.head, b.tail = NilPage, NilPage
-	for id := range b.owned {
-		b.disk.Free(id)
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.mu.Lock()
+		s.frames = make(map[PageID]*frame)
+		for id := range s.owned {
+			b.disk.Free(id)
+		}
+		s.owned = make(map[PageID]struct{})
+		s.mu.Unlock()
+		s.cond.Broadcast()
 	}
-	b.owned = nil
-	b.unpinned.Broadcast()
 }
 
 // FlushAll writes back every dirty frame (kept resident). Used by tests and
 // when snapshotting space usage.
 func (b *BufferPool) FlushAll() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for id, f := range b.frames {
-		if f.dirty {
-			if err := b.disk.write(id, &f.page.Data); err != nil {
-				return err
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.dirty.Load() {
+				if err := b.disk.write(id, &f.data); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				b.writes.Add(1)
+				f.dirty.Store(false)
 			}
-			b.writes.Add(1)
-			f.dirty = false
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // Resident returns the number of frames currently cached (diagnostics).
 func (b *BufferPool) Resident() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.frames)
+	n := 0
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.mu.RLock()
+		n += len(s.frames)
+		s.mu.RUnlock()
+	}
+	return n
 }

@@ -250,6 +250,162 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
+func TestStripeCountPureFunctionOfCapacity(t *testing.T) {
+	cases := []struct{ capacity, want int }{
+		{1, 1}, {2, 1}, {16, 1}, {31, 1}, {32, 2}, {50, 2},
+		{64, 4}, {128, 8}, {384, 8}, {10_000, 8},
+	}
+	for _, c := range cases {
+		p := NewBufferPool(NewDisk(), c.capacity)
+		if got := p.Stripes(); got != c.want {
+			t.Errorf("stripes(capacity=%d) = %d, want %d", c.capacity, got, c.want)
+		}
+		// The stripe budgets must sum to the pool capacity exactly.
+		total := 0
+		for i := range p.stripes {
+			total += p.stripes[i].capacity
+		}
+		if total != c.capacity {
+			t.Errorf("capacity %d: stripe budgets sum to %d", c.capacity, total)
+		}
+	}
+}
+
+// TestStatsExactUnderConcurrentReaders pins down the optimistic fast path's
+// accounting: with every page resident, N goroutines hammering Read must
+// produce exactly N*perG hits — a fast-path hit that went uncounted (or
+// double-counted) shows up as a wrong total, not a flaky ratio.
+func TestStatsExactUnderConcurrentReaders(t *testing.T) {
+	d := NewDisk()
+	p := NewBufferPool(d, 64) // multiple stripes; everything stays resident
+	const pages = 48
+	ids := make([]PageID, pages)
+	for i := range ids {
+		ids[i], _ = p.Allocate()
+	}
+	base := p.Stats()
+	if base.Misses != 0 {
+		t.Fatalf("fresh allocations counted as misses: %+v", base)
+	}
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := p.Read(ids[(g*13+i)%pages], func([]byte) {}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Misses != 0 {
+		t.Fatalf("resident working set missed %d times", s.Misses)
+	}
+	if got, want := s.Hits-base.Hits, int64(goroutines*perG); got != want {
+		t.Fatalf("hits = %d, want exactly %d", got, want)
+	}
+}
+
+// TestStatsExactUnderConcurrentThrash is the same exactness claim when the
+// working set overflows the pool: every Read is either a hit or a miss,
+// never both, never neither, even while evictions race the fast path.
+func TestStatsExactUnderConcurrentThrash(t *testing.T) {
+	d := NewDisk()
+	p := NewBufferPool(d, 32)
+	const pages = 96
+	ids := make([]PageID, pages)
+	for i := range ids {
+		ids[i], _ = p.Allocate()
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	base := p.Stats()
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := p.Read(ids[(g*29+i*7)%pages], func([]byte) {}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := p.Stats()
+	accesses := (s.Hits - base.Hits) + (s.Misses - base.Misses)
+	if want := int64(goroutines * perG); accesses != want {
+		t.Fatalf("hits+misses = %d, want exactly %d (%+v)", accesses, want, s)
+	}
+	if s.Misses == base.Misses {
+		t.Fatal("thrashing working set produced no misses; test is not exercising eviction")
+	}
+}
+
+// TestStripedPoolEvictionStillLRU: with multiple stripes, eviction within a
+// stripe must still pick the least recently used unpinned frame (the global
+// access clock makes "least recent" exact, not approximate).
+func TestStripedPoolEvictionStillLRU(t *testing.T) {
+	d := NewDisk()
+	p := NewBufferPool(d, 32) // 2 stripes of 16
+	if p.Stripes() < 2 {
+		t.Skip("striping thresholds changed; test needs >= 2 stripes")
+	}
+	// Fill one stripe to capacity, then touch all but one of its pages and
+	// force an eviction: the untouched page must be the victim.
+	s0 := &p.stripes[0]
+	var inStripe []PageID
+	for len(inStripe) < s0.capacity+1 {
+		id := d.Allocate()
+		if p.stripeFor(id) == s0 {
+			inStripe = append(inStripe, id)
+		}
+	}
+	resident := inStripe[:s0.capacity]
+	overflow := inStripe[s0.capacity]
+	for _, id := range resident {
+		if err := p.Read(id, func([]byte) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := resident[3]
+	for _, id := range resident {
+		if id == victim {
+			continue
+		}
+		if err := p.Read(id, func([]byte) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Read(overflow, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	base := p.Stats().Misses
+	if err := p.Read(victim, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Misses != base+1 {
+		t.Fatal("LRU page was not the eviction victim")
+	}
+	// Reloading the victim evicted the now-eldest frame, not the most
+	// recently used overflow page, which must still be resident.
+	if err := p.Read(overflow, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Misses != base+1 {
+		t.Fatal("recently used page was evicted instead of the LRU one")
+	}
+}
+
 func ExampleBufferPool() {
 	disk := NewDisk()
 	pool := NewBufferPool(disk, DefaultBufferPages)

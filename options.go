@@ -120,6 +120,15 @@ func WithHistogramCells(n int) Option { return func(c *storeConfig) { c.base.His
 // WithZOrder switches the Bx-tree from the Hilbert curve to the Z-curve.
 func WithZOrder() Option { return func(c *storeConfig) { c.base.UseZOrder = true } }
 
+// WithLegacyScan restores the Bx-tree's per-interval scan path — one full
+// B+-tree root-to-leaf descent per space-filling-curve interval — instead of
+// the batched leaf-walk engine that serves a whole time bucket's intervals
+// with a single descent plus sibling hops. Query results are identical
+// either way; the knob exists as the measured baseline of the scan
+// benchmark (vpbench -exp scan) and for differential tests. Ignored by
+// TPR*-backed stores.
+func WithLegacyScan() Option { return func(c *storeConfig) { c.base.LegacyScan = true } }
+
 // WithBaseOptions replaces every base-index knob at once with an Options
 // struct — the migration bridge for callers moving off New/NewVP. Individual
 // With... options given after it still apply on top.

@@ -37,8 +37,9 @@ const benchDiskLatency = 20 * time.Microsecond
 const benchTotalPages = 384
 
 // newBenchStore opens a velocity-partitioned (k=2 via upfront sample) Bx
-// Store with the given shard count and preloads the population.
-func newBenchStore(b *testing.B, shards int, objs []vpindex.Object) *vpindex.Store {
+// Store with the given shard count and preloads the population. Extra
+// options (e.g. WithLegacyScan for the scan-engine baseline) apply on top.
+func newBenchStore(b *testing.B, shards int, objs []vpindex.Object, extra ...vpindex.Option) *vpindex.Store {
 	b.Helper()
 	sample := make([]vpindex.Vec2, len(objs))
 	for i, o := range objs {
@@ -48,7 +49,7 @@ func newBenchStore(b *testing.B, shards int, objs []vpindex.Object) *vpindex.Sto
 	if perPool < 1 {
 		perPool = 1
 	}
-	store, err := vpindex.Open(
+	opts := []vpindex.Option{
 		vpindex.WithKind(vpindex.Bx),
 		vpindex.WithShards(shards),
 		vpindex.WithBufferPages(perPool),
@@ -56,7 +57,8 @@ func newBenchStore(b *testing.B, shards int, objs []vpindex.Object) *vpindex.Sto
 		vpindex.WithVelocityPartitioning(2),
 		vpindex.WithVelocitySample(sample),
 		vpindex.WithSeed(1),
-	)
+	}
+	store, err := vpindex.Open(append(opts, extra...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -131,23 +133,34 @@ func BenchmarkStoreReport(b *testing.B) {
 
 // BenchmarkStoreSearch is the pure read path: concurrent predictive range
 // queries against a static population (readers share shard read locks; the
-// per-partition pools keep page-cache hits from serializing).
+// striped per-partition pools keep page-cache hits from serializing). The
+// engine axis compares the batched leaf-walk scan (bptree.ScanMany) against
+// the legacy per-interval descent path.
 func BenchmarkStoreSearch(b *testing.B) {
 	objs := randomObjects(benchStoreObjects, 9)
-	for _, shards := range shardCounts() {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			store := newBenchStore(b, shards, objs)
-			var seq atomic.Int64
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				rng := rand.New(rand.NewSource(seq.Add(1)))
-				for pb.Next() {
-					c := vpindex.V(rng.Float64()*100000, rng.Float64()*100000)
-					if _, err := store.Search(vpindex.SliceQuery(vpindex.Circle{C: c, R: 500}, 0, 60)); err != nil {
-						b.Fatal(err)
+	engines := []struct {
+		name string
+		opts []vpindex.Option
+	}{
+		{"batched", nil},
+		{"legacy", []vpindex.Option{vpindex.WithLegacyScan()}},
+	}
+	for _, eng := range engines {
+		for _, shards := range shardCounts() {
+			b.Run(fmt.Sprintf("engine=%s/shards=%d", eng.name, shards), func(b *testing.B) {
+				store := newBenchStore(b, shards, objs, eng.opts...)
+				var seq atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(seq.Add(1)))
+					for pb.Next() {
+						c := vpindex.V(rng.Float64()*100000, rng.Float64()*100000)
+						if _, err := store.Search(vpindex.SliceQuery(vpindex.Circle{C: c, R: 500}, 0, 60)); err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
+				})
 			})
-		})
+		}
 	}
 }

@@ -223,6 +223,11 @@ type Options struct {
 	HistogramCells int
 	// UseZOrder switches the Bx-tree to the Z-curve.
 	UseZOrder bool
+	// LegacyScan restores the Bx-tree's per-interval scan path (one B+-tree
+	// descent per curve interval) instead of the batched leaf-walk engine.
+	// Results are identical; this is the measured baseline of the scan
+	// benchmark. Ignored by the TPR*-tree.
+	LegacyScan bool
 }
 
 func (o Options) withDefaults() Options {
@@ -258,6 +263,7 @@ func buildBase(pool *storage.BufferPool, opts Options, domain Rect, nameSuffix s
 			MaxUpdateInterval: opts.MaxUpdateInterval,
 			HistogramCells:    opts.HistogramCells,
 			UseZOrder:         opts.UseZOrder,
+			LegacyScan:        opts.LegacyScan,
 		})
 		if err != nil {
 			return nil, err
