@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	vpindex "repro"
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// durThroughputResult is one sync policy's sustained write throughput.
+type durThroughputResult struct {
+	Policy     string  `json:"policy"` // "none", "group_commit", "always"
+	Goroutines int     `json:"goroutines"`
+	BatchSize  int     `json:"batch_size"`
+	Ops        int     `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	WALBytes   uint64  `json:"wal_bytes"`
+}
+
+// durRecoveryResult is one recovery-time measurement: reopen cost as a
+// function of the WAL tail the checkpointless store left behind.
+type durRecoveryResult struct {
+	WALRecords    int     `json:"wal_records"`
+	WALBytes      uint64  `json:"wal_bytes"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Replayed      int64   `json:"replayed_records"`
+}
+
+// durReport is the BENCH_durability.json schema: the durable write path's
+// perf datapoint — group commit must keep batched report throughput close
+// to the no-fsync ceiling — plus the recovery-time curve.
+type durReport struct {
+	Experiment      string                `json:"experiment"`
+	Dataset         string                `json:"dataset"`
+	Objects         int                   `json:"objects"`
+	GoMaxProcs      int                   `json:"gomaxprocs"`
+	Throughput      []durThroughputResult `json:"throughput"`
+	GroupVsNone     float64               `json:"group_commit_vs_none"` // group-commit ops/s ÷ no-sync ops/s
+	AlwaysVsNone    float64               `json:"always_vs_none"`
+	Recovery        []durRecoveryResult   `json:"recovery"`
+	GroupWindowUsec int64                 `json:"group_window_usec"`
+}
+
+// runDurability measures the durable subsystem end to end on real files:
+//
+//   - Throughput: concurrent workers drive batched location reports through
+//     a FileStore-backed Store under each sync policy. SyncNone is the
+//     no-fsync ceiling, SyncAlways the floor, and group commit sits between
+//     them by electing one fsync leader per window that every concurrent
+//     batch rides.
+//   - Recovery: checkpointless stores are loaded with growing WAL tails,
+//     closed, and re-opened with the clock running — replay cost scales with
+//     the tail, which is exactly what checkpoints exist to bound.
+//
+// Results go to stdout and to the JSON report at outPath.
+func runDurability(ds workload.Dataset, sc bench.Scale, seed int64, procs int, outPath string) error {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+		if procs < 8 {
+			procs = 8
+		}
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := workload.DefaultParams(ds, sc.Objects)
+	p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+	p.Duration = sc.Duration
+	p.Seed = seed
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		return err
+	}
+	objs := gen.Initial()
+	sample := make([]vpindex.Vec2, len(objs))
+	for i, o := range objs {
+		sample[i] = o.Vel
+	}
+
+	const (
+		batchSize   = 256
+		groupWindow = 500 * time.Microsecond
+	)
+	totalOps := 4 * len(objs)
+
+	openDurable := func(dir string, pol vpindex.SyncPolicy) (*vpindex.Store, error) {
+		return vpindex.Open(
+			vpindex.WithKind(vpindex.TPRStar),
+			vpindex.WithDomain(p.Domain),
+			vpindex.WithShards(procs),
+			vpindex.WithBufferPages(sc.Buffer),
+			vpindex.WithVelocityPartitioning(2),
+			vpindex.WithVelocitySample(sample),
+			vpindex.WithSeed(seed),
+			vpindex.WithDataDir(dir),
+			vpindex.WithSyncPolicy(pol),
+		)
+	}
+
+	rep := durReport{
+		Experiment:      "durability",
+		Dataset:         string(ds),
+		Objects:         len(objs),
+		GoMaxProcs:      procs,
+		GroupWindowUsec: groupWindow.Microseconds(),
+	}
+	fmt.Printf("durability: %d workers, %d batched reports (batch %d), group window %v\n\n",
+		procs, totalOps, batchSize, groupWindow)
+
+	policies := []struct {
+		name string
+		pol  vpindex.SyncPolicy
+	}{
+		{"none", vpindex.SyncNone()},
+		{"group_commit", vpindex.SyncGroupCommit(groupWindow)},
+		{"always", vpindex.SyncAlways()},
+	}
+	tput := map[string]float64{}
+	for _, pc := range policies {
+		dir, err := os.MkdirTemp("", "vpdur-*")
+		if err != nil {
+			return err
+		}
+		store, err := openDurable(dir, pc.pol)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		if err := store.ReportBatch(objs); err != nil {
+			store.Close()
+			os.RemoveAll(dir)
+			return err
+		}
+		ran, seconds, err := hammerDurable(store, objs, procs, totalOps, batchSize, seed)
+		st, _ := store.DurabilityStats()
+		cerr := store.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		res := durThroughputResult{
+			Policy:     pc.name,
+			Goroutines: procs,
+			BatchSize:  batchSize,
+			Ops:        ran,
+			Seconds:    seconds,
+			OpsPerSec:  float64(ran) / seconds,
+			WALBytes:   st.WALAppendedLSN,
+		}
+		tput[pc.name] = res.OpsPerSec
+		rep.Throughput = append(rep.Throughput, res)
+		fmt.Printf("  %-13s %9.0f reports/s  (%d ops in %.2fs, WAL %.1f MB)\n",
+			pc.name, res.OpsPerSec, ran, seconds, float64(st.WALAppendedLSN)/1e6)
+	}
+	if tput["none"] > 0 {
+		rep.GroupVsNone = tput["group_commit"] / tput["none"]
+		rep.AlwaysVsNone = tput["always"] / tput["none"]
+	}
+	fmt.Printf("\n  group commit at %.0f%% of the no-fsync ceiling, always-sync at %.0f%%\n\n",
+		rep.GroupVsNone*100, rep.AlwaysVsNone*100)
+
+	// Recovery time vs WAL-tail length: no checkpoints, so reopen replays
+	// the whole log through the normal write paths.
+	for _, tail := range []int{2_000, 8_000, 32_000} {
+		dir, err := os.MkdirTemp("", "vpdur-*")
+		if err != nil {
+			return err
+		}
+		store, err := openDurable(dir, vpindex.SyncNone())
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < tail; i++ {
+			o := objs[rng.Intn(len(objs))]
+			o.Pos.X += rng.Float64() - 0.5
+			if err := store.Report(o); err != nil {
+				store.Close()
+				os.RemoveAll(dir)
+				return err
+			}
+		}
+		st, _ := store.DurabilityStats()
+		if err := store.Close(); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		start := time.Now()
+		recovered, err := openDurable(dir, vpindex.SyncNone())
+		seconds := time.Since(start).Seconds()
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		rst, _ := recovered.DurabilityStats()
+		recovered.Close()
+		os.RemoveAll(dir)
+		res := durRecoveryResult{
+			WALRecords:    tail,
+			WALBytes:      st.WALAppendedLSN,
+			Seconds:       seconds,
+			RecordsPerSec: float64(tail) / seconds,
+			Replayed:      rst.ReplayedRecords,
+		}
+		rep.Recovery = append(rep.Recovery, res)
+		fmt.Printf("  recover %6d-record tail (%.1f MB): %.3fs  (%.0f records/s)\n",
+			tail, float64(st.WALAppendedLSN)/1e6, seconds, res.RecordsPerSec)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return nil
+}
+
+// hammerDurable drives g workers, each re-reporting shuffled slices of the
+// fleet in fixed-size batches (one WAL record and one group-commit wait per
+// batch), until ops total reports have been issued.
+func hammerDurable(store *vpindex.Store, objs []vpindex.Object, g, ops, batchSize int, seed int64) (int, float64, error) {
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		firstE error
+		ran    int
+	)
+	per := ops / g
+	if per < batchSize {
+		per = batchSize
+	}
+	start := time.Now()
+	wg.Add(g)
+	for w := 0; w < g; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			batch := make([]vpindex.Object, batchSize)
+			n := 0
+			for n < per {
+				for i := range batch {
+					o := objs[rng.Intn(len(objs))]
+					o.Pos.X += rng.Float64() - 0.5
+					o.Pos.Y += rng.Float64() - 0.5
+					batch[i] = o
+				}
+				if err := store.ReportBatch(batch); err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = err
+					}
+					mu.Unlock()
+					return
+				}
+				n += batchSize
+			}
+			mu.Lock()
+			ran += n
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return ran, time.Since(start).Seconds(), firstE
+}

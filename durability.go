@@ -1,0 +1,728 @@
+package vpindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// This file is the Store's durable mode (WithDataDir): a group-commit
+// write-ahead log of logical records, periodic checkpoints, and crash
+// recovery. The division of labor:
+//
+//   - The WAL (internal/wal) is the only source of crash consistency. Every
+//     acknowledged write verb appends one logical record — report, batch,
+//     remove, subscribe, unsubscribe, refresh — and waits for durability per
+//     the SyncPolicy before returning. Partition transitions append a swap
+//     record carrying the completed analysis, so recovery rebuilds the exact
+//     partitions without re-running the analyzer.
+//   - Checkpoints snapshot the full logical state — objects, the partition
+//     analysis, the subscription registry with its memberships — to a shadow
+//     file that is atomically renamed over the previous checkpoint, then
+//     reclaim the log segments the snapshot covers.
+//   - Recovery loads the newest checkpoint and replays the log tail through
+//     the normal write paths, so every index invariant, subscription
+//     evaluation, and maintenance hook behaves exactly as it did the first
+//     time. The page file (FileStore) is rebuilt from logical state at every
+//     open: index pages newer than the checkpoint are never trusted.
+//
+// Consistency between a checkpoint and the log is the commitMu protocol:
+// each write verb holds commitMu shared across its {apply, append} pair and
+// a checkpoint holds it exclusively while capturing {snapshot, log position},
+// so every operation is either fully inside the snapshot or entirely after
+// the captured LSN — replay is exactly once. The fsync wait happens after
+// the shared lock is released, so a checkpoint never stalls behind group
+// commit. Swap records are the one exception: they are appended without
+// commitMu (the cutover already runs inside maintenance, not inside a verb's
+// pair) and tolerate it by being idempotent — replaying a swap against an
+// already-partitioned store rebuilds the same partitions.
+
+// durability is the durable-mode state hanging off a Store.
+type durability struct {
+	dir    string
+	wal    *wal.WAL
+	fstore *storage.FileStore
+
+	// commitMu orders write-verb {apply, append} pairs against checkpoint
+	// {snapshot, LSN} capture; see the file comment.
+	commitMu sync.RWMutex
+
+	ckptMu    sync.Mutex // serializes checkpoint writers
+	ckptEvery int64
+	records   atomic.Int64 // records logged, for the auto-checkpoint cadence
+	ckptLSN   atomic.Uint64
+	ckpts     atomic.Int64
+
+	// recovering suppresses logging and maintenance while Open replays: the
+	// replayed verbs run their normal in-memory paths but append nothing.
+	recovering atomic.Bool
+	replayed   atomic.Int64
+}
+
+const (
+	pagesFileName = "pages.dat"
+	walDirName    = "wal"
+	ckptFileName  = "checkpoint.ckpt"
+	ckptTmpName   = "checkpoint.tmp"
+)
+
+// initDurable opens the data directory's page file and log. Called from Open
+// before any index is built; recovery itself runs after the shards exist.
+func (s *Store) initDurable() error {
+	cfg := &s.cfg
+	if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
+		return fmt.Errorf("vpindex: data dir: %w", err)
+	}
+	fstore, err := storage.OpenFileStore(filepath.Join(cfg.dataDir, pagesFileName), storage.FileStoreOptions{
+		// Index pages are rebuilt from checkpoint + log replay at every
+		// open; stale images must not survive into the new generation.
+		Truncate: true,
+		Injector: cfg.injector,
+	})
+	if err != nil {
+		return err
+	}
+	w, err := wal.Open(filepath.Join(cfg.dataDir, walDirName), wal.Options{
+		SegmentBytes: cfg.walSegBytes,
+		Policy:       cfg.syncPol,
+		Injector:     cfg.injector,
+	})
+	if err != nil {
+		fstore.Close()
+		return err
+	}
+	s.disk = fstore
+	s.dur = &durability{dir: cfg.dataDir, wal: w, fstore: fstore, ckptEvery: cfg.ckptEvery}
+	// Index building inside Open (upfront sample, staging shards) must not
+	// log; recover() lifts this once the replay is done.
+	s.dur.recovering.Store(true)
+	return nil
+}
+
+// closeFiles releases the durable files after a failed Open; it ignores
+// errors (the store never escaped).
+func (s *Store) closeFiles() {
+	if d := s.dur; d != nil {
+		d.wal.Close()
+		d.fstore.Close()
+	}
+}
+
+// Close flushes the log and the page file and closes both. A non-durable
+// Store has nothing to flush; Close is then a no-op. The Store must not be
+// used after Close.
+func (s *Store) Close() error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	var first error
+	if err := d.wal.Sync(); err != nil {
+		first = err
+	}
+	if err := d.wal.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := d.fstore.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// durableApply wraps a write verb's in-memory apply with logging: under the
+// shared commit lock, a successful apply appends its record; after release,
+// the caller waits for durability per the sync policy. Non-durable stores
+// (and replay during recovery) run the apply alone.
+func (s *Store) durableApply(t wal.Type, encode func() []byte, apply func() (bool, error)) (bool, error) {
+	d := s.dur
+	if d == nil || d.recovering.Load() {
+		return apply()
+	}
+	d.commitMu.RLock()
+	trip, err := apply()
+	if err != nil {
+		d.commitMu.RUnlock()
+		return false, err
+	}
+	lsn, werr := d.wal.Append(t, encode())
+	d.commitMu.RUnlock()
+	if werr != nil {
+		return false, werr
+	}
+	if cerr := d.wal.Commit(lsn); cerr != nil {
+		return false, cerr
+	}
+	d.noteRecords(s, 1)
+	return trip, nil
+}
+
+// reportBatchDurable is ReportBatch's durable path: apply the batch, log
+// exactly the records that landed as one batch record (concurrent batches
+// ride one fsync under the group-commit policy), then run maintenance.
+func (s *Store) reportBatchDurable(d *durability, objs []Object) error {
+	d.commitMu.RLock()
+	evalGroups, reported, trip, err := s.applyReportBatch(objs)
+	n := 0
+	for _, g := range evalGroups {
+		n += len(g)
+	}
+	var (
+		lsn  uint64
+		werr error
+	)
+	if n > 0 {
+		flat := make([]Object, 0, n)
+		for _, g := range evalGroups {
+			flat = append(flat, g...)
+		}
+		lsn, werr = d.wal.Append(wal.TypeReportBatch, wal.EncodeReportBatch(flat))
+	}
+	d.commitMu.RUnlock()
+	if werr != nil {
+		return werr
+	}
+	if n > 0 {
+		if cerr := d.wal.Commit(lsn); cerr != nil {
+			return cerr
+		}
+		d.noteRecords(s, 1)
+	}
+	return s.finishReportBatch(reported, trip, err)
+}
+
+// logSwap appends a partition-swap record carrying the completed analysis.
+// It runs outside commitMu — the cutover fires from maintenance, and the
+// record is idempotent under replay (see the file comment) — and does not
+// wait for the fsync: no caller is blocked on the swap, and the record
+// becomes durable with the next committed record, checkpoint, or Close.
+func (s *Store) logSwap(an core.Analysis) {
+	d := s.dur
+	if d == nil || d.recovering.Load() {
+		return
+	}
+	if _, err := d.wal.Append(wal.TypePartitionSwap, core.EncodeAnalysis(an)); err == nil {
+		d.noteRecords(s, 1)
+	}
+}
+
+// noteRecords advances the auto-checkpoint cadence by n logged records and
+// kicks a background checkpoint each time the running counter crosses a
+// multiple of WithCheckpointEvery. Like the repartition cadence, the counter
+// is never reset, so every multiple fires exactly once.
+func (d *durability) noteRecords(s *Store, n int64) {
+	if d.ckptEvery <= 0 {
+		return
+	}
+	after := d.records.Add(n)
+	if after/d.ckptEvery != (after-n)/d.ckptEvery {
+		go func() { _ = s.Checkpoint() }()
+	}
+}
+
+// DurabilityStats reports the durable subsystem's counters; ok is false for
+// a non-durable Store.
+type DurabilityStats struct {
+	// WALAppendedLSN / WALDurableLSN are the log's end offset and the prefix
+	// known to be on stable storage (equal except under SyncNone or between
+	// an append and its group commit).
+	WALAppendedLSN uint64
+	WALDurableLSN  uint64
+	// WALSegments is the number of live log segment files.
+	WALSegments int
+	// Checkpoints counts completed checkpoints this process; CheckpointLSN
+	// is the log position the newest on-disk checkpoint covers.
+	Checkpoints   int64
+	CheckpointLSN uint64
+	// ReplayedRecords counts log records replayed by this process's Open.
+	ReplayedRecords int64
+}
+
+// DurabilityStats returns the durable-mode counters, and whether the Store
+// is durable at all.
+func (s *Store) DurabilityStats() (DurabilityStats, bool) {
+	d := s.dur
+	if d == nil {
+		return DurabilityStats{}, false
+	}
+	return DurabilityStats{
+		WALAppendedLSN:  d.wal.AppendedLSN(),
+		WALDurableLSN:   d.wal.DurableLSN(),
+		WALSegments:     d.wal.Segments(),
+		Checkpoints:     d.ckpts.Load(),
+		CheckpointLSN:   d.ckptLSN.Load(),
+		ReplayedRecords: d.replayed.Load(),
+	}, true
+}
+
+// checkpointState is one consistent cut of the Store's logical state.
+type checkpointState struct {
+	lsn         uint64
+	partitioned bool
+	analysis    core.Analysis
+	objects     []Object
+
+	hasEngine bool
+	clock     float64
+	nextID    SubscriptionID
+	subs      []checkpointSub
+}
+
+// checkpointSub is one subscription with its full membership.
+type checkpointSub struct {
+	id      SubscriptionID
+	sub     Subscription
+	members []ObjectID
+}
+
+// Checkpoint snapshots the Store's full logical state to the data
+// directory — shadow file, fsync, atomic rename — and then reclaims the log
+// segments the snapshot covers. Returns ErrUnsupported for a non-durable
+// Store. Safe to call concurrently with writes (the snapshot capture briefly
+// blocks the write verbs); concurrent checkpoints serialize. The outcome is
+// also recorded as a maintenance event (MaintCheckpoint).
+func (s *Store) Checkpoint() error {
+	d := s.dur
+	if d == nil {
+		return fmt.Errorf("vpindex: checkpoint of a non-durable store: %w", ErrUnsupported)
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	d.commitMu.Lock()
+	ck := s.captureCheckpoint(d)
+	d.commitMu.Unlock()
+	err := d.writeCheckpoint(ck)
+	if err == nil {
+		d.ckptLSN.Store(ck.lsn)
+		d.ckpts.Add(1)
+		// Reclamation is best-effort: a failure leaves extra segments whose
+		// replay is harmless (the next recovery starts at the checkpoint's
+		// LSN and skips everything before it).
+		_ = d.wal.TruncateBefore(ck.lsn)
+	}
+	ev := MaintenanceEvent{Op: MaintCheckpoint, Err: err, SampleSize: len(ck.objects), Swapped: err == nil}
+	s.recordMaintenance(ev)
+	s.notifyMaintenance(ev)
+	return err
+}
+
+// captureCheckpoint snapshots the logical state. Caller holds d.commitMu
+// exclusively, so no write verb is between its apply and its append: every
+// operation is either fully reflected here or entirely after ck.lsn.
+func (s *Store) captureCheckpoint(d *durability) checkpointState {
+	ck := checkpointState{lsn: d.wal.AppendedLSN()}
+	ck.analysis, ck.partitioned = s.Analysis()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if sh.mgr != nil {
+			ck.objects = append(ck.objects, sh.mgr.Objects()...)
+		} else {
+			for _, o := range sh.objs {
+				ck.objects = append(ck.objects, o)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	e := s.subEng.Load()
+	if e == nil {
+		return ck
+	}
+	ck.hasEngine = true
+	ck.clock = e.now()
+	e.regMu.RLock()
+	defer e.regMu.RUnlock()
+	ck.nextID = e.nextID
+	ids := make([]SubscriptionID, 0, len(e.subs))
+	for id := range e.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cs := checkpointSub{id: id, sub: e.subs[id]}
+		for si := range e.shards {
+			sh := &e.shards[si]
+			sh.mu.Lock()
+			cs.members = append(cs.members, sh.rs.Members(id)...)
+			sh.mu.Unlock()
+		}
+		ck.subs = append(ck.subs, cs)
+	}
+	return ck
+}
+
+// Checkpoint file layout: magic, version, payload, CRC32 of the payload.
+const (
+	ckptMagic   = 0x5650434B // "VPCK"
+	ckptVersion = 1
+)
+
+// encodeCheckpoint serializes a checkpointState.
+func encodeCheckpoint(ck checkpointState) []byte {
+	b := make([]byte, 0, 64+len(ck.objects)*48)
+	b = binary.LittleEndian.AppendUint32(b, ckptMagic)
+	b = binary.LittleEndian.AppendUint32(b, ckptVersion)
+	payloadStart := len(b)
+	b = binary.LittleEndian.AppendUint64(b, ck.lsn)
+	var flags byte
+	if ck.partitioned {
+		flags |= 1
+	}
+	if ck.hasEngine {
+		flags |= 2
+	}
+	b = append(b, flags)
+	an := core.EncodeAnalysis(ck.analysis)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(an)))
+	b = append(b, an...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(ck.objects)))
+	for _, o := range ck.objects {
+		b = wal.AppendObject(b, o)
+	}
+	if ck.hasEngine {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ck.clock))
+		b = binary.LittleEndian.AppendUint64(b, uint64(ck.nextID))
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(ck.subs)))
+		for _, cs := range ck.subs {
+			b = binary.LittleEndian.AppendUint64(b, uint64(cs.id))
+			b = wal.AppendSubscription(b, cs.sub)
+			b = binary.LittleEndian.AppendUint64(b, uint64(len(cs.members)))
+			for _, id := range cs.members {
+				b = binary.LittleEndian.AppendUint64(b, uint64(id))
+			}
+		}
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[payloadStart:]))
+}
+
+// decodeCheckpoint reverses encodeCheckpoint, validating magic, version,
+// and CRC. The rename protocol makes a torn checkpoint impossible, so any
+// validation failure is real corruption and surfaces as an error.
+func decodeCheckpoint(b []byte) (checkpointState, error) {
+	var ck checkpointState
+	bad := func(what string) (checkpointState, error) {
+		return ck, fmt.Errorf("vpindex: checkpoint: %s", what)
+	}
+	if len(b) < 12 {
+		return bad("truncated header")
+	}
+	if binary.LittleEndian.Uint32(b) != ckptMagic {
+		return bad("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != ckptVersion {
+		return bad(fmt.Sprintf("unsupported version %d", v))
+	}
+	payload := b[8 : len(b)-4]
+	if got, want := binary.LittleEndian.Uint32(b[len(b)-4:]), crc32.ChecksumIEEE(payload); got != want {
+		return bad("CRC mismatch")
+	}
+	r := payload
+	u64 := func() (uint64, bool) {
+		if len(r) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(r)
+		r = r[8:]
+		return v, true
+	}
+	lsn, ok := u64()
+	if !ok || len(r) < 1 {
+		return bad("truncated")
+	}
+	ck.lsn = lsn
+	flags := r[0]
+	r = r[1:]
+	ck.partitioned = flags&1 != 0
+	ck.hasEngine = flags&2 != 0
+	anLen, ok := u64()
+	if !ok || uint64(len(r)) < anLen {
+		return bad("truncated analysis")
+	}
+	var err error
+	if ck.analysis, err = core.DecodeAnalysis(r[:anLen]); err != nil {
+		return ck, err
+	}
+	r = r[anLen:]
+	nObjs, ok := u64()
+	if !ok || uint64(len(r)) < nObjs*48 {
+		return bad("truncated objects")
+	}
+	ck.objects = make([]Object, nObjs)
+	for i := range ck.objects {
+		ck.objects[i], r, _ = wal.TakeObject(r)
+	}
+	if !ck.hasEngine {
+		if len(r) != 0 {
+			return bad("trailing bytes")
+		}
+		return ck, nil
+	}
+	clockBits, ok1 := u64()
+	nextID, ok2 := u64()
+	nSubs, ok3 := u64()
+	if !ok1 || !ok2 || !ok3 {
+		return bad("truncated registry")
+	}
+	ck.clock = math.Float64frombits(clockBits)
+	ck.nextID = SubscriptionID(nextID)
+	ck.subs = make([]checkpointSub, 0, nSubs)
+	for i := uint64(0); i < nSubs; i++ {
+		id, ok := u64()
+		if !ok {
+			return bad("truncated subscription")
+		}
+		sub, rest, err := wal.TakeSubscription(r)
+		if err != nil {
+			return ck, err
+		}
+		r = rest
+		nMem, ok := u64()
+		if !ok || uint64(len(r)) < nMem*8 {
+			return bad("truncated members")
+		}
+		cs := checkpointSub{id: SubscriptionID(id), sub: sub, members: make([]ObjectID, nMem)}
+		for j := range cs.members {
+			v, _ := u64()
+			cs.members[j] = ObjectID(v)
+		}
+		ck.subs = append(ck.subs, cs)
+	}
+	if len(r) != 0 {
+		return bad("trailing bytes")
+	}
+	return ck, nil
+}
+
+// writeCheckpoint persists ck with the shadow-file protocol: write to a tmp
+// file, fsync it, rename over the previous checkpoint, fsync the directory.
+// A crash anywhere leaves either the old or the new checkpoint, never a torn
+// one. The fault injector gates the write and both fsyncs, so the kill
+// matrix exercises every crash position.
+func (d *durability) writeCheckpoint(ck checkpointState) error {
+	fi := d.fstore.Injector()
+	if err := fi.BeforeWrite(); err != nil {
+		return err
+	}
+	tmp := filepath.Join(d.dir, ckptTmpName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("vpindex: checkpoint: %w", err)
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(encodeCheckpoint(ck)); err != nil {
+		return cleanup(fmt.Errorf("vpindex: checkpoint write: %w", err))
+	}
+	if err := fi.BeforeSync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("vpindex: checkpoint fsync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("vpindex: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, ckptFileName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("vpindex: checkpoint rename: %w", err)
+	}
+	if err := fi.BeforeSync(); err != nil {
+		return err
+	}
+	dir, err := os.Open(d.dir)
+	if err == nil {
+		err = dir.Sync()
+		dir.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("vpindex: checkpoint dir fsync: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads the newest checkpoint; ok is false when none exists.
+func (d *durability) loadCheckpoint() (ck checkpointState, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(d.dir, ckptFileName))
+	if os.IsNotExist(err) {
+		return checkpointState{}, false, nil
+	}
+	if err != nil {
+		return checkpointState{}, false, err
+	}
+	ck, err = decodeCheckpoint(b)
+	return ck, err == nil, err
+}
+
+// recover restores the Store from the data directory: load the newest
+// checkpoint, rebuild partitions and objects and subscriptions from it
+// through the normal code paths, then replay the log tail. Runs inside Open
+// with the recovering flag set, so nothing is re-logged and no maintenance
+// analyses launch; the subscription filter's velocity classes are re-armed
+// at the end from whatever analysis survived.
+func (s *Store) recover() error {
+	d := s.dur
+	defer d.recovering.Store(false)
+	ck, ok, err := d.loadCheckpoint()
+	if err != nil {
+		return err
+	}
+	if ok {
+		if ck.partitioned {
+			s.replaySwap(ck.analysis)
+		}
+		if len(ck.objects) > 0 {
+			if err := s.ReportBatch(ck.objects); err != nil {
+				return fmt.Errorf("vpindex: recover objects: %w", err)
+			}
+		}
+		if ck.hasEngine {
+			s.restoreSubscriptions(ck)
+		}
+		d.ckptLSN.Store(ck.lsn)
+	}
+	if err := d.wal.Replay(ck.lsn, func(_ uint64, t wal.Type, p []byte) error {
+		s.replayRecord(t, p)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("vpindex: wal replay: %w", err)
+	}
+	if s.partitioned.Load() {
+		s.refreshSubClasses()
+	}
+	return nil
+}
+
+// replayRecord applies one log record through the normal write paths.
+// Replay is exactly-once (the commitMu protocol), so per-record errors are
+// not expected; any that occur are swallowed — a partially recovered store
+// beats none, and the differential oracle would catch real divergence.
+func (s *Store) replayRecord(t wal.Type, p []byte) {
+	d := s.dur
+	switch t {
+	case wal.TypeReport:
+		if o, err := wal.DecodeReport(p); err == nil {
+			_ = s.Report(o)
+			d.replayed.Add(1)
+		}
+	case wal.TypeReportBatch:
+		if objs, err := wal.DecodeReportBatch(p); err == nil {
+			_ = s.ReportBatch(objs)
+			d.replayed.Add(1)
+		}
+	case wal.TypeRemove:
+		if id, err := wal.DecodeRemove(p); err == nil {
+			_ = s.Remove(id)
+			d.replayed.Add(1)
+		}
+	case wal.TypeSubscribe:
+		if id, sub, now, err := wal.DecodeSubscribe(p); err == nil {
+			s.replaySubscribe(id, sub, now)
+			d.replayed.Add(1)
+		}
+	case wal.TypeUnsubscribe:
+		if id, err := wal.DecodeUnsubscribe(p); err == nil {
+			_ = s.Unsubscribe(id)
+			d.replayed.Add(1)
+		}
+	case wal.TypeRefresh:
+		if now, err := wal.DecodeRefresh(p); err == nil {
+			_, _ = s.RefreshSubscriptions(now)
+			d.replayed.Add(1)
+		}
+	case wal.TypePartitionSwap:
+		if an, err := core.DecodeAnalysis(p); err == nil {
+			s.replaySwap(an)
+			d.replayed.Add(1)
+		}
+	}
+}
+
+// replaySwap re-applies a logged partition transition: the bootstrap cutover
+// when the store is still staging (migrating the staged population), a
+// per-shard rebuild when it is already partitioned. Recovery is
+// single-threaded, so taking the swap machinery without maintMu is safe.
+func (s *Store) replaySwap(an core.Analysis) {
+	if s.partitioned.Load() {
+		_ = s.swapPartitions(an)
+		return
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	err := s.applyAnalysisLocked(an, nil)
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+	_ = err
+}
+
+// restoreSubscriptions rebuilds the subscription registry from a checkpoint:
+// registered ids, the engine clock, and the membership sets are restored
+// verbatim (no seed queries run — memberships are history-dependent, so
+// re-deriving them could differ from what the crashed process acknowledged).
+func (s *Store) restoreSubscriptions(ck checkpointState) {
+	e := s.engine()
+	e.clock.Store(math.Float64bits(ck.clock))
+	e.regMu.Lock()
+	e.nextID = ck.nextID
+	for _, cs := range ck.subs {
+		e.subs[cs.id] = cs.sub
+		e.filter.Add(cs.id, cs.sub)
+	}
+	e.regMu.Unlock()
+	e.nsubs.Store(int64(len(ck.subs)))
+	for _, cs := range ck.subs {
+		byShard := make([][]ObjectID, len(e.shards))
+		for _, id := range cs.members {
+			si := s.shardIndex(id)
+			byShard[si] = append(byShard[si], id)
+		}
+		for si := range e.shards {
+			if len(byShard[si]) == 0 {
+				continue
+			}
+			sh := &e.shards[si]
+			sh.mu.Lock()
+			sh.rs.Seed(cs.id, byShard[si])
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// replaySubscribe re-registers a logged subscription under its original id
+// and re-runs the seed evaluation at the logged clock — the same sequence
+// Subscribe ran the first time, minus the id allocation.
+func (s *Store) replaySubscribe(id SubscriptionID, sub Subscription, now float64) {
+	e := s.engine()
+	e.advance(now)
+	e.regMu.Lock()
+	if id > e.nextID {
+		e.nextID = id
+	}
+	e.subs[id] = sub
+	e.filter.Add(id, sub)
+	e.regMu.Unlock()
+	e.nsubs.Add(1)
+	evs, err := e.refreshSub(id, now)
+	if err != nil {
+		e.regMu.Lock()
+		delete(e.subs, id)
+		e.filter.Remove(id)
+		e.regMu.Unlock()
+		e.nsubs.Add(-1)
+		return
+	}
+	e.emit(evs)
+}

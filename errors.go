@@ -1,6 +1,9 @@
 package vpindex
 
-import "repro/internal/model"
+import (
+	"repro/internal/model"
+	"repro/internal/storage"
+)
 
 // Sentinel errors returned by the Store and by the deprecated Index/VPIndex
 // wrappers. They are re-exported from the shared internal data model, so a
@@ -21,4 +24,8 @@ var (
 	// ErrUnsupported reports an operation the configured index structure
 	// does not implement.
 	ErrUnsupported = model.ErrUnsupported
+	// ErrInjectedCrash reports that a WithFaultInjector kill point fired:
+	// the simulated process image is dead and every further durable write
+	// is refused (see NewFaultInjector).
+	ErrInjectedCrash = storage.ErrInjectedCrash
 )

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Analysis wire codec, used by the durable Store: partition-swap WAL records
+// and checkpoint files persist the Analysis so recovery can rebuild the
+// exact same velocity partitions without re-running the analyzer (whose
+// k-means would otherwise need the original sample). Elapsed is diagnostic
+// only and is not persisted.
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// EncodeAnalysis serializes an Analysis (fixed-width little-endian).
+func EncodeAnalysis(an Analysis) []byte {
+	b := make([]byte, 0, 24+len(an.DVAs)*48)
+	b = binary.LittleEndian.AppendUint64(b, uint64(an.SampleSize))
+	b = binary.LittleEndian.AppendUint64(b, uint64(an.TotalOutliers))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(an.DVAs)))
+	for _, d := range an.DVAs {
+		b = appendF64(b, d.Axis.X)
+		b = appendF64(b, d.Axis.Y)
+		b = appendF64(b, d.Tau)
+		b = binary.LittleEndian.AppendUint64(b, uint64(d.Count))
+		b = binary.LittleEndian.AppendUint64(b, uint64(d.OutlierCount))
+		b = appendF64(b, d.Dominance)
+	}
+	return b
+}
+
+// DecodeAnalysis reverses EncodeAnalysis.
+func DecodeAnalysis(p []byte) (Analysis, error) {
+	const header = 24
+	const dvaBytes = 48
+	if len(p) < header {
+		return Analysis{}, fmt.Errorf("core: truncated analysis")
+	}
+	var an Analysis
+	an.SampleSize = int(binary.LittleEndian.Uint64(p))
+	an.TotalOutliers = int(binary.LittleEndian.Uint64(p[8:]))
+	n := binary.LittleEndian.Uint64(p[16:])
+	if uint64(len(p)-header) != n*dvaBytes {
+		return Analysis{}, fmt.Errorf("core: analysis length mismatch")
+	}
+	p = p[header:]
+	an.DVAs = make([]DVA, n)
+	for i := range an.DVAs {
+		d := &an.DVAs[i]
+		d.Axis.X = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		d.Axis.Y = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		d.Tau = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+		d.Count = int(binary.LittleEndian.Uint64(p[24:]))
+		d.OutlierCount = int(binary.LittleEndian.Uint64(p[32:]))
+		d.Dominance = math.Float64frombits(binary.LittleEndian.Uint64(p[40:]))
+		p = p[dvaBytes:]
+	}
+	return an, nil
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestAnalysisCodecRoundTrip(t *testing.T) {
+	an := Analysis{
+		DVAs: []DVA{
+			{Axis: geom.V(0.8, 0.6), Tau: 3.25, Count: 4200, OutlierCount: 17, Dominance: 0.41},
+			{Axis: geom.V(-0.6, 0.8), Tau: 1.5, Count: 3800, OutlierCount: 9, Dominance: 0.38},
+		},
+		TotalOutliers: 26,
+		SampleSize:    10_000,
+	}
+	got, err := DecodeAnalysis(EncodeAnalysis(an))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleSize != an.SampleSize || got.TotalOutliers != an.TotalOutliers || len(got.DVAs) != len(an.DVAs) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range an.DVAs {
+		if got.DVAs[i] != an.DVAs[i] {
+			t.Fatalf("DVA %d = %+v, want %+v", i, got.DVAs[i], an.DVAs[i])
+		}
+	}
+
+	// Empty analysis (no DVAs) round-trips too.
+	empty, err := DecodeAnalysis(EncodeAnalysis(Analysis{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.DVAs) != 0 {
+		t.Fatalf("empty analysis decoded %d DVAs", len(empty.DVAs))
+	}
+
+	// Truncation and trailing bytes are rejected.
+	b := EncodeAnalysis(an)
+	if _, err := DecodeAnalysis(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated analysis decoded")
+	}
+	if _, err := DecodeAnalysis(append(b, 0)); err == nil {
+		t.Fatal("oversized analysis decoded")
+	}
+	if _, err := DecodeAnalysis(b[:10]); err == nil {
+		t.Fatal("truncated header decoded")
+	}
+}

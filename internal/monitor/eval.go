@@ -229,6 +229,15 @@ func (r *ResultSet) Members(sub SubscriptionID) []model.ObjectID {
 	return out
 }
 
+// Seed installs ids as members of sub without emitting events — the
+// checkpoint-restore path, where memberships are historical fact rather than
+// fresh enter transitions.
+func (r *ResultSet) Seed(sub SubscriptionID, ids []model.ObjectID) {
+	for _, id := range ids {
+		r.set(sub, id)
+	}
+}
+
 // MemberCount returns the size of sub's result set.
 func (r *ResultSet) MemberCount(sub SubscriptionID) int { return len(r.bySub[sub]) }
 

@@ -1,0 +1,326 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// FileStore superblock layout (stored in slot 0 of the data file, before
+// page id 1): magic, version, allocator high-water mark, free-list head and
+// length, and a CRC over all of it. The free list is threaded through the
+// freed pages themselves — each free page's first 8 bytes hold the next free
+// id — so the superblock stays O(1) no matter how many pages are free.
+const (
+	fsMagic   = 0x56504653 // "VPFS"
+	fsVersion = 1
+
+	sbOffMagic    = 0
+	sbOffVersion  = 4
+	sbOffNextID   = 8
+	sbOffFreeHead = 16
+	sbOffNFree    = 24
+	sbOffCRC      = 32
+	sbSize        = 36
+)
+
+// FileStore is a durable PageStore over a single data file: page id N lives
+// at byte offset N*PageSize (slot 0 holds the superblock), reads and writes
+// are page-aligned pread/pwrite on a shared descriptor (no lock on the data
+// path), Sync persists the superblock and fsyncs, and freed pages form an
+// intrusive free list whose head is in the superblock so allocation state
+// survives restarts.
+//
+// FileStore carries no redo information of its own — crash consistency of
+// the pages comes from the Store's write-ahead log, which is why the Store's
+// durable mode rebuilds index pages from logical state at open rather than
+// trusting page images newer than the last checkpoint.
+type FileStore struct {
+	f    *os.File
+	path string
+	fi   *FaultInjector
+
+	mu      sync.Mutex // allocator + superblock state
+	nextID  uint64     // high-water mark: ids 1..nextID exist
+	free    []PageID   // recycle stack; top of stack == on-disk chain head
+	freeSet map[PageID]struct{}
+	sbDirty bool
+
+	reads  atomic.Int64
+	writes atomic.Int64
+}
+
+// FileStoreOptions configures OpenFileStore.
+type FileStoreOptions struct {
+	// Truncate discards any existing contents (the Store's durable mode does
+	// this at every open: pages are rebuilt from checkpoint + WAL replay).
+	Truncate bool
+	// Injector, when non-nil, simulates kill -9 at a chosen sync point.
+	Injector *FaultInjector
+}
+
+// OpenFileStore opens (creating if needed) the single-file page store at
+// path. Without Truncate, the superblock and free list of a previous
+// generation are validated and restored.
+func OpenFileStore(path string, opt FileStoreOptions) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	fs := &FileStore{f: f, path: path, fi: opt.Injector, freeSet: make(map[PageID]struct{})}
+	if opt.Truncate {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: truncate %s: %w", path, err)
+		}
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < PageSize {
+		// Fresh store: reserve slot 0 for the superblock.
+		if err := f.Truncate(PageSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: init %s: %w", path, err)
+		}
+		fs.sbDirty = true
+		return fs, nil
+	}
+	if err := fs.loadSuperblock(st.Size()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// loadSuperblock validates and restores allocator state from slot 0,
+// rebuilding the in-memory free stack by walking the on-disk chain.
+func (fs *FileStore) loadSuperblock(size int64) error {
+	var sb [sbSize]byte
+	if _, err := fs.f.ReadAt(sb[:], 0); err != nil {
+		return fmt.Errorf("storage: superblock read: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sb[sbOffMagic:]); got != fsMagic {
+		return fmt.Errorf("storage: %s: bad superblock magic %#x", fs.path, got)
+	}
+	if got := binary.LittleEndian.Uint32(sb[sbOffVersion:]); got != fsVersion {
+		return fmt.Errorf("storage: %s: unsupported version %d", fs.path, got)
+	}
+	if got, want := binary.LittleEndian.Uint32(sb[sbOffCRC:]), crc32.ChecksumIEEE(sb[:sbOffCRC]); got != want {
+		return fmt.Errorf("storage: %s: superblock CRC mismatch", fs.path)
+	}
+	fs.nextID = binary.LittleEndian.Uint64(sb[sbOffNextID:])
+	if have := uint64(size/PageSize) - 1; fs.nextID > have {
+		return fmt.Errorf("storage: %s: superblock claims %d pages, file holds %d", fs.path, fs.nextID, have)
+	}
+	head := PageID(binary.LittleEndian.Uint64(sb[sbOffFreeHead:]))
+	nfree := binary.LittleEndian.Uint64(sb[sbOffNFree:])
+	chain := make([]PageID, 0, nfree)
+	var next [8]byte
+	for id := head; id != NilPage; {
+		if uint64(id) > fs.nextID || uint64(len(chain)) >= nfree {
+			return fmt.Errorf("storage: %s: corrupt free list at page %d", fs.path, id)
+		}
+		if _, ok := fs.freeSet[id]; ok {
+			return fmt.Errorf("storage: %s: free-list cycle at page %d", fs.path, id)
+		}
+		chain = append(chain, id)
+		fs.freeSet[id] = struct{}{}
+		if _, err := fs.f.ReadAt(next[:], int64(id)*PageSize); err != nil {
+			return fmt.Errorf("storage: %s: free-list read: %w", fs.path, err)
+		}
+		id = PageID(binary.LittleEndian.Uint64(next[:]))
+	}
+	if uint64(len(chain)) != nfree {
+		return fmt.Errorf("storage: %s: free list holds %d pages, superblock claims %d", fs.path, len(chain), nfree)
+	}
+	// Stack pop order must match chain order: top of stack = chain head.
+	fs.free = make([]PageID, len(chain))
+	for i, id := range chain {
+		fs.free[len(chain)-1-i] = id
+	}
+	return nil
+}
+
+// writeSuperblockLocked persists allocator state into slot 0. Caller holds
+// fs.mu.
+func (fs *FileStore) writeSuperblockLocked() error {
+	var head PageID
+	if n := len(fs.free); n > 0 {
+		head = fs.free[n-1]
+	}
+	var sb [sbSize]byte
+	binary.LittleEndian.PutUint32(sb[sbOffMagic:], fsMagic)
+	binary.LittleEndian.PutUint32(sb[sbOffVersion:], fsVersion)
+	binary.LittleEndian.PutUint64(sb[sbOffNextID:], fs.nextID)
+	binary.LittleEndian.PutUint64(sb[sbOffFreeHead:], uint64(head))
+	binary.LittleEndian.PutUint64(sb[sbOffNFree:], uint64(len(fs.free)))
+	binary.LittleEndian.PutUint32(sb[sbOffCRC:], crc32.ChecksumIEEE(sb[:sbOffCRC]))
+	if _, err := fs.f.WriteAt(sb[:], 0); err != nil {
+		return fmt.Errorf("storage: superblock write: %w", err)
+	}
+	fs.sbDirty = false
+	return nil
+}
+
+// checkLocked validates that id is a live page. Caller holds fs.mu.
+func (fs *FileStore) checkLocked(id PageID, op string) error {
+	if id == NilPage || uint64(id) > fs.nextID {
+		return fmt.Errorf("storage: %s of unallocated page %d", op, id)
+	}
+	if _, ok := fs.freeSet[id]; ok {
+		return fmt.Errorf("storage: %s of freed page %d", op, id)
+	}
+	return nil
+}
+
+// Allocate reserves a page id, recycling the most recently freed id if any;
+// fresh pages extend the file (zero-filled by the filesystem).
+func (fs *FileStore) Allocate() (PageID, error) {
+	if err := fs.fi.BeforeWrite(); err != nil {
+		return NilPage, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n := len(fs.free); n > 0 {
+		id := fs.free[n-1]
+		fs.free = fs.free[:n-1]
+		delete(fs.freeSet, id)
+		fs.sbDirty = true
+		// The recycled page may hold a stale image (and the free-list next
+		// pointer); contract says zeroed contents.
+		var zero [PageSize]byte
+		if _, err := fs.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+			return NilPage, fmt.Errorf("storage: page clear: %w", err)
+		}
+		return id, nil
+	}
+	fs.nextID++
+	id := PageID(fs.nextID)
+	if err := fs.f.Truncate(int64(fs.nextID+1) * PageSize); err != nil {
+		fs.nextID--
+		return NilPage, fmt.Errorf("storage: extend: %w", err)
+	}
+	fs.sbDirty = true
+	return id, nil
+}
+
+// Free releases a page onto the intrusive free list.
+func (fs *FileStore) Free(id PageID) error {
+	if err := fs.fi.BeforeWrite(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkLocked(id, "free"); err != nil {
+		return err
+	}
+	var head PageID
+	if n := len(fs.free); n > 0 {
+		head = fs.free[n-1]
+	}
+	var next [8]byte
+	binary.LittleEndian.PutUint64(next[:], uint64(head))
+	if _, err := fs.f.WriteAt(next[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: free-list write: %w", err)
+	}
+	fs.free = append(fs.free, id)
+	fs.freeSet[id] = struct{}{}
+	fs.sbDirty = true
+	return nil
+}
+
+// ReadPage reads the page image with a positioned read (no allocator lock
+// held during the transfer).
+func (fs *FileStore) ReadPage(id PageID, dst *[PageSize]byte) error {
+	fs.mu.Lock()
+	err := fs.checkLocked(id, "read")
+	fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if _, err := fs.f.ReadAt(dst[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	fs.reads.Add(1)
+	return nil
+}
+
+// WritePage writes the page image with a positioned write.
+func (fs *FileStore) WritePage(id PageID, src *[PageSize]byte) error {
+	if err := fs.fi.BeforeWrite(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	err := fs.checkLocked(id, "write")
+	fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if _, err := fs.f.WriteAt(src[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	fs.writes.Add(1)
+	return nil
+}
+
+// Sync persists the superblock (if allocator state changed) and fsyncs the
+// data file: on return every prior WritePage/Allocate/Free is stable.
+func (fs *FileStore) Sync() error {
+	if err := fs.fi.BeforeSync(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	if fs.sbDirty {
+		if err := fs.writeSuperblockLocked(); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+	}
+	fs.mu.Unlock()
+	if err := fs.f.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync %s: %w", fs.path, err)
+	}
+	return nil
+}
+
+// Close flushes allocator state and closes the file.
+func (fs *FileStore) Close() error {
+	syncErr := fs.Sync()
+	if err := fs.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
+
+// Path returns the data file path.
+func (fs *FileStore) Path() string { return fs.path }
+
+// Injector returns the fault injector wired at open, possibly nil (the
+// FaultInjector methods are nil-receiver safe).
+func (fs *FileStore) Injector() *FaultInjector { return fs.fi }
+
+// NumPages returns the number of live pages.
+func (fs *FileStore) NumPages() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return int(fs.nextID) - len(fs.free)
+}
+
+// FreePages returns the number of pages on the free list awaiting reuse.
+func (fs *FileStore) FreePages() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.free)
+}
+
+// PhysicalReads returns the number of successful page reads so far.
+func (fs *FileStore) PhysicalReads() int64 { return fs.reads.Load() }
+
+// PhysicalWrites returns the number of successful page writes so far.
+func (fs *FileStore) PhysicalWrites() int64 { return fs.writes.Load() }

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// PageStore is the backend contract behind every BufferPool: fixed 4 KB
+// pages addressed by PageID, an allocator with a free list (freed ids are
+// recycled), raw page I/O, and a durability barrier. Two implementations
+// exist: MemStore (the paper's simulated disk, default) and FileStore (a
+// real single-file store used by the Store's WithDataDir mode).
+//
+// All methods are safe for concurrent use. PhysicalReads/PhysicalWrites
+// count only successful page transfers — the "query I/O" the paper plots is
+// buffer-pool misses, which map 1:1 onto PhysicalReads of the backing store.
+type PageStore interface {
+	// Allocate reserves a page id (recycling freed ids) with zeroed contents.
+	Allocate() (PageID, error)
+	// Free releases a page back to the free list. Freeing an unallocated or
+	// already-free page is an error.
+	Free(id PageID) error
+	// ReadPage copies the page image into dst.
+	ReadPage(id PageID, dst *[PageSize]byte) error
+	// WritePage stores the page image.
+	WritePage(id PageID, src *[PageSize]byte) error
+	// Sync is a durability barrier: on return, every page written before the
+	// call has reached stable storage (no-op for MemStore).
+	Sync() error
+	// NumPages returns the number of live (allocated, not freed) pages.
+	NumPages() int
+	// FreePages returns the number of freed pages awaiting reuse.
+	FreePages() int
+	// PhysicalReads returns the number of successful page reads so far.
+	PhysicalReads() int64
+	// PhysicalWrites returns the number of successful page writes so far.
+	PhysicalWrites() int64
+	// Close releases any underlying resources. The store must not be used
+	// afterwards.
+	Close() error
+}
+
+var (
+	_ PageStore = (*MemStore)(nil)
+	_ PageStore = (*FileStore)(nil)
+)
+
+// ErrInjectedCrash is returned by every durable-storage operation after a
+// FaultInjector has fired: the process is considered dead from that point,
+// exactly as if kill -9 had landed between two syscalls.
+var ErrInjectedCrash = errors.New("storage: injected crash")
+
+// FaultInjector simulates kill -9 at a chosen durability barrier for the
+// crash-recovery tests. Writes and fsyncs call its hooks; at the Nth sync
+// point the fsync itself fails and every subsequent write or sync fails too,
+// so everything written before the kill survives (it was in the OS buffer
+// cache) while nothing after it can happen — the recovered state must land
+// between the last acknowledged operation and the last issued one.
+//
+// A nil *FaultInjector is valid and never fires, so production paths can
+// call the hooks unconditionally.
+type FaultInjector struct {
+	killAt int64 // 1-based sync point that dies; 0 = never
+	syncs  atomic.Int64
+	dead   atomic.Bool
+}
+
+// NewFaultInjector returns an injector that kills the process model at the
+// killAtSync-th sync point (1-based). killAtSync <= 0 never fires.
+func NewFaultInjector(killAtSync int64) *FaultInjector {
+	return &FaultInjector{killAt: killAtSync}
+}
+
+// BeforeWrite gates a write syscall: it fails iff the injector already fired.
+func (fi *FaultInjector) BeforeWrite() error {
+	if fi == nil || !fi.dead.Load() {
+		return nil
+	}
+	return ErrInjectedCrash
+}
+
+// BeforeSync gates an fsync. It counts the sync point and, at the configured
+// kill point, marks the injector dead and fails this fsync too.
+func (fi *FaultInjector) BeforeSync() error {
+	if fi == nil {
+		return nil
+	}
+	if fi.dead.Load() {
+		return ErrInjectedCrash
+	}
+	n := fi.syncs.Add(1)
+	if fi.killAt > 0 && n >= fi.killAt {
+		fi.dead.Store(true)
+		return ErrInjectedCrash
+	}
+	return nil
+}
+
+// SyncPoints returns how many sync points have been observed so far.
+func (fi *FaultInjector) SyncPoints() int64 {
+	if fi == nil {
+		return 0
+	}
+	return fi.syncs.Load()
+}
+
+// Dead reports whether the injector has fired.
+func (fi *FaultInjector) Dead() bool { return fi != nil && fi.dead.Load() }

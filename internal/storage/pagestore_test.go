@@ -1,0 +1,295 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// flipByte inverts one byte of a file in place.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[off] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// withBackends runs a subtest against each PageStore implementation, so the
+// interface contract — allocation, validation errors, free-list ID reuse —
+// is asserted once for both.
+func withBackends(t *testing.T, fn func(t *testing.T, ps PageStore)) {
+	t.Helper()
+	t.Run("MemStore", func(t *testing.T) {
+		fn(t, NewMemStore())
+	})
+	t.Run("FileStore", func(t *testing.T) {
+		fs, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.dat"), FileStoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fs.Close() })
+		fn(t, fs)
+	})
+}
+
+func TestPageStoreContract(t *testing.T) {
+	withBackends(t, func(t *testing.T, ps PageStore) {
+		a, err := ps.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ps.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == NilPage || b == NilPage || a == b {
+			t.Fatalf("bad ids %d, %d", a, b)
+		}
+		if ps.NumPages() != 2 {
+			t.Fatalf("NumPages = %d, want 2", ps.NumPages())
+		}
+		var page [PageSize]byte
+		page[0], page[PageSize-1] = 0xAB, 0xCD
+		if err := ps.WritePage(a, &page); err != nil {
+			t.Fatal(err)
+		}
+		var got [PageSize]byte
+		if err := ps.ReadPage(a, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != page {
+			t.Fatal("read back different bytes")
+		}
+		if ps.PhysicalReads() != 1 || ps.PhysicalWrites() != 1 {
+			t.Fatalf("counters = %d reads, %d writes", ps.PhysicalReads(), ps.PhysicalWrites())
+		}
+
+		// Validation: unallocated, freed, and double-freed pages error.
+		if err := ps.ReadPage(a+100, &got); err == nil {
+			t.Fatal("read of unallocated page succeeded")
+		}
+		if err := ps.Free(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.Free(a); err == nil {
+			t.Fatal("double free succeeded")
+		}
+		if err := ps.ReadPage(a, &got); err == nil {
+			t.Fatal("read of freed page succeeded")
+		}
+		if err := ps.WritePage(a, &page); err == nil {
+			t.Fatal("write of freed page succeeded")
+		}
+		if ps.FreePages() != 1 {
+			t.Fatalf("FreePages = %d, want 1", ps.FreePages())
+		}
+		if err := ps.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPageStoreFreeListReuse(t *testing.T) {
+	withBackends(t, func(t *testing.T, ps PageStore) {
+		ids := make([]PageID, 6)
+		for i := range ids {
+			id, err := ps.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = id
+		}
+		// Free three pages; both backends recycle most-recently-freed first.
+		freed := []PageID{ids[1], ids[3], ids[4]}
+		for _, id := range freed {
+			var junk [PageSize]byte
+			for i := range junk {
+				junk[i] = 0xEE
+			}
+			if err := ps.WritePage(id, &junk); err != nil {
+				t.Fatal(err)
+			}
+			if err := ps.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		high := ps.NumPages()
+		for i := len(freed) - 1; i >= 0; i-- {
+			id, err := ps.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != freed[i] {
+				t.Fatalf("allocation %d recycled page %d, want %d (LIFO reuse)", len(freed)-1-i, id, freed[i])
+			}
+			// Recycled pages come back zeroed, not with their stale image.
+			var got [PageSize]byte
+			if err := ps.ReadPage(id, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got != ([PageSize]byte{}) {
+				t.Fatalf("recycled page %d not zeroed", id)
+			}
+		}
+		if ps.NumPages() != high+len(freed) {
+			t.Fatalf("NumPages = %d, want %d", ps.NumPages(), high+len(freed))
+		}
+		if ps.FreePages() != 0 {
+			t.Fatalf("FreePages = %d after full recycle", ps.FreePages())
+		}
+		// The free list exhausted: the next allocation must be a fresh id.
+		id, err := ps.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, old := range ids {
+			if id == old {
+				t.Fatalf("fresh allocation reused live id %d", id)
+			}
+		}
+	})
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.dat")
+	fs, err := OpenFileStore(path, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]PageID, 5)
+	for i := range ids {
+		if ids[i], err = fs.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var page [PageSize]byte
+	copy(page[:], "persisted payload")
+	if err := fs.WritePage(ids[2], &page); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Free(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Free(ids[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: allocator state (high-water mark, free list) and page images
+	// must survive.
+	fs2, err := OpenFileStore(path, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if got := fs2.NumPages(); got != 3 {
+		t.Fatalf("NumPages after reopen = %d, want 3", got)
+	}
+	if got := fs2.FreePages(); got != 2 {
+		t.Fatalf("FreePages after reopen = %d, want 2", got)
+	}
+	var got [PageSize]byte
+	if err := fs2.ReadPage(ids[2], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != page {
+		t.Fatal("page image lost across reopen")
+	}
+	if err := fs2.ReadPage(ids[0], &got); err == nil {
+		t.Fatal("freed page readable after reopen")
+	}
+	// Free-list order survives too: last freed is recycled first.
+	id, err := fs2.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[4] {
+		t.Fatalf("recycled %d after reopen, want %d", id, ids[4])
+	}
+}
+
+func TestFileStoreTruncateDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.dat")
+	fs, err := OpenFileStore(path, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := OpenFileStore(path, FileStoreOptions{Truncate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if got := fs2.NumPages(); got != 0 {
+		t.Fatalf("NumPages after truncating open = %d, want 0", got)
+	}
+}
+
+func TestFileStoreRejectsCorruptSuperblock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.dat")
+	fs, err := OpenFileStore(path, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, path, 10) // inside the superblock's nextID field
+	if _, err := OpenFileStore(path, FileStoreOptions{}); err == nil {
+		t.Fatal("corrupt superblock accepted")
+	}
+}
+
+func TestFaultInjectorKillsAtNthSync(t *testing.T) {
+	fi := NewFaultInjector(2)
+	path := filepath.Join(t.TempDir(), "pages.dat")
+	fs, err := OpenFileStore(path, FileStoreOptions{Injector: fi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("first sync should survive: %v", err)
+	}
+	if err := fs.Sync(); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("second sync error = %v, want ErrInjectedCrash", err)
+	}
+	if !fi.Dead() {
+		t.Fatal("injector not dead after the kill point")
+	}
+	// Post-kill, every write-side operation is refused.
+	if _, err := fs.Allocate(); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("post-crash Allocate error = %v", err)
+	}
+	var page [PageSize]byte
+	if err := fs.WritePage(1, &page); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("post-crash WritePage error = %v", err)
+	}
+	// A nil injector is inert.
+	var nilFI *FaultInjector
+	if err := nilFI.BeforeWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nilFI.BeforeSync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,13 +1,17 @@
-// Package storage simulates the disk subsystem the VP paper measures
-// against: fixed-size pages (4 KB, Table 1), an in-memory "disk" with read/
-// write counters, and an LRU buffer pool (50 pages by default). Every index
-// in this repository stores its nodes through a BufferPool, so "query I/O"
-// is exactly the number of buffer-pool misses a query incurs — the metric
+// Package storage is the page-store subsystem every index in this
+// repository sits on: fixed-size pages (4 KB, Table 1), a PageStore
+// interface with two backends, and an LRU buffer pool (50 pages by default).
+// Every index stores its nodes through a BufferPool, so "query I/O" is
+// exactly the number of buffer-pool misses a query incurs — the metric
 // plotted throughout Section 6 of the paper.
 //
-// The disk is a map from PageID to page images. An optional per-miss latency
-// can be injected so that wall-clock time tracks I/O the way a spinning disk
-// would; it is off by default (unit tests) and enabled by the benchmark CLI.
+// The MemStore backend is the paper's simulated disk: a map from PageID to
+// page images with read/write counters and an optional per-access latency so
+// wall-clock time tracks I/O the way a spinning disk would; it is the
+// default and keeps benchmark figures comparable to the paper. The FileStore
+// backend (filestore.go) is a real single-file page store with page-aligned
+// pread/pwrite, fsync on Sync, and a free list persisted through a
+// superblock — the durable half of the Store's WithDataDir mode.
 package storage
 
 import (
@@ -30,48 +34,72 @@ type PageID uint64
 // NilPage is the invalid page id.
 const NilPage PageID = 0
 
-// Disk is the simulated non-volatile store. It is safe for concurrent use:
-// multiple buffer pools may front a single Disk (the Store gives every
-// partition its own pool over one shared disk).
-type Disk struct {
+// Disk is the historical name of the simulated in-memory backend; it remains
+// as an alias so existing call sites (and the deprecated New/NewVP
+// constructors) keep compiling unchanged.
+type Disk = MemStore
+
+// MemStore is the simulated non-volatile store the paper measures against.
+// It is safe for concurrent use: multiple buffer pools may front a single
+// MemStore (the Store gives every partition its own pool over one shared
+// store). Freed page ids are recycled by Allocate (most recently freed
+// first), so long-lived stores with index rebuild churn do not leak ids.
+type MemStore struct {
 	mu      sync.Mutex
 	pages   map[PageID][]byte
+	free    []PageID // LIFO recycle stack of freed ids
 	nextID  uint64
 	reads   atomic.Int64
 	writes  atomic.Int64
 	latency atomic.Int64 // injected ns per successful physical access
 }
 
-// NewDisk returns an empty disk.
-func NewDisk() *Disk {
-	return &Disk{pages: make(map[PageID][]byte)}
+// NewMemStore returns an empty in-memory page store.
+func NewMemStore() *MemStore {
+	return &MemStore{pages: make(map[PageID][]byte)}
 }
+
+// NewDisk returns an empty in-memory page store (historical name).
+func NewDisk() *MemStore { return NewMemStore() }
 
 // SetLatency injects an artificial delay per successful physical read/write.
-// Zero (default) disables it. Safe to call while the disk is in use.
-func (d *Disk) SetLatency(l time.Duration) { d.latency.Store(int64(l)) }
+// Zero (default) disables it. Safe to call while the store is in use.
+func (d *MemStore) SetLatency(l time.Duration) { d.latency.Store(int64(l)) }
 
-// Allocate reserves a fresh page id. The page contents start zeroed.
-func (d *Disk) Allocate() PageID {
+// Allocate reserves a page id, recycling the most recently freed id if any.
+// The page contents start zeroed.
+func (d *MemStore) Allocate() (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.nextID++
-	id := PageID(d.nextID)
+	var id PageID
+	if n := len(d.free); n > 0 {
+		id = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		d.nextID++
+		id = PageID(d.nextID)
+	}
 	d.pages[id] = make([]byte, PageSize)
-	return id
+	return id, nil
 }
 
-// Free releases a page. Freed pages may not be read again.
-func (d *Disk) Free(id PageID) {
+// Free releases a page back to the free list. Freed pages may not be read
+// again until reallocated.
+func (d *MemStore) Free(id PageID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if _, ok := d.pages[id]; !ok {
+		return fmt.Errorf("storage: free of unallocated page %d", id)
+	}
 	delete(d.pages, id)
+	d.free = append(d.free, id)
+	return nil
 }
 
-// read copies the page image into dst. The physical-read counter and the
+// ReadPage copies the page image into dst. The physical-read counter and the
 // injected latency apply only to successful accesses: a read of an
 // unallocated page fails fast and is not an I/O.
-func (d *Disk) read(id PageID, dst *[PageSize]byte) error {
+func (d *MemStore) ReadPage(id PageID, dst *[PageSize]byte) error {
 	d.mu.Lock()
 	src, ok := d.pages[id]
 	if ok {
@@ -88,9 +116,9 @@ func (d *Disk) read(id PageID, dst *[PageSize]byte) error {
 	return nil
 }
 
-// write stores the page image. Counting and latency follow the same rule as
-// read: only successful accesses are I/O.
-func (d *Disk) write(id PageID, src *[PageSize]byte) error {
+// WritePage stores the page image. Counting and latency follow the same rule
+// as ReadPage: only successful accesses are I/O.
+func (d *MemStore) WritePage(id PageID, src *[PageSize]byte) error {
 	d.mu.Lock()
 	dst, ok := d.pages[id]
 	if ok {
@@ -107,17 +135,30 @@ func (d *Disk) write(id PageID, src *[PageSize]byte) error {
 	return nil
 }
 
+// Sync is a no-op: the simulated store has no volatile write-back cache.
+func (d *MemStore) Sync() error { return nil }
+
+// Close is a no-op.
+func (d *MemStore) Close() error { return nil }
+
 // PhysicalReads returns the number of physical page reads so far.
-func (d *Disk) PhysicalReads() int64 { return d.reads.Load() }
+func (d *MemStore) PhysicalReads() int64 { return d.reads.Load() }
 
 // PhysicalWrites returns the number of physical page writes so far.
-func (d *Disk) PhysicalWrites() int64 { return d.writes.Load() }
+func (d *MemStore) PhysicalWrites() int64 { return d.writes.Load() }
 
 // NumPages returns the number of live pages (diagnostics / space metric).
-func (d *Disk) NumPages() int {
+func (d *MemStore) NumPages() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.pages)
+}
+
+// FreePages returns the number of pages on the free list awaiting reuse.
+func (d *MemStore) FreePages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.free)
 }
 
 // frame is a buffer-pool slot. Pin counts and the LRU stamp are atomic so
@@ -190,7 +231,7 @@ func stripeCount(capacity int) int {
 // held across the in-memory encode/decode closures of Read/Write, never
 // across another pool access, which is what makes the waiting deadlock-free.
 type BufferPool struct {
-	disk     *Disk
+	disk     PageStore
 	capacity int
 	stripes  []poolStripe
 	clock    atomic.Uint64
@@ -199,9 +240,9 @@ type BufferPool struct {
 	writes   atomic.Int64
 }
 
-// NewBufferPool returns a pool of the given capacity (pages) over disk.
-// Capacity must be >= 1.
-func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+// NewBufferPool returns a pool of the given capacity (pages) over any
+// PageStore backend. Capacity must be >= 1.
+func NewBufferPool(disk PageStore, capacity int) *BufferPool {
 	if capacity < 1 {
 		panic("storage: buffer pool capacity must be >= 1")
 	}
@@ -237,8 +278,8 @@ func (b *BufferPool) stripeFor(id PageID) *poolStripe {
 // Stripes returns the number of lock stripes (diagnostics).
 func (b *BufferPool) Stripes() int { return len(b.stripes) }
 
-// Disk returns the underlying disk.
-func (b *BufferPool) Disk() *Disk { return b.disk }
+// Disk returns the underlying page store.
+func (b *BufferPool) Disk() PageStore { return b.disk }
 
 // Capacity returns the pool capacity in pages.
 func (b *BufferPool) Capacity() int { return b.capacity }
@@ -282,7 +323,7 @@ func (b *BufferPool) evictOne(s *poolStripe) (evicted bool, err error) {
 		return false, nil
 	}
 	if victim.dirty.Load() {
-		if err := b.disk.write(victim.id, &victim.data); err != nil {
+		if err := b.disk.WritePage(victim.id, &victim.data); err != nil {
 			return false, err
 		}
 		b.writes.Add(1)
@@ -337,7 +378,7 @@ func (b *BufferPool) pin(id PageID) (*frame, error) {
 		}
 	}
 	f := &frame{id: id}
-	if err := b.disk.read(id, &f.data); err != nil {
+	if err := b.disk.ReadPage(id, &f.data); err != nil {
 		s.mu.Unlock()
 		return nil, err
 	}
@@ -397,7 +438,10 @@ func (b *BufferPool) Write(id PageID, fn func(data []byte)) error {
 // have no on-disk image worth reading). Like pin, it waits out a stripe
 // full of pinned frames.
 func (b *BufferPool) Allocate() (PageID, error) {
-	id := b.disk.Allocate()
+	id, err := b.disk.Allocate()
+	if err != nil {
+		return NilPage, err
+	}
 	s := b.stripeFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -435,8 +479,7 @@ func (b *BufferPool) Free(id PageID) error {
 	delete(s.owned, id)
 	s.mu.Unlock()
 	s.cond.Broadcast() // a frame left: a waiting fetch may now have room
-	b.disk.Free(id)
-	return nil
+	return b.disk.Free(id)
 }
 
 // Retire permanently releases the pool: every cached frame is dropped
@@ -453,7 +496,7 @@ func (b *BufferPool) Retire() {
 		s.mu.Lock()
 		s.frames = make(map[PageID]*frame)
 		for id := range s.owned {
-			b.disk.Free(id)
+			_ = b.disk.Free(id) // best-effort: the structure is abandoned
 		}
 		s.owned = make(map[PageID]struct{})
 		s.mu.Unlock()
@@ -469,7 +512,7 @@ func (b *BufferPool) FlushAll() error {
 		s.mu.Lock()
 		for id, f := range s.frames {
 			if f.dirty.Load() {
-				if err := b.disk.write(id, &f.data); err != nil {
+				if err := b.disk.WritePage(id, &f.data); err != nil {
 					s.mu.Unlock()
 					return err
 				}

@@ -9,18 +9,21 @@ import (
 
 func TestDiskAllocateReadWrite(t *testing.T) {
 	d := NewDisk()
-	id := d.Allocate()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if id == NilPage {
 		t.Fatal("allocated NilPage")
 	}
 	var buf [PageSize]byte
 	buf[0] = 0xAB
 	buf[PageSize-1] = 0xCD
-	if err := d.write(id, &buf); err != nil {
+	if err := d.WritePage(id, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var got [PageSize]byte
-	if err := d.read(id, &got); err != nil {
+	if err := d.ReadPage(id, &got); err != nil {
 		t.Fatal(err)
 	}
 	if got != buf {
@@ -33,14 +36,19 @@ func TestDiskAllocateReadWrite(t *testing.T) {
 
 func TestDiskFreedPageErrors(t *testing.T) {
 	d := NewDisk()
-	id := d.Allocate()
-	d.Free(id)
+	id, _ := d.Allocate()
+	if err := d.Free(id); err != nil {
+		t.Fatal(err)
+	}
 	var buf [PageSize]byte
-	if err := d.read(id, &buf); err == nil {
+	if err := d.ReadPage(id, &buf); err == nil {
 		t.Fatal("read of freed page should error")
 	}
-	if err := d.write(id, &buf); err == nil {
+	if err := d.WritePage(id, &buf); err == nil {
 		t.Fatal("write of freed page should error")
+	}
+	if err := d.Free(id); err == nil {
+		t.Fatal("double free should error")
 	}
 }
 
@@ -365,7 +373,7 @@ func TestStripedPoolEvictionStillLRU(t *testing.T) {
 	s0 := &p.stripes[0]
 	var inStripe []PageID
 	for len(inStripe) < s0.capacity+1 {
-		id := d.Allocate()
+		id, _ := d.Allocate()
 		if p.stripeFor(id) == s0 {
 			inStripe = append(inStripe, id)
 		}
@@ -422,7 +430,7 @@ func TestFullPoolBlocksUntilUnpin(t *testing.T) {
 	d := NewDisk()
 	p := NewBufferPool(d, 1)
 	a, _ := p.Allocate()
-	b := d.Allocate()
+	b, _ := d.Allocate()
 
 	holding := make(chan struct{})
 	release := make(chan struct{})
@@ -537,10 +545,10 @@ func TestDiskFailedAccessNotCounted(t *testing.T) {
 	var buf [PageSize]byte
 
 	start := time.Now()
-	if err := d.read(PageID(999), &buf); err == nil {
+	if err := d.ReadPage(PageID(999), &buf); err == nil {
 		t.Fatal("read of unallocated page should fail")
 	}
-	if err := d.write(PageID(999), &buf); err == nil {
+	if err := d.WritePage(PageID(999), &buf); err == nil {
 		t.Fatal("write of unallocated page should fail")
 	}
 	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
@@ -551,18 +559,20 @@ func TestDiskFailedAccessNotCounted(t *testing.T) {
 	}
 
 	d.SetLatency(0)
-	id := d.Allocate()
-	if err := d.write(id, &buf); err != nil {
+	id, _ := d.Allocate()
+	if err := d.WritePage(id, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.read(id, &buf); err != nil {
+	if err := d.ReadPage(id, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if r, w := d.PhysicalReads(), d.PhysicalWrites(); r != 1 || w != 1 {
 		t.Fatalf("successful accesses miscounted: reads=%d writes=%d", r, w)
 	}
-	d.Free(id)
-	if err := d.read(id, &buf); err == nil {
+	if err := d.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(id, &buf); err == nil {
 		t.Fatal("read of freed page should fail")
 	}
 	if r := d.PhysicalReads(); r != 1 {

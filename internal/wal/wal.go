@@ -1,0 +1,487 @@
+// Package wal is the write-ahead log behind the Store's durable mode: an
+// append-only, segmented log of logical records (reports, removes,
+// subscription changes, partition swaps) with CRC-framed entries, group
+// commit, and checkpoint-driven truncation.
+//
+// The log is redo-only and logical: recovery replays records through the
+// Store's normal write paths rather than reapplying page images, so the
+// index structures are rebuilt rather than trusted. Positions are LSNs —
+// global byte offsets over the whole log history — and segment files are
+// named by the LSN of their first byte, so a record's position never changes
+// when older segments are reclaimed.
+//
+// Commit implements group commit: the caller that wins the flush lock
+// fsyncs everything appended so far and every waiter whose record the flush
+// covered returns without issuing its own fsync ("followers ride the
+// leader's fsync"). A GroupCommit window makes the leader dwell briefly
+// before flushing so concurrent appenders can pile on; SyncNone acknowledges
+// without any fsync and trades the WAL tail for throughput.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Type tags a logical record.
+type Type uint8
+
+// Logical record types. Values are persisted in the log; do not renumber.
+const (
+	TypeReport        Type = 1
+	TypeReportBatch   Type = 2
+	TypeRemove        Type = 3
+	TypeSubscribe     Type = 4
+	TypeUnsubscribe   Type = 5
+	TypePartitionSwap Type = 6
+	TypeRefresh       Type = 7
+)
+
+// Frame layout: [length u32][type u8][crc u32][payload]. The CRC covers the
+// type byte and the payload, so a torn or misframed tail fails verification.
+const frameHeader = 9
+
+// maxRecord bounds a single record so a corrupt length field cannot make
+// replay allocate unbounded memory.
+const maxRecord = 64 << 20
+
+// DefaultSegmentBytes is the rotation threshold for log segments.
+const DefaultSegmentBytes = 4 << 20
+
+// SyncMode selects the durability contract of Commit.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs before every Commit returns.
+	SyncAlways SyncMode = iota
+	// SyncGroup fsyncs before Commit returns, but the flush leader dwells
+	// for the configured window first so concurrent commits share one fsync.
+	SyncGroup
+	// SyncNone never fsyncs on Commit; the OS flushes when it pleases.
+	SyncNone
+)
+
+// SyncPolicy is a SyncMode plus the group-commit dwell window.
+type SyncPolicy struct {
+	Mode   SyncMode
+	Window time.Duration
+}
+
+// Always returns the fsync-per-commit policy.
+func Always() SyncPolicy { return SyncPolicy{Mode: SyncAlways} }
+
+// GroupCommit returns a group-commit policy whose flush leader waits up to
+// window for followers before fsyncing. A zero window still group-commits:
+// followers that arrive during the leader's fsync ride the next flush.
+func GroupCommit(window time.Duration) SyncPolicy {
+	return SyncPolicy{Mode: SyncGroup, Window: window}
+}
+
+// None returns the no-fsync policy.
+func None() SyncPolicy { return SyncPolicy{Mode: SyncNone} }
+
+// Options configures Open.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// Policy is the Commit durability contract (default Always).
+	Policy SyncPolicy
+	// Injector, when non-nil, simulates kill -9 at a chosen sync point.
+	Injector *storage.FaultInjector
+}
+
+// WAL is an append-only segmented log. Append and Commit are safe for
+// concurrent use; Replay and TruncateBefore are meant for the single-
+// threaded open/checkpoint paths.
+type WAL struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex // append state: active segment + appended LSN
+	f        *os.File
+	segStart uint64
+	appended uint64
+	failed   bool       // a write error poisoned the active segment
+	sealed   []*os.File // rotated-out, not yet fsynced files (SyncNone only)
+
+	flushMu sync.Mutex // the group-commit leader lock
+	syncMu  sync.Mutex // serializes fsync with segment close (rotation)
+	durable atomic.Uint64
+}
+
+// Open creates dir if needed, scans any existing segments to find the end of
+// the valid log, and starts a fresh active segment there. Records already on
+// disk are untouched — call Replay to read them back.
+func Open(dir string, opt Options) (*WAL, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opt: opt}
+	if n := len(segs); n > 0 {
+		valid, err := validBytes(segs[n-1].path)
+		if err != nil {
+			return nil, err
+		}
+		w.appended = segs[n-1].start + valid
+	}
+	w.durable.Store(w.appended)
+	if err := w.openSegment(w.appended); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// openSegment starts the active segment at LSN start. An existing file with
+// that name holds only bytes that failed CRC validation (a torn tail from a
+// previous generation), so it is safe to clear.
+func (w *WAL) openSegment(start uint64) error {
+	f, err := os.OpenFile(segmentPath(w.dir, start), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	w.f = f
+	w.segStart = start
+	return nil
+}
+
+// Append frames and writes one record, returning the LSN just past it: the
+// record is durable once DurableLSN() >= lsn. Append alone does not fsync —
+// pair it with Commit.
+func (w *WAL) Append(t Type, payload []byte) (lsn uint64, err error) {
+	if err := w.opt.Injector.BeforeWrite(); err != nil {
+		return 0, err
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	frame[4] = byte(t)
+	crc := crc32.Update(0, crc32.IEEETable, frame[4:5])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(frame[5:], crc)
+	copy(frame[frameHeader:], payload)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("wal: closed")
+	}
+	if w.failed {
+		return 0, fmt.Errorf("wal: log poisoned by earlier write failure")
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		// A partial frame may be on disk; nothing may be appended after it.
+		w.failed = true
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	w.appended += uint64(len(frame))
+	lsn = w.appended
+	if w.appended-w.segStart >= uint64(w.opt.SegmentBytes) {
+		if err := w.rotateLocked(); err != nil {
+			w.failed = true
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment and opens the next one. Under a
+// syncing policy the sealed segment is fsynced and closed (a rotation is a
+// sync point), so only the single active segment can ever have a torn tail;
+// under SyncNone the file is parked on w.sealed for the next Sync/Close to
+// flush. Caller holds w.mu.
+func (w *WAL) rotateLocked() error {
+	if w.opt.Policy.Mode == SyncNone {
+		w.sealed = append(w.sealed, w.f)
+		return w.openSegment(w.appended)
+	}
+	w.syncMu.Lock()
+	err := w.fsync(w.f)
+	if err == nil {
+		w.durable.Store(w.appended)
+		if cerr := w.f.Close(); cerr != nil {
+			err = fmt.Errorf("wal: seal segment: %w", cerr)
+		}
+	}
+	w.syncMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.openSegment(w.appended)
+}
+
+// fsync runs the injector sync-point hook and fsyncs the given file.
+func (w *WAL) fsync(f *os.File) error {
+	if err := w.opt.Injector.BeforeSync(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Commit blocks until the record ending at lsn is durable under the
+// configured policy. Concurrent callers elect a flush leader; everyone whose
+// record the leader's fsync covered returns without syncing (group commit).
+func (w *WAL) Commit(lsn uint64) error {
+	if w.opt.Policy.Mode == SyncNone {
+		return nil
+	}
+	for {
+		if w.durable.Load() >= lsn {
+			return nil
+		}
+		w.flushMu.Lock()
+		if w.durable.Load() >= lsn {
+			w.flushMu.Unlock()
+			return nil
+		}
+		if w.opt.Policy.Mode == SyncGroup && w.opt.Policy.Window > 0 {
+			time.Sleep(w.opt.Policy.Window)
+		}
+		w.mu.Lock()
+		target := w.appended
+		f := w.f
+		w.mu.Unlock()
+		if f == nil {
+			w.flushMu.Unlock()
+			return fmt.Errorf("wal: closed")
+		}
+		// syncMu keeps rotation from closing f out from under the fsync: if
+		// a rotation slipped in after the capture it already advanced
+		// durable past target (it fsyncs before closing), and the re-check
+		// skips the stale file.
+		w.syncMu.Lock()
+		var err error
+		if w.durable.Load() < target {
+			if err = w.fsync(f); err == nil {
+				w.durable.Store(target)
+			}
+		}
+		w.syncMu.Unlock()
+		w.flushMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Sync forces everything appended so far durable regardless of policy,
+// including segments rotated out under SyncNone.
+func (w *WAL) Sync() error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	target := w.appended
+	f := w.f
+	sealed := w.sealed
+	w.sealed = nil
+	w.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("wal: closed")
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	for _, s := range sealed {
+		if err := w.fsync(s); err != nil {
+			return err
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+	}
+	if w.durable.Load() < target {
+		if err := w.fsync(f); err != nil {
+			return err
+		}
+		w.durable.Store(target)
+	}
+	return nil
+}
+
+// AppendedLSN returns the LSN just past the last appended record.
+func (w *WAL) AppendedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// DurableLSN returns the LSN up to which the log is known stable.
+func (w *WAL) DurableLSN() uint64 { return w.durable.Load() }
+
+// Segments returns the number of segment files currently on disk.
+func (w *WAL) Segments() int {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// Close closes the active segment without forcing a flush (call Sync first
+// for a clean shutdown).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	for _, s := range w.sealed {
+		_ = s.Close()
+	}
+	w.sealed = nil
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// TruncateBefore removes segments whose every byte lies below lsn — called
+// after a checkpoint has made those records redundant. The active segment is
+// never removed.
+func (w *WAL) TruncateBefore(lsn uint64) error {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	active := w.segStart
+	w.mu.Unlock()
+	for i, s := range segs {
+		var end uint64
+		if i+1 < len(segs) {
+			end = segs[i+1].start
+		} else {
+			break // last segment is (or trails) the active one
+		}
+		if s.start == active || end > lsn {
+			continue
+		}
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replay streams every record whose end LSN is strictly greater than from,
+// in log order, to fn. Within a segment, scanning stops at the first frame
+// that fails validation (the torn tail of a crashed generation); later
+// segments — which can only exist if the torn one was followed by a clean
+// restart — are still visited.
+func (w *WAL) Replay(from uint64, fn func(lsn uint64, t Type, payload []byte) error) error {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := replaySegment(s, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(s segment, from uint64, fn func(lsn uint64, t Type, payload []byte) error) error {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return fmt.Errorf("wal: replay %s: %w", s.path, err)
+	}
+	pos := 0
+	for {
+		if pos+frameHeader > len(data) {
+			return nil // clean end or torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		if n > maxRecord || pos+frameHeader+n > len(data) {
+			return nil // torn or garbage length
+		}
+		t := Type(data[pos+4])
+		want := binary.LittleEndian.Uint32(data[pos+5:])
+		payload := data[pos+frameHeader : pos+frameHeader+n]
+		crc := crc32.Update(0, crc32.IEEETable, data[pos+4:pos+5])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != want {
+			return nil // torn tail
+		}
+		pos += frameHeader + n
+		end := s.start + uint64(pos)
+		if end > from {
+			if err := fn(end, t, payload); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// segment is one on-disk log file, named by the LSN of its first byte.
+type segment struct {
+	start uint64
+	path  string
+}
+
+func segmentPath(dir string, start uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%020d.seg", start))
+}
+
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		start, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{start: start, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	return segs, nil
+}
+
+// validBytes measures the CRC-valid prefix of one segment file.
+func validBytes(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: scan %s: %w", path, err)
+	}
+	pos := 0
+	for {
+		if pos+frameHeader > len(data) {
+			return uint64(pos), nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		if n > maxRecord || pos+frameHeader+n > len(data) {
+			return uint64(pos), nil
+		}
+		payload := data[pos+frameHeader : pos+frameHeader+n]
+		crc := crc32.Update(0, crc32.IEEETable, data[pos+4:pos+5])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != binary.LittleEndian.Uint32(data[pos+5:]) {
+			return uint64(pos), nil
+		}
+		pos += frameHeader + n
+	}
+}

@@ -1,0 +1,375 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/storage"
+)
+
+func appendRecord(t *testing.T, w *WAL, typ Type, payload []byte) uint64 {
+	t.Helper()
+	lsn, err := w.Append(typ, payload)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return lsn
+}
+
+func collect(t *testing.T, w *WAL, from uint64) (types []Type, payloads [][]byte, lsns []uint64) {
+	t.Helper()
+	err := w.Replay(from, func(lsn uint64, typ Type, p []byte) error {
+		types = append(types, typ)
+		payloads = append(payloads, append([]byte(nil), p...))
+		lsns = append(lsns, lsn)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return types, payloads, lsns
+}
+
+func TestAppendCommitReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	var lsns []uint64
+	for i := 0; i < 100; i++ {
+		p := []byte{byte(i), byte(i >> 1), byte(i % 7)}
+		want = append(want, p)
+		lsns = append(lsns, appendRecord(t, w, TypeReport, p))
+	}
+	if err := w.Commit(lsns[len(lsns)-1]); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if got := w.DurableLSN(); got != w.AppendedLSN() {
+		t.Fatalf("durable %d != appended %d after Commit", got, w.AppendedLSN())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	types, payloads, gotLSNs := collect(t, w2, 0)
+	if len(payloads) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(payloads), len(want))
+	}
+	for i := range want {
+		if types[i] != TypeReport {
+			t.Fatalf("record %d type %d", i, types[i])
+		}
+		if string(payloads[i]) != string(want[i]) {
+			t.Fatalf("record %d payload %v, want %v", i, payloads[i], want[i])
+		}
+		if gotLSNs[i] != lsns[i] {
+			t.Fatalf("record %d lsn %d, want %d", i, gotLSNs[i], lsns[i])
+		}
+	}
+	// Replay from a mid-log LSN yields exactly the records after it.
+	_, tail, _ := collect(t, w2, lsns[49])
+	if len(tail) != 50 {
+		t.Fatalf("tail replay from lsn[49] yielded %d records, want 50", len(tail))
+	}
+	if string(tail[0]) != string(want[50]) {
+		t.Fatalf("tail starts with %v, want %v", tail[0], want[50])
+	}
+}
+
+func TestSegmentRotationAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	var lsns []uint64
+	for i := 0; i < 40; i++ {
+		lsns = append(lsns, appendRecord(t, w, TypeRemove, payload))
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("expected >= 3 segments after 40 x 73-byte frames at 256B rotation, got %d", w.Segments())
+	}
+	if err := w.Commit(lsns[len(lsns)-1]); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Segments()
+	if err := w.TruncateBefore(lsns[20]); err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	if w.Segments() >= before {
+		t.Fatalf("truncation reclaimed nothing: %d -> %d segments", before, w.Segments())
+	}
+	// Everything at or after the truncation point must still replay.
+	_, payloads, _ := collect(t, w, lsns[20])
+	if len(payloads) != 19 {
+		t.Fatalf("replayed %d records after truncation, want 19", len(payloads))
+	}
+	// The active segment is never removed, even if fully covered.
+	if err := w.TruncateBefore(w.AppendedLSN() + 1000); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() < 1 {
+		t.Fatal("active segment was reclaimed")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, w, TypeReport, []byte("alpha"))
+	last := appendRecord(t, w, TypeReport, []byte("beta"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Corrupt the tail: truncate the segment mid-frame of the last record.
+	seg := segmentPath(dir, 0)
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	_, payloads, _ := collect(t, w2, 0)
+	if len(payloads) != 1 || string(payloads[0]) != "alpha" {
+		t.Fatalf("torn tail replay gave %d records %q, want just alpha", len(payloads), payloads)
+	}
+	// New appends land after the valid prefix and replay cleanly.
+	if lsn := appendRecord(t, w2, TypeReport, []byte("gamma")); lsn <= last-uint64(len("beta")) {
+		t.Fatalf("new append lsn %d not past the valid prefix", lsn)
+	}
+	_, payloads, _ = collect(t, w2, 0)
+	if len(payloads) != 2 || string(payloads[1]) != "gamma" {
+		t.Fatalf("post-repair replay gave %q", payloads)
+	}
+}
+
+func TestCorruptMiddleStopsSegmentReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, w, TypeReport, []byte("aaaa"))
+	appendRecord(t, w, TypeReport, []byte("bbbb"))
+	appendRecord(t, w, TypeReport, []byte("cccc"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Flip a payload byte of the middle record: CRC fails there and replay
+	// of the segment stops, keeping only the prefix.
+	seg := segmentPath(dir, 0)
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[frameHeader+4+frameHeader] ^= 0xFF
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	_, payloads, _ := collect(t, w2, 0)
+	if len(payloads) != 1 || string(payloads[0]) != "aaaa" {
+		t.Fatalf("corrupt-middle replay gave %q, want just aaaa", payloads)
+	}
+}
+
+func TestGroupCommitSharesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: GroupCommit(2 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				lsn, err := w.Append(TypeReport, []byte("payload"))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := w.Commit(lsn); err != nil {
+					errs <- err
+					return
+				}
+				if w.DurableLSN() < lsn {
+					errs <- errors.New("Commit returned before record durable")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	_, payloads, _ := collect(t, w, 0)
+	if len(payloads) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(payloads), writers*each)
+	}
+}
+
+func TestSyncNoneCommitDoesNotFsync(t *testing.T) {
+	dir := t.TempDir()
+	fi := storage.NewFaultInjector(1) // the very first sync point kills
+	w, err := Open(dir, Options{Policy: None(), Injector: fi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	lsn := appendRecord(t, w, TypeReport, []byte("x"))
+	// Under SyncNone, Commit must not reach a sync point (the injector
+	// would kill it).
+	if err := w.Commit(lsn); err != nil {
+		t.Fatalf("SyncNone Commit: %v", err)
+	}
+	if fi.SyncPoints() != 0 {
+		t.Fatalf("SyncNone Commit hit %d sync points", fi.SyncPoints())
+	}
+}
+
+func TestInjectedCrashPoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	fi := storage.NewFaultInjector(2)
+	w, err := Open(dir, Options{Injector: fi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	lsn := appendRecord(t, w, TypeReport, []byte("one"))
+	if err := w.Commit(lsn); err != nil {
+		t.Fatalf("first commit should survive: %v", err)
+	}
+	lsn2, err := w.Append(TypeReport, []byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(lsn2); !errors.Is(err, storage.ErrInjectedCrash) {
+		t.Fatalf("second commit error = %v, want ErrInjectedCrash", err)
+	}
+	// After the kill, appends are refused too.
+	if _, err := w.Append(TypeReport, []byte("three")); !errors.Is(err, storage.ErrInjectedCrash) {
+		t.Fatalf("post-crash append error = %v, want ErrInjectedCrash", err)
+	}
+}
+
+func TestTruncateBeforeKeepsLastSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		appendRecord(t, w, TypeReport, make([]byte, 60))
+	}
+	if err := w.TruncateBefore(w.AppendedLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Segments(); got != 1 {
+		t.Fatalf("segments after full truncation = %d, want 1 (the active one)", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A reopen after truncation continues from the same LSN space.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(files) == 0 {
+		t.Fatal("no segment files after reopen")
+	}
+}
+
+func TestRecordCodecsRoundTrip(t *testing.T) {
+	o := model.Object{ID: 42, Pos: geom.Vec2{X: 1.5, Y: -2.25}, Vel: geom.Vec2{X: 0.125, Y: 9}, T: 77.5}
+	if got, err := DecodeReport(EncodeReport(o)); err != nil || got != o {
+		t.Fatalf("report round trip: %+v, %v", got, err)
+	}
+	batch := []model.Object{o, {ID: 7, T: 1}, {ID: 9, Pos: geom.Vec2{X: 3, Y: 4}}}
+	got, err := DecodeReportBatch(EncodeReportBatch(batch))
+	if err != nil || len(got) != len(batch) {
+		t.Fatalf("batch round trip: %d records, %v", len(got), err)
+	}
+	for i := range batch {
+		if got[i] != batch[i] {
+			t.Fatalf("batch[%d] = %+v, want %+v", i, got[i], batch[i])
+		}
+	}
+	if id, err := DecodeRemove(EncodeRemove(99)); err != nil || id != 99 {
+		t.Fatalf("remove round trip: %d, %v", id, err)
+	}
+	sub := monitor.Subscription{
+		Query: model.RangeQuery{
+			Kind: model.TimeSlice,
+			Rect: geom.Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4},
+			Now:  10, T0: 10, T1: 12,
+		},
+		Horizon: 30,
+		Window:  5,
+	}
+	id, gotSub, now, err := DecodeSubscribe(EncodeSubscribe(17, sub, 123.5))
+	if err != nil || id != 17 || now != 123.5 || gotSub != sub {
+		t.Fatalf("subscribe round trip: id=%d now=%v err=%v sub=%+v", id, now, err, gotSub)
+	}
+	if id, err := DecodeUnsubscribe(EncodeUnsubscribe(17)); err != nil || id != 17 {
+		t.Fatalf("unsubscribe round trip: %d, %v", id, err)
+	}
+	if now, err := DecodeRefresh(EncodeRefresh(55.25)); err != nil || now != 55.25 {
+		t.Fatalf("refresh round trip: %v, %v", now, err)
+	}
+	// Truncated and trailing-byte payloads must error, not misdecode.
+	if _, err := DecodeReport([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated report decoded")
+	}
+	if _, err := DecodeReport(append(EncodeReport(o), 0)); err == nil {
+		t.Fatal("oversized report decoded")
+	}
+	if _, err := DecodeReportBatch(EncodeReportBatch(batch)[:20]); err == nil {
+		t.Fatal("truncated batch decoded")
+	}
+}

@@ -3,6 +3,9 @@ package vpindex
 import (
 	"runtime"
 	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // DefaultAutoPartitionSample is the bootstrap sample size used when velocity
@@ -73,6 +76,44 @@ type storeConfig struct {
 	// (see WithEventBuffer).
 	eventBuf    int
 	eventPolicy BackpressurePolicy
+
+	// Durable-mode knobs (see WithDataDir). dataDir == "" keeps the Store
+	// purely in-memory over the simulated MemStore.
+	dataDir     string
+	syncPol     SyncPolicy
+	ckptEvery   int64
+	walSegBytes int64
+	injector    *FaultInjector
+}
+
+// SyncPolicy says when a durable Store's acknowledged writes must reach
+// stable storage; build one with SyncAlways, SyncGroupCommit, or SyncNone.
+type SyncPolicy = wal.SyncPolicy
+
+// SyncAlways fsyncs the log before every write acknowledgment — full
+// durability, one fsync per write (amortized across concurrent writers by
+// the group-commit leader election). This is the default for WithDataDir.
+func SyncAlways() SyncPolicy { return wal.Always() }
+
+// SyncGroupCommit acknowledges a write only after its log record is fsynced,
+// but lets the flush leader linger up to window before syncing so concurrent
+// writers share one fsync. Durability of acknowledged writes is preserved;
+// latency is traded for throughput.
+func SyncGroupCommit(window time.Duration) SyncPolicy { return wal.GroupCommit(window) }
+
+// SyncNone acknowledges writes without waiting for the log to reach disk; a
+// crash may lose the tail of acknowledged writes (never corrupting what
+// survives). Checkpoints and Close still sync.
+func SyncNone() SyncPolicy { return wal.None() }
+
+// FaultInjector simulates kill -9 at a chosen sync point for crash-recovery
+// tests: the Nth fsync fails and every later write is refused.
+type FaultInjector = storage.FaultInjector
+
+// NewFaultInjector returns an injector that kills the process image at the
+// killAtSync-th sync point (1-based); killAtSync <= 0 never kills.
+func NewFaultInjector(killAtSync int64) *FaultInjector {
+	return storage.NewFaultInjector(killAtSync)
 }
 
 // WithKind selects the base index structure for every partition (default
@@ -237,6 +278,44 @@ func WithEventBuffer(n int, policy BackpressurePolicy) Option {
 		c.eventBuf = n
 		c.eventPolicy = policy
 	}
+}
+
+// WithDataDir makes the Store durable: dir holds a single-file page store
+// (pages.dat), a segmented write-ahead log (wal-*.seg), and checkpoint
+// snapshots (checkpoint.ckpt). Every acknowledged write verb is logged before
+// it is acknowledged (per the SyncPolicy), periodic checkpoints bound the log,
+// and a later Open with the same dir recovers the full logical state —
+// objects, velocity partitions, and subscriptions — by loading the newest
+// checkpoint and replaying the log tail through the normal write paths. The
+// dir is created if missing. Call Close to shut the store down cleanly.
+func WithDataDir(dir string) Option { return func(c *storeConfig) { c.dataDir = dir } }
+
+// WithSyncPolicy sets when durable writes are acknowledged relative to the
+// log fsync (default SyncAlways). Only meaningful with WithDataDir.
+func WithSyncPolicy(p SyncPolicy) Option { return func(c *storeConfig) { c.syncPol = p } }
+
+// WithCheckpointEvery checkpoints the Store automatically after every n
+// logged records, truncating WAL segments older than the snapshot. n <= 0
+// (the default) disables automatic checkpoints; Store.Checkpoint remains the
+// manual trigger. Only meaningful with WithDataDir.
+func WithCheckpointEvery(n int) Option {
+	return func(c *storeConfig) { c.ckptEvery = int64(n) }
+}
+
+// WithWALSegmentBytes sets the log segment rotation size (default 4 MiB).
+// Smaller segments mean finer-grained reclamation after checkpoints; tests
+// use tiny segments to exercise rotation. Only meaningful with WithDataDir.
+func WithWALSegmentBytes(n int64) Option {
+	return func(c *storeConfig) { c.walSegBytes = n }
+}
+
+// WithFaultInjector wires a crash simulator into the durable Store's data
+// file and log: at the injector's chosen sync point the fsync fails and all
+// later file writes are refused, modeling kill -9 where everything already
+// handed to the OS may survive but nothing after does. Only meaningful with
+// WithDataDir; used by the crash-recovery tests and vpbench.
+func WithFaultInjector(fi *FaultInjector) Option {
+	return func(c *storeConfig) { c.injector = fi }
 }
 
 // WithTauBuckets sizes the tau histograms (default 100, paper setting).

@@ -10,6 +10,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/parallel"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Store is the production facade over every index configuration in this
@@ -86,8 +87,12 @@ import (
 // new epoch's analysis.
 type Store struct {
 	cfg    storeConfig
-	disk   *storage.Disk
+	disk   storage.PageStore
 	shards []*storeShard
+
+	// dur is the durable-mode state (WAL, checkpoints, recovery bookkeeping);
+	// nil unless WithDataDir was given. See durability.go.
+	dur *durability
 
 	// pools tracks every live buffer pool (one per shard staging index, one
 	// per partition per shard after the cutover) so Stats can aggregate I/O
@@ -152,6 +157,9 @@ const (
 	// MaintRepartition is an analyze round that decided to rebuild the
 	// partitions (threshold tripped, or the manual Repartition trigger).
 	MaintRepartition MaintenanceOp = "repartition"
+	// MaintCheckpoint is a durable-mode checkpoint (manual Checkpoint call
+	// or the WithCheckpointEvery cadence).
+	MaintCheckpoint MaintenanceOp = "checkpoint"
 )
 
 // MaintenanceEvent reports one completed maintenance action to the
@@ -258,8 +266,20 @@ func Open(opts ...Option) (*Store, error) {
 	if cfg.autoN > 0 && cfg.autoN < cfg.k {
 		return nil, fmt.Errorf("vpindex: auto-partition sample of %d cannot form %d partitions", cfg.autoN, cfg.k)
 	}
-	s := &Store{cfg: cfg, disk: storage.NewDisk()}
-	s.disk.SetLatency(cfg.base.DiskLatency)
+	s := &Store{cfg: cfg}
+	if cfg.dataDir != "" {
+		if err := s.initDurable(); err != nil {
+			return nil, err
+		}
+	} else {
+		ms := storage.NewMemStore()
+		ms.SetLatency(cfg.base.DiskLatency)
+		s.disk = ms
+	}
+	fail := func(err error) (*Store, error) {
+		s.closeFiles()
+		return nil, err
+	}
 	if cfg.vpEnabled() {
 		s.resCap = (cfg.repart.ReservoirSize + cfg.shards - 1) / cfg.shards
 	}
@@ -269,26 +289,31 @@ func Open(opts ...Option) (*Store, error) {
 	}
 	if len(cfg.sample) > 0 {
 		if err := s.partitionLocked(cfg.sample); err != nil {
-			return nil, err
+			return fail(err)
 		}
-		return s, nil
-	}
-	suffix := ""
-	if cfg.autoN > 0 {
-		suffix = "staging"
-		s.nextTrip.Store(int64(cfg.autoN))
-	}
-	for _, sh := range s.shards {
-		pool := s.newPool()
-		idx, err := buildBase(pool, cfg.base, cfg.base.Domain, suffix)
-		if err != nil {
-			return nil, err
-		}
-		sh.base = idx
-		sh.pools = []*storage.BufferPool{pool}
-		sh.objs = make(map[ObjectID]Object)
+	} else {
+		suffix := ""
 		if cfg.autoN > 0 {
-			sh.sample = make([]Vec2, 0, cfg.autoN/len(s.shards)+1)
+			suffix = "staging"
+			s.nextTrip.Store(int64(cfg.autoN))
+		}
+		for _, sh := range s.shards {
+			pool := s.newPool()
+			idx, err := buildBase(pool, cfg.base, cfg.base.Domain, suffix)
+			if err != nil {
+				return fail(err)
+			}
+			sh.base = idx
+			sh.pools = []*storage.BufferPool{pool}
+			sh.objs = make(map[ObjectID]Object)
+			if cfg.autoN > 0 {
+				sh.sample = make([]Vec2, 0, cfg.autoN/len(s.shards)+1)
+			}
+		}
+	}
+	if s.dur != nil {
+		if err := s.recover(); err != nil {
+			return fail(err)
 		}
 	}
 	return s, nil
@@ -396,6 +421,15 @@ func (s *Store) partitionLocked(sample []Vec2) error {
 	if err != nil {
 		return fmt.Errorf("vpindex: velocity analysis: %w", err)
 	}
+	return s.applyAnalysisLocked(an, sample)
+}
+
+// applyAnalysisLocked installs partitions built from a completed analysis —
+// the second half of partitionLocked, split out so crash recovery can rebuild
+// the exact partition set a logged swap record carries without re-running the
+// analyzer. sample, when non-empty, seeds the recent-velocity reservoir.
+// Caller holds every shard's lock (or is Open, before the Store escapes).
+func (s *Store) applyAnalysisLocked(an core.Analysis, sample []Vec2) error {
 	mgrs := make([]*core.Manager, len(s.shards))
 	shardPools := make([][]*storage.BufferPool, len(s.shards))
 	// A failed attempt's pools were never registered; retire them directly
@@ -451,6 +485,7 @@ func (s *Store) partitionLocked(sample []Vec2) error {
 	s.analysis = an
 	s.anMu.Unlock()
 	s.partitioned.Store(true)
+	s.logSwap(an)
 	return nil
 }
 
@@ -684,6 +719,7 @@ func (s *Store) swapPartitions(an core.Analysis) error {
 	s.analysis = an
 	s.anMu.Unlock()
 	s.repartitions.Add(1)
+	s.logSwap(an)
 	// Re-seed the subscription filter's velocity classes from the new
 	// epoch's analysis (no shard locks are held here).
 	s.refreshSubClasses()
@@ -746,22 +782,45 @@ func (s *Store) noteReports(n int) {
 // is applied and reports its outcome through LastMaintenanceError and the
 // maintenance hook instead.
 func (s *Store) Report(o Object) error {
+	trip, err := s.durableApply(wal.TypeReport,
+		func() []byte { return wal.EncodeReport(o) },
+		func() (bool, error) { return s.applyReport(o) })
+	if err != nil {
+		return err
+	}
+	s.afterReports(trip, 1)
+	return nil
+}
+
+// applyReport is Report's in-memory half: the shard-locked upsert plus the
+// subscription delta.
+func (s *Store) applyReport(o Object) (bool, error) {
 	sh := s.shardFor(o.ID)
 	sh.mu.Lock()
 	trip, err := s.reportShardLocked(sh, o)
 	sh.mu.Unlock()
 	if err != nil {
-		return err
+		return false, err
 	}
 	if e := s.subEng.Load(); e != nil {
 		e.noteReport(o)
 	}
+	return trip, nil
+}
+
+// afterReports runs the maintenance a successful write triggered. Suppressed
+// during crash recovery: replayed records must not launch analyses of their
+// own — partition transitions replay from their logged swap records, and a
+// trip left pending by the crash fires on the first post-recovery report.
+func (s *Store) afterReports(trip bool, n int) {
+	if d := s.dur; d != nil && d.recovering.Load() {
+		return
+	}
 	if trip {
 		s.cutover()
 	} else {
-		s.noteReports(1)
+		s.noteReports(n)
 	}
-	return nil
 }
 
 // ReportBatch upserts many objects, grouped by shard and applied with one
@@ -776,6 +835,20 @@ func (s *Store) ReportBatch(objs []Object) error {
 	if len(objs) == 0 {
 		return nil
 	}
+	d := s.dur
+	if d == nil || d.recovering.Load() {
+		_, reported, trip, err := s.applyReportBatch(objs)
+		return s.finishReportBatch(reported, trip, err)
+	}
+	return s.reportBatchDurable(d, objs)
+}
+
+// applyReportBatch is ReportBatch's in-memory half. It returns the per-shard
+// groups of records that actually landed (exactly what must be logged — on a
+// partial failure the applied records stay applied), the number of
+// post-partition reports, whether the batch tripped the bootstrap threshold,
+// and the first error.
+func (s *Store) applyReportBatch(objs []Object) (evalGroups [][]Object, reported int, trip bool, err error) {
 	groups := make([][]Object, len(s.shards))
 	if len(s.shards) == 1 {
 		groups[0] = objs
@@ -786,8 +859,8 @@ func (s *Store) ReportBatch(objs []Object) error {
 		}
 	}
 	var (
-		trip     atomic.Bool
-		reported atomic.Int64 // post-partition reports, for the repartition cadence
+		tripped   atomic.Bool
+		nReported atomic.Int64 // post-partition reports, for the repartition cadence
 	)
 	// applied[i] counts how many of groups[i] landed before any error, so
 	// the subscription engine evaluates exactly the records that are in
@@ -798,7 +871,7 @@ func (s *Store) ReportBatch(objs []Object) error {
 	// groups land in (each shard applies its group in batch order), so
 	// there is nothing for a sequential setting to pin down. Callers who
 	// need fully serialized writes run WithShards(1).
-	err := parallel.Do(len(s.shards), 0, func(i int) error {
+	err = parallel.Do(len(s.shards), 0, func(i int) error {
 		group := groups[i]
 		if len(group) == 0 {
 			return nil
@@ -811,7 +884,7 @@ func (s *Store) ReportBatch(objs []Object) error {
 			for _, o := range group[:n] {
 				sh.observeVel(o.Vel, s.resCap)
 			}
-			reported.Add(int64(n))
+			nReported.Add(int64(n))
 			applied[i] = n
 			if err != nil {
 				return fmt.Errorf("vpindex: batch report: %w", err)
@@ -825,7 +898,7 @@ func (s *Store) ReportBatch(objs []Object) error {
 			}
 			applied[i]++
 			if t {
-				trip.Store(true)
+				tripped.Store(true)
 			}
 		}
 		return nil
@@ -833,18 +906,28 @@ func (s *Store) ReportBatch(objs []Object) error {
 	// Subscription deltas are computed after the shard locks are released,
 	// from the records the batch just applied, and emitted as one sorted
 	// batch — even when the batch failed partway, for the applied prefix.
+	evalGroups = make([][]Object, len(groups))
+	for i := range groups {
+		evalGroups[i] = groups[i][:applied[i]]
+	}
 	if e := s.subEng.Load(); e != nil {
-		evalGroups := make([][]Object, len(groups))
-		for i := range groups {
-			evalGroups[i] = groups[i][:applied[i]]
-		}
 		e.noteBatch(evalGroups)
 	}
-	s.noteReports(int(reported.Load()))
+	return evalGroups, int(nReported.Load()), tripped.Load(), err
+}
+
+// finishReportBatch runs ReportBatch's post-apply maintenance, preserving
+// the original ordering: the repartition cadence advances even for a failed
+// batch's applied prefix; the cutover only runs after a fully applied batch.
+func (s *Store) finishReportBatch(reported int, trip bool, err error) error {
+	if d := s.dur; d != nil && d.recovering.Load() {
+		return err
+	}
+	s.noteReports(reported)
 	if err != nil {
 		return err
 	}
-	if trip.Load() {
+	if trip {
 		s.cutover()
 	}
 	return nil
@@ -854,6 +937,14 @@ func (s *Store) ReportBatch(objs []Object) error {
 // no such object is indexed. The object leaves every subscription result
 // set it was in (evaluated after the shard lock is released).
 func (s *Store) Remove(id ObjectID) error {
+	_, err := s.durableApply(wal.TypeRemove,
+		func() []byte { return wal.EncodeRemove(id) },
+		func() (bool, error) { return false, s.applyRemove(id) })
+	return err
+}
+
+// applyRemove is Remove's in-memory half.
+func (s *Store) applyRemove(id ObjectID) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	var err error
@@ -1127,6 +1218,20 @@ func (s *Store) IO() IOStats { return s.Stats().IOStats }
 // is already indexed returns ErrDuplicate. Application code should prefer
 // Report.
 func (s *Store) Insert(o Object) error {
+	// A successful Insert is logged as a plain report record: the ID was
+	// absent, so replaying it as an upsert reproduces the insert exactly.
+	trip, err := s.durableApply(wal.TypeReport,
+		func() []byte { return wal.EncodeReport(o) },
+		func() (bool, error) { return s.applyInsert(o) })
+	if err != nil {
+		return err
+	}
+	s.afterReports(trip, 1)
+	return nil
+}
+
+// applyInsert is Insert's in-memory half (strict duplicate rejection).
+func (s *Store) applyInsert(o Object) (bool, error) {
 	sh := s.shardFor(o.ID)
 	sh.mu.Lock()
 	var (
@@ -1147,17 +1252,12 @@ func (s *Store) Insert(o Object) error {
 	}
 	sh.mu.Unlock()
 	if err != nil {
-		return err
+		return false, err
 	}
 	if e := s.subEng.Load(); e != nil {
 		e.noteReport(o)
 	}
-	if trip {
-		s.cutover()
-	} else {
-		s.noteReports(1)
-	}
-	return nil
+	return trip, nil
 }
 
 // Delete implements model.Index. Only the ID of o is consulted — the stored
@@ -1171,6 +1271,20 @@ func (s *Store) Update(old, new Object) error {
 	if new.ID != old.ID {
 		return fmt.Errorf("vpindex: update changes object id %d -> %d", old.ID, new.ID)
 	}
+	// A successful Update is logged as a plain report record: the ID was
+	// present, so replaying it as an upsert reproduces the update exactly.
+	trip, err := s.durableApply(wal.TypeReport,
+		func() []byte { return wal.EncodeReport(new) },
+		func() (bool, error) { return s.applyUpdate(old, new) })
+	if err != nil {
+		return err
+	}
+	s.afterReports(trip, 1)
+	return nil
+}
+
+// applyUpdate is Update's in-memory half (strict not-found rejection).
+func (s *Store) applyUpdate(old, new Object) (bool, error) {
 	sh := s.shardFor(old.ID)
 	sh.mu.Lock()
 	var (
@@ -1191,15 +1305,10 @@ func (s *Store) Update(old, new Object) error {
 	}
 	sh.mu.Unlock()
 	if err != nil {
-		return err
+		return false, err
 	}
 	if e := s.subEng.Load(); e != nil {
 		e.noteReport(new)
 	}
-	if trip {
-		s.cutover()
-	} else {
-		s.noteReports(1)
-	}
-	return nil
+	return trip, nil
 }

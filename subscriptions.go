@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/monitor"
 	"repro/internal/parallel"
+	"repro/internal/wal"
 )
 
 // This file is the Store-native continuous-query engine: standing
@@ -388,6 +389,35 @@ func (s *Store) Subscribe(sub Subscription, now float64) (SubscriptionID, []Moni
 	if err := sub.Validate(); err != nil {
 		return 0, nil, err
 	}
+	if d := s.dur; d != nil && !d.recovering.Load() {
+		d.commitMu.RLock()
+		id, evs, err := s.subscribeApply(sub, now)
+		var (
+			lsn  uint64
+			werr error
+		)
+		if err == nil {
+			lsn, werr = d.wal.Append(wal.TypeSubscribe, wal.EncodeSubscribe(id, sub, now))
+		}
+		d.commitMu.RUnlock()
+		if err != nil {
+			return 0, nil, err
+		}
+		if werr != nil {
+			return 0, nil, werr
+		}
+		if cerr := d.wal.Commit(lsn); cerr != nil {
+			return 0, nil, cerr
+		}
+		d.noteRecords(s, 1)
+		return id, evs, nil
+	}
+	return s.subscribeApply(sub, now)
+}
+
+// subscribeApply is Subscribe's in-memory half: registration plus the seed
+// evaluation (rolled back if the seed query fails).
+func (s *Store) subscribeApply(sub Subscription, now float64) (SubscriptionID, []MonitorEvent, error) {
 	e := s.engine()
 	e.advance(now)
 	e.regMu.Lock()
@@ -419,6 +449,14 @@ func (s *Store) Subscribe(sub Subscription, now float64) (SubscriptionID, []Moni
 // Unsubscribe removes a standing query and its result set, emitting no
 // events. Returns ErrNotFound (errors.Is-able) for an unknown id.
 func (s *Store) Unsubscribe(id SubscriptionID) error {
+	_, err := s.durableApply(wal.TypeUnsubscribe,
+		func() []byte { return wal.EncodeUnsubscribe(id) },
+		func() (bool, error) { return false, s.unsubscribeApply(id) })
+	return err
+}
+
+// unsubscribeApply is Unsubscribe's in-memory half.
+func (s *Store) unsubscribeApply(id SubscriptionID) error {
 	e := s.subEng.Load()
 	if e == nil {
 		return fmt.Errorf("vpindex: unsubscribe %d: %w", id, ErrNotFound)
@@ -489,6 +527,29 @@ func (s *Store) NumSubscriptions() int {
 // regress until their next report or a quiescent refresh re-evaluates
 // them (see the concurrency notes at the top of this file).
 func (s *Store) RefreshSubscriptions(now float64) ([]MonitorEvent, error) {
+	d := s.dur
+	if d == nil || d.recovering.Load() || s.subEng.Load() == nil {
+		return s.refreshApply(now)
+	}
+	// A refresh mutates memberships as a function of time alone, so recovery
+	// must replay it at the same clock to reproduce the same result sets:
+	// it is logged like any other write.
+	d.commitMu.RLock()
+	evs, err := s.refreshApply(now)
+	lsn, werr := d.wal.Append(wal.TypeRefresh, wal.EncodeRefresh(now))
+	d.commitMu.RUnlock()
+	if werr != nil {
+		return evs, werr
+	}
+	if cerr := d.wal.Commit(lsn); cerr != nil {
+		return evs, cerr
+	}
+	d.noteRecords(s, 1)
+	return evs, err
+}
+
+// refreshApply is RefreshSubscriptions' in-memory half.
+func (s *Store) refreshApply(now float64) ([]MonitorEvent, error) {
 	e := s.subEng.Load()
 	if e == nil {
 		return nil, nil
