@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	vpindex "repro"
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// faultThroughputResult is one datapoint of the fault-rate sweep: sustained
+// batched-report throughput with every acknowledged batch fsynced
+// (SyncAlways) while the injector fails the given fraction of physical I/O
+// attempts transiently. ClientErrors must stay zero — the retry policy has
+// to absorb every injected fault invisibly.
+type faultThroughputResult struct {
+	TransientRate  float64 `json:"transient_rate"` // per-attempt probability of EIO and of fsync failure
+	Goroutines     int     `json:"goroutines"`
+	Ops            int     `json:"ops"`
+	Seconds        float64 `json:"seconds"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	VsClean        float64 `json:"vs_clean"` // ops/s ÷ zero-fault ops/s
+	InjectedFaults int64   `json:"injected_faults"`
+	IORetries      int64   `json:"io_retries"`
+	ClientErrors   int     `json:"client_errors"`
+}
+
+// faultDegradeResult measures graceful degradation end to end: a scripted
+// permanent WAL fault fires mid-stream, and a concurrent observer clocks how
+// long until Health() reads Degraded. After the transition every write must
+// be refused with ErrDegraded while reads keep serving from memory.
+type faultDegradeResult struct {
+	FaultAtAppend     int     `json:"fault_at_wal_append"` // 1-based WAL append sequence that dies
+	AckedBefore       int     `json:"acked_writes_before_fault"`
+	SecondsToDegraded float64 `json:"seconds_to_degraded"` // hammer start → observer sees Degraded
+	WritesRefused     int     `json:"writes_refused_after_degrade"`
+	WritesAttempted   int     `json:"writes_attempted_after_degrade"`
+	ReadsServed       int     `json:"reads_served_while_degraded"`
+	Health            string  `json:"health"`
+	HealthReason      string  `json:"health_reason"`
+}
+
+// faultsReport is the BENCH_faults.json schema: the fault-tolerance
+// datapoint — throughput under transient fault rates (retry cost) and the
+// latency of the Healthy → Degraded transition on a permanent fault.
+type faultsReport struct {
+	Experiment    string                  `json:"experiment"`
+	Dataset       string                  `json:"dataset"`
+	Objects       int                     `json:"objects"`
+	GoMaxProcs    int                     `json:"gomaxprocs"`
+	RetryAttempts int                     `json:"retry_max_attempts"`
+	RetryBaseUsec int64                   `json:"retry_base_usec"`
+	Throughput    []faultThroughputResult `json:"throughput"`
+	Degradation   faultDegradeResult      `json:"degradation"`
+}
+
+// runFaults measures the storage fault-tolerance machinery on real files:
+//
+//   - Throughput vs transient fault rate: concurrent workers drive batched
+//     reports through a FileStore-backed Store under SyncAlways while a
+//     seeded injector fails 0%, 0.1%, and 1% of physical page/WAL/fsync
+//     attempts with transient EIO. The bounded-backoff retry loop must
+//     absorb every fault with zero client-visible errors; the throughput
+//     ratio against the clean run is the price of that absorption.
+//   - Degradation latency: a scripted permanent WAL fault kills a chosen
+//     append mid-stream. A concurrent poller clocks the wall time until
+//     Health() reads Degraded, then the run verifies the contract: writes
+//     refused with ErrDegraded, reads still served.
+//
+// Results go to stdout and to the JSON report at outPath.
+func runFaults(ds workload.Dataset, sc bench.Scale, seed int64, procs int, outPath string) error {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+		if procs < 8 {
+			procs = 8
+		}
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := workload.DefaultParams(ds, sc.Objects)
+	p.Domain = vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+	p.Duration = sc.Duration
+	p.Seed = seed
+	gen, err := workload.NewGenerator(p)
+	if err != nil {
+		return err
+	}
+	objs := gen.Initial()
+	sample := make([]vpindex.Vec2, len(objs))
+	for i, o := range objs {
+		sample[i] = o.Vel
+	}
+
+	retry := vpindex.RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   50 * time.Microsecond,
+		MaxDelay:    time.Millisecond,
+	}
+	openFaulty := func(dir string, fi *vpindex.FaultInjector) (*vpindex.Store, error) {
+		opts := []vpindex.Option{
+			vpindex.WithKind(vpindex.TPRStar),
+			vpindex.WithDomain(p.Domain),
+			vpindex.WithShards(procs),
+			vpindex.WithBufferPages(sc.Buffer),
+			vpindex.WithVelocityPartitioning(2),
+			vpindex.WithVelocitySample(sample),
+			vpindex.WithSeed(seed),
+			vpindex.WithDataDir(dir),
+			vpindex.WithSyncPolicy(vpindex.SyncAlways()),
+			vpindex.WithRetryPolicy(retry),
+		}
+		if fi != nil {
+			opts = append(opts, vpindex.WithFaultInjector(fi))
+		}
+		return vpindex.Open(opts...)
+	}
+
+	rep := faultsReport{
+		Experiment:    "faults",
+		Dataset:       string(ds),
+		Objects:       len(objs),
+		GoMaxProcs:    procs,
+		RetryAttempts: retry.MaxAttempts,
+		RetryBaseUsec: retry.BaseDelay.Microseconds(),
+	}
+
+	const batchSize = 256
+	totalOps := 2 * len(objs)
+	fmt.Printf("faults: %d workers, %d batched reports (batch %d), sync always, retry %d×%v\n\n",
+		procs, totalOps, batchSize, retry.MaxAttempts, retry.BaseDelay)
+
+	clean := 0.0
+	for _, rate := range []float64{0, 0.001, 0.01} {
+		dir, err := os.MkdirTemp("", "vpfault-*")
+		if err != nil {
+			return err
+		}
+		var fi *vpindex.FaultInjector
+		if rate > 0 {
+			fi = vpindex.NewSeededInjector(seed, vpindex.FaultRates{
+				TransientEIO: rate,
+				SyncFail:     rate,
+			})
+		}
+		store, err := openFaulty(dir, fi)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		if err := store.ReportBatch(objs); err != nil {
+			store.Close()
+			os.RemoveAll(dir)
+			return err
+		}
+		ran, seconds, herr := hammerDurable(store, objs, procs, totalOps, batchSize, seed)
+		st, _ := store.DurabilityStats()
+		health := store.Health()
+		var injected int64
+		if fi != nil {
+			injected = fi.InjectedFaults()
+		}
+		cerr := store.Close()
+		os.RemoveAll(dir)
+		if herr != nil {
+			return fmt.Errorf("rate %g: client-visible error under a transient-only schedule: %w", rate, herr)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		if health != vpindex.HealthHealthy {
+			return fmt.Errorf("rate %g: store ended %v, want healthy", rate, health)
+		}
+		res := faultThroughputResult{
+			TransientRate:  rate,
+			Goroutines:     procs,
+			Ops:            ran,
+			Seconds:        seconds,
+			OpsPerSec:      float64(ran) / seconds,
+			InjectedFaults: injected,
+			IORetries:      st.IORetries,
+		}
+		if rate == 0 {
+			clean = res.OpsPerSec
+		}
+		if clean > 0 {
+			res.VsClean = res.OpsPerSec / clean
+		}
+		rep.Throughput = append(rep.Throughput, res)
+		fmt.Printf("  rate %-6g %9.0f reports/s  (%.0f%% of clean, %d faults injected, %d retries, 0 client errors)\n",
+			rate, res.OpsPerSec, res.VsClean*100, injected, res.IORetries)
+	}
+
+	// Degradation latency: every location report is one WAL append, so the
+	// scripted rule kills a known op mid-stream with a permanent EIO.
+	const faultAt = 100
+	dir, err := os.MkdirTemp("", "vpfault-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fi := vpindex.NewScriptedInjector(vpindex.FaultRule{
+		Op:   vpindex.OpWALAppend,
+		Seq:  faultAt,
+		Kind: vpindex.FaultPermanentEIO,
+	})
+	store, err := openFaulty(dir, fi)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	degraded := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		for store.Health() == vpindex.HealthHealthy {
+			time.Sleep(10 * time.Microsecond)
+		}
+		degraded <- time.Since(start)
+	}()
+
+	acked := 0
+	var faultErr error
+	for i := 0; faultErr == nil && i < 10*faultAt; i++ {
+		o := objs[i%len(objs)]
+		o.Pos.X += float64(i) * 0.01
+		if err := store.Report(o); err != nil {
+			faultErr = err
+		} else {
+			acked++
+		}
+	}
+	if faultErr == nil {
+		return fmt.Errorf("scripted permanent WAL fault never fired")
+	}
+	detect := <-degraded
+
+	deg := faultDegradeResult{
+		FaultAtAppend:     faultAt,
+		AckedBefore:       acked,
+		SecondsToDegraded: detect.Seconds(),
+	}
+	for i := 0; i < 200; i++ {
+		o := objs[i%len(objs)]
+		deg.WritesAttempted++
+		if err := store.Report(o); errors.Is(err, vpindex.ErrDegraded) {
+			deg.WritesRefused++
+		}
+		if _, ok := store.Get(o.ID); ok {
+			deg.ReadsServed++
+		}
+	}
+	st, _ := store.DurabilityStats()
+	deg.Health = st.Health.String()
+	deg.HealthReason = st.HealthReason
+	rep.Degradation = deg
+	fmt.Printf("\n  permanent WAL fault at append %d: %d acked writes, degraded in %v\n",
+		faultAt, acked, detect.Round(time.Microsecond))
+	fmt.Printf("  after degrade: %d/%d writes refused (ErrDegraded), %d/200 reads served (reason: %q)\n\n",
+		deg.WritesRefused, deg.WritesAttempted, deg.ReadsServed, deg.HealthReason)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -2,6 +2,7 @@ package vpindex
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -67,6 +68,16 @@ type durability struct {
 	// replayed verbs run their normal in-memory paths but append nothing.
 	recovering atomic.Bool
 	replayed   atomic.Int64
+
+	// closed makes Close idempotent and safe for concurrent callers: the
+	// CAS winner does the shutdown, everyone else returns nil immediately.
+	closed atomic.Bool
+
+	// Background scrubber lifetime (WithScrubEvery) and counters.
+	scrubStop    chan struct{}
+	scrubDone    chan struct{}
+	scrubPasses  atomic.Int64
+	scrubCorrupt atomic.Int64
 }
 
 const (
@@ -96,6 +107,7 @@ func (s *Store) initDurable() error {
 		SegmentBytes: cfg.walSegBytes,
 		Policy:       cfg.syncPol,
 		Injector:     cfg.injector,
+		Retry:        cfg.retry,
 	})
 	if err != nil {
 		fstore.Close()
@@ -118,13 +130,23 @@ func (s *Store) closeFiles() {
 	}
 }
 
-// Close flushes the log and the page file and closes both. A non-durable
-// Store has nothing to flush; Close is then a no-op. The Store must not be
-// used after Close.
+// Close flushes the log and the page file and closes both, stopping the
+// background scrubber first. A non-durable Store has nothing to flush; Close
+// is then a no-op. Close is idempotent and safe for concurrent callers —
+// exactly one does the shutdown, the rest return nil — and leaves the store
+// Failed ("closed"): later writes return ErrFailed, reads keep serving the
+// final in-memory state.
 func (s *Store) Close() error {
 	d := s.dur
 	if d == nil {
 		return nil
+	}
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if d.scrubStop != nil {
+		close(d.scrubStop)
+		<-d.scrubDone
 	}
 	var first error
 	if err := d.wal.Sync(); err != nil {
@@ -136,6 +158,7 @@ func (s *Store) Close() error {
 	if err := d.fstore.Close(); err != nil && first == nil {
 		first = err
 	}
+	s.failStore("closed", nil)
 	return first
 }
 
@@ -148,18 +171,24 @@ func (s *Store) durableApply(t wal.Type, encode func() []byte, apply func() (boo
 	if d == nil || d.recovering.Load() {
 		return apply()
 	}
+	if herr := s.writeAllowed(); herr != nil {
+		return false, herr
+	}
 	d.commitMu.RLock()
 	trip, err := apply()
 	if err != nil {
 		d.commitMu.RUnlock()
+		s.noteIOFault(err)
 		return false, err
 	}
 	lsn, werr := d.wal.Append(t, encode())
 	d.commitMu.RUnlock()
 	if werr != nil {
+		s.noteIOFault(werr)
 		return false, werr
 	}
 	if cerr := d.wal.Commit(lsn); cerr != nil {
+		s.noteIOFault(cerr)
 		return false, cerr
 	}
 	d.noteRecords(s, 1)
@@ -170,6 +199,9 @@ func (s *Store) durableApply(t wal.Type, encode func() []byte, apply func() (boo
 // exactly the records that landed as one batch record (concurrent batches
 // ride one fsync under the group-commit policy), then run maintenance.
 func (s *Store) reportBatchDurable(d *durability, objs []Object) error {
+	if herr := s.writeAllowed(); herr != nil {
+		return herr
+	}
 	d.commitMu.RLock()
 	evalGroups, reported, trip, err := s.applyReportBatch(objs)
 	n := 0
@@ -189,14 +221,17 @@ func (s *Store) reportBatchDurable(d *durability, objs []Object) error {
 	}
 	d.commitMu.RUnlock()
 	if werr != nil {
+		s.noteIOFault(werr)
 		return werr
 	}
 	if n > 0 {
 		if cerr := d.wal.Commit(lsn); cerr != nil {
+			s.noteIOFault(cerr)
 			return cerr
 		}
 		d.noteRecords(s, 1)
 	}
+	s.noteIOFault(err)
 	return s.finishReportBatch(reported, trip, err)
 }
 
@@ -210,7 +245,9 @@ func (s *Store) logSwap(an core.Analysis) {
 	if d == nil || d.recovering.Load() {
 		return
 	}
-	if _, err := d.wal.Append(wal.TypePartitionSwap, core.EncodeAnalysis(an)); err == nil {
+	if _, err := d.wal.Append(wal.TypePartitionSwap, core.EncodeAnalysis(an)); err != nil {
+		s.noteIOFault(err)
+	} else {
 		d.noteRecords(s, 1)
 	}
 }
@@ -245,6 +282,21 @@ type DurabilityStats struct {
 	CheckpointLSN uint64
 	// ReplayedRecords counts log records replayed by this process's Open.
 	ReplayedRecords int64
+	// Health / HealthReason mirror Store.Health with the reason recorded at
+	// the first transition out of Healthy ("" while healthy).
+	Health       Health
+	HealthReason string
+	// QuarantinedPages counts data pages currently fenced off after a
+	// checksum failure (a full rewrite repairs and releases a page).
+	QuarantinedPages int
+	// ScrubPasses / ScrubCorruptions count completed integrity scrub passes
+	// (WithScrubEvery, ScrubNow) and the corruptions they surfaced.
+	ScrubPasses      int64
+	ScrubCorruptions int64
+	// IORetries counts transient storage faults absorbed by the retry
+	// policy across the live buffer pools and the log — faults the clients
+	// never saw.
+	IORetries int64
 }
 
 // DurabilityStats returns the durable-mode counters, and whether the Store
@@ -254,13 +306,26 @@ func (s *Store) DurabilityStats() (DurabilityStats, bool) {
 	if d == nil {
 		return DurabilityStats{}, false
 	}
+	retries := d.wal.Retries()
+	for _, p := range s.Pools() {
+		retries += p.Retries()
+	}
+	s.healthMu.Lock()
+	reason := s.healthReason
+	s.healthMu.Unlock()
 	return DurabilityStats{
-		WALAppendedLSN:  d.wal.AppendedLSN(),
-		WALDurableLSN:   d.wal.DurableLSN(),
-		WALSegments:     d.wal.Segments(),
-		Checkpoints:     d.ckpts.Load(),
-		CheckpointLSN:   d.ckptLSN.Load(),
-		ReplayedRecords: d.replayed.Load(),
+		WALAppendedLSN:   d.wal.AppendedLSN(),
+		WALDurableLSN:    d.wal.DurableLSN(),
+		WALSegments:      d.wal.Segments(),
+		Checkpoints:      d.ckpts.Load(),
+		CheckpointLSN:    d.ckptLSN.Load(),
+		ReplayedRecords:  d.replayed.Load(),
+		Health:           s.Health(),
+		HealthReason:     reason,
+		QuarantinedPages: d.fstore.Quarantined(),
+		ScrubPasses:      d.scrubPasses.Load(),
+		ScrubCorruptions: d.scrubCorrupt.Load(),
+		IORetries:        retries,
 	}, true
 }
 
@@ -294,6 +359,13 @@ func (s *Store) Checkpoint() error {
 	d := s.dur
 	if d == nil {
 		return fmt.Errorf("vpindex: checkpoint of a non-durable store: %w", ErrUnsupported)
+	}
+	// A failed store's files are closed (or its process image is dead); a
+	// degraded store may still checkpoint — the snapshot path is separate
+	// from whatever fault degraded it, and a successful checkpoint can
+	// reclaim log segments.
+	if Health(s.health.Load()) == HealthFailed {
+		return s.healthErr(ErrFailed)
 	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
@@ -596,10 +668,28 @@ func (s *Store) recover() error {
 		s.replayRecord(t, p)
 		return nil
 	}); err != nil {
-		return fmt.Errorf("vpindex: wal replay: %w", err)
+		if !errors.Is(err, wal.ErrCorrupt) {
+			return fmt.Errorf("vpindex: wal replay: %w", err)
+		}
+		// Mid-log corruption: valid acknowledged records exist past the bad
+		// frame, so silently dropping them is not an option — but neither is
+		// refusing to open, which would hold the intact prefix hostage. The
+		// store opens read-only on everything replayed before the corruption.
+		s.degrade("wal corruption detected during replay", err)
+	}
+	// A corrupt (not merely torn) tail in the active segment means the same:
+	// the prefix recovered cleanly, but acknowledged history past the bad
+	// frame may be gone. Serve the prefix read-only.
+	if err := d.wal.CorruptTail(); err != nil {
+		s.degrade("wal tail corruption", err)
 	}
 	if s.partitioned.Load() {
 		s.refreshSubClasses()
+	}
+	if s.cfg.scrubEvery > 0 {
+		d.scrubStop = make(chan struct{})
+		d.scrubDone = make(chan struct{})
+		go s.scrubLoop(s.cfg.scrubEvery, d.scrubStop, d.scrubDone)
 	}
 	return nil
 }

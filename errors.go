@@ -1,6 +1,8 @@
 package vpindex
 
 import (
+	"errors"
+
 	"repro/internal/model"
 	"repro/internal/storage"
 )
@@ -28,4 +30,19 @@ var (
 	// the simulated process image is dead and every further durable write
 	// is refused (see NewFaultInjector).
 	ErrInjectedCrash = storage.ErrInjectedCrash
+	// ErrCorruptPage reports that a data page failed its CRC-32C checksum on
+	// read: a torn write, bit rot, or a misdirected write. The page is
+	// quarantined, never decoded.
+	ErrCorruptPage = storage.ErrCorruptPage
+)
+
+// Sentinel errors of the Store health state machine (see Store.Health).
+var (
+	// ErrDegraded reports a write refused because the Store is degraded to
+	// read-only after a persistent storage fault. Reads, searches, and
+	// subscription evaluation keep serving.
+	ErrDegraded = errors.New("vpindex: store degraded to read-only")
+	// ErrFailed reports an operation refused because the Store has failed
+	// (closed, or hit an unrecoverable fault).
+	ErrFailed = errors.New("vpindex: store failed")
 )

@@ -1,0 +1,80 @@
+package vpindex
+
+import "repro/internal/storage"
+
+// This file re-exports the storage fault plane so applications and tests can
+// script fault schedules against a durable Store without importing internal
+// packages. The injector attaches with WithFaultInjector and sits at the
+// PageStore/WAL boundary: every physical page read/write/fsync and every log
+// append/fsync consults it before touching the OS.
+
+// Fault-plane types, aliased from internal/storage.
+type (
+	// FaultOp names one injectable I/O operation class.
+	FaultOp = storage.FaultOp
+	// FaultKind names what goes wrong when a fault fires.
+	FaultKind = storage.FaultKind
+	// FaultRule is one deterministic entry of a scripted schedule.
+	FaultRule = storage.FaultRule
+	// FaultRates are per-kind probabilities for a seeded random schedule.
+	FaultRates = storage.FaultRates
+	// FaultScript decides, per operation, whether a fault fires.
+	FaultScript = storage.FaultScript
+	// RetryPolicy bounds the exponential-backoff retry loop around
+	// transient faults (see WithRetryPolicy).
+	RetryPolicy = storage.RetryPolicy
+)
+
+// Injectable operations (FaultRule.Op).
+const (
+	OpPageRead       = storage.OpPageRead
+	OpPageWrite      = storage.OpPageWrite
+	OpPageSync       = storage.OpPageSync
+	OpWALAppend      = storage.OpWALAppend
+	OpWALSync        = storage.OpWALSync
+	OpCheckpointSync = storage.OpCheckpointSync
+)
+
+// Fault kinds (FaultRule.Kind).
+const (
+	// FaultTransientEIO fails one attempt with EIO; the retry policy
+	// absorbs it invisibly unless retries are exhausted.
+	FaultTransientEIO = storage.FaultTransientEIO
+	// FaultPermanentEIO fails the operation and latches: the page (or the
+	// whole operation class, for syncs) stays dead, degrading the store.
+	FaultPermanentEIO = storage.FaultPermanentEIO
+	// FaultTornWrite reports success but persists only a prefix of the
+	// page image — caught by the CRC on the next read.
+	FaultTornWrite = storage.FaultTornWrite
+	// FaultBitFlip reports success but flips one persisted bit — caught by
+	// the CRC on the next read.
+	FaultBitFlip = storage.FaultBitFlip
+	// FaultSyncFail fails one fsync transiently.
+	FaultSyncFail = storage.FaultSyncFail
+	// FaultLatency delays the operation without failing it.
+	FaultLatency = storage.FaultLatency
+)
+
+// NewScriptedInjector returns an injector driven by a deterministic rule
+// list: each rule names an operation class, an optional 1-based sequence
+// number and page, a fault kind, and an optional firing budget. Use with
+// WithFaultInjector.
+func NewScriptedInjector(rules ...FaultRule) *FaultInjector {
+	return storage.NewScriptedInjector(rules...)
+}
+
+// NewSeededInjector returns an injector that draws faults from seeded
+// per-kind probabilities — the chaos-test workhorse: the same seed always
+// yields the same schedule. Use with WithFaultInjector.
+func NewSeededInjector(seed int64, rates FaultRates) *FaultInjector {
+	return storage.NewSeededInjector(seed, rates)
+}
+
+// IsTransient reports whether err is a storage fault worth retrying
+// (a transient EIO or failed fsync that has not exhausted its retries).
+func IsTransient(err error) bool { return storage.IsTransient(err) }
+
+// IsMediaFault reports whether err originated in the storage media at all —
+// injected EIO, a checksum failure, a latched page — as opposed to logical
+// errors like ErrNotFound.
+func IsMediaFault(err error) bool { return storage.IsMediaFault(err) }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 )
 
@@ -50,12 +51,18 @@ var (
 // exactly as if kill -9 had landed between two syscalls.
 var ErrInjectedCrash = errors.New("storage: injected crash")
 
-// FaultInjector simulates kill -9 at a chosen durability barrier for the
-// crash-recovery tests. Writes and fsyncs call its hooks; at the Nth sync
-// point the fsync itself fails and every subsequent write or sync fails too,
-// so everything written before the kill survives (it was in the OS buffer
-// cache) while nothing after it can happen — the recovered state must land
-// between the last acknowledged operation and the last issued one.
+// FaultInjector simulates storage faults for the recovery tests. Its
+// original model is kill -9 at a chosen durability barrier: writes and
+// fsyncs call its hooks; at the Nth sync point the fsync itself fails and
+// every subsequent write or sync fails too, so everything written before the
+// kill survives (it was in the OS buffer cache) while nothing after it can
+// happen — the recovered state must land between the last acknowledged
+// operation and the last issued one.
+//
+// Beyond fail-stop, an injector may carry a FaultScript (NewScriptedInjector
+// / NewSeededInjector, fault.go) that injects transient/permanent EIO, torn
+// page writes, bit flips, fsync failures, and latency spikes at every
+// FileStore/WAL I/O site.
 //
 // A nil *FaultInjector is valid and never fires, so production paths can
 // call the hooks unconditionally.
@@ -63,6 +70,17 @@ type FaultInjector struct {
 	killAt int64 // 1-based sync point that dies; 0 = never
 	syncs  atomic.Int64
 	dead   atomic.Bool
+
+	// Scriptable fault plane (fault.go). script is set at construction and
+	// never mutated; counts holds per-op attempt sequence numbers; injected
+	// counts non-latency faults delivered. permPages/permOps latch targets
+	// hit by a permanent fault so every later attempt fails too.
+	script    FaultScript
+	counts    [nFaultOps]atomic.Int64
+	injected  atomic.Int64
+	permMu    sync.Mutex
+	permPages map[PageID]struct{}
+	permOps   [nFaultOps]bool
 }
 
 // NewFaultInjector returns an injector that kills the process model at the
@@ -79,21 +97,13 @@ func (fi *FaultInjector) BeforeWrite() error {
 	return ErrInjectedCrash
 }
 
-// BeforeSync gates an fsync. It counts the sync point and, at the configured
-// kill point, marks the injector dead and fails this fsync too.
+// BeforeSync gates an fsync at the checkpoint writer. It counts the sync
+// point and, at the configured kill point, marks the injector dead and fails
+// this fsync too. It is SyncPoint(OpCheckpointSync); the FileStore and WAL
+// call SyncPoint with their own op so scripted sync faults can tell the
+// sites apart while the legacy kill counter stays one global sequence.
 func (fi *FaultInjector) BeforeSync() error {
-	if fi == nil {
-		return nil
-	}
-	if fi.dead.Load() {
-		return ErrInjectedCrash
-	}
-	n := fi.syncs.Add(1)
-	if fi.killAt > 0 && n >= fi.killAt {
-		fi.dead.Store(true)
-		return ErrInjectedCrash
-	}
-	return nil
+	return fi.SyncPoint(OpCheckpointSync)
 }
 
 // SyncPoints returns how many sync points have been observed so far.

@@ -16,6 +16,7 @@ package storage
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,9 +50,16 @@ type MemStore struct {
 	pages   map[PageID][]byte
 	free    []PageID // LIFO recycle stack of freed ids
 	nextID  uint64
+	closed  atomic.Bool
 	reads   atomic.Int64
 	writes  atomic.Int64
 	latency atomic.Int64 // injected ns per successful physical access
+}
+
+// errMemClosed builds the after-Close error for op; it unwraps to
+// os.ErrClosed, matching the FileStore contract.
+func errMemClosed(op string) error {
+	return fmt.Errorf("storage: %s on closed store: %w", op, os.ErrClosed)
 }
 
 // NewMemStore returns an empty in-memory page store.
@@ -69,6 +77,9 @@ func (d *MemStore) SetLatency(l time.Duration) { d.latency.Store(int64(l)) }
 // Allocate reserves a page id, recycling the most recently freed id if any.
 // The page contents start zeroed.
 func (d *MemStore) Allocate() (PageID, error) {
+	if d.closed.Load() {
+		return NilPage, errMemClosed("allocate")
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var id PageID
@@ -86,6 +97,9 @@ func (d *MemStore) Allocate() (PageID, error) {
 // Free releases a page back to the free list. Freed pages may not be read
 // again until reallocated.
 func (d *MemStore) Free(id PageID) error {
+	if d.closed.Load() {
+		return errMemClosed("free")
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.pages[id]; !ok {
@@ -100,6 +114,9 @@ func (d *MemStore) Free(id PageID) error {
 // injected latency apply only to successful accesses: a read of an
 // unallocated page fails fast and is not an I/O.
 func (d *MemStore) ReadPage(id PageID, dst *[PageSize]byte) error {
+	if d.closed.Load() {
+		return errMemClosed("read")
+	}
 	d.mu.Lock()
 	src, ok := d.pages[id]
 	if ok {
@@ -119,6 +136,9 @@ func (d *MemStore) ReadPage(id PageID, dst *[PageSize]byte) error {
 // WritePage stores the page image. Counting and latency follow the same rule
 // as ReadPage: only successful accesses are I/O.
 func (d *MemStore) WritePage(id PageID, src *[PageSize]byte) error {
+	if d.closed.Load() {
+		return errMemClosed("write")
+	}
 	d.mu.Lock()
 	dst, ok := d.pages[id]
 	if ok {
@@ -136,10 +156,19 @@ func (d *MemStore) WritePage(id PageID, src *[PageSize]byte) error {
 }
 
 // Sync is a no-op: the simulated store has no volatile write-back cache.
-func (d *MemStore) Sync() error { return nil }
+func (d *MemStore) Sync() error {
+	if d.closed.Load() {
+		return errMemClosed("sync")
+	}
+	return nil
+}
 
-// Close is a no-op.
-func (d *MemStore) Close() error { return nil }
+// Close marks the store closed; every later operation fails with an error
+// wrapping os.ErrClosed. Close is idempotent: repeated calls return nil.
+func (d *MemStore) Close() error {
+	d.closed.Store(true)
+	return nil
+}
 
 // PhysicalReads returns the number of physical page reads so far.
 func (d *MemStore) PhysicalReads() int64 { return d.reads.Load() }
@@ -238,6 +267,28 @@ type BufferPool struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 	writes   atomic.Int64
+	retry    RetryPolicy // zero value = defaults (see RetryPolicy.Do)
+	retries  atomic.Int64
+}
+
+// SetRetryPolicy configures the bounded-backoff retry loop wrapped around
+// the pool's physical page reads and write-backs. Only transient faults
+// (IsTransient) are retried. Must be called before the pool is shared
+// between goroutines.
+func (b *BufferPool) SetRetryPolicy(p RetryPolicy) { b.retry = p }
+
+// Retries returns how many transient-fault retry attempts the pool has
+// taken so far.
+func (b *BufferPool) Retries() int64 { return b.retries.Load() }
+
+// readPage and writePage are the pool's only physical I/O paths; both drive
+// transient faults through the retry policy.
+func (b *BufferPool) readPage(id PageID, dst *[PageSize]byte) error {
+	return b.retry.Do(&b.retries, func() error { return b.disk.ReadPage(id, dst) })
+}
+
+func (b *BufferPool) writePage(id PageID, src *[PageSize]byte) error {
+	return b.retry.Do(&b.retries, func() error { return b.disk.WritePage(id, src) })
 }
 
 // NewBufferPool returns a pool of the given capacity (pages) over any
@@ -323,7 +374,7 @@ func (b *BufferPool) evictOne(s *poolStripe) (evicted bool, err error) {
 		return false, nil
 	}
 	if victim.dirty.Load() {
-		if err := b.disk.WritePage(victim.id, &victim.data); err != nil {
+		if err := b.writePage(victim.id, &victim.data); err != nil {
 			return false, err
 		}
 		b.writes.Add(1)
@@ -378,7 +429,7 @@ func (b *BufferPool) pin(id PageID) (*frame, error) {
 		}
 	}
 	f := &frame{id: id}
-	if err := b.disk.ReadPage(id, &f.data); err != nil {
+	if err := b.readPage(id, &f.data); err != nil {
 		s.mu.Unlock()
 		return nil, err
 	}
@@ -512,7 +563,7 @@ func (b *BufferPool) FlushAll() error {
 		s.mu.Lock()
 		for id, f := range s.frames {
 			if f.dirty.Load() {
-				if err := b.disk.WritePage(id, &f.data); err != nil {
+				if err := b.writePage(id, &f.data); err != nil {
 					s.mu.Unlock()
 					return err
 				}

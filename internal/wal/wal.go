@@ -20,6 +20,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -97,9 +98,34 @@ type Options struct {
 	SegmentBytes int64
 	// Policy is the Commit durability contract (default Always).
 	Policy SyncPolicy
-	// Injector, when non-nil, simulates kill -9 at a chosen sync point.
+	// Injector, when non-nil, injects crashes and media faults (see
+	// storage.FaultInjector).
 	Injector *storage.FaultInjector
+	// Retry bounds the backoff loop around appends and fsyncs for transient
+	// faults; the zero value takes storage.DefaultRetryPolicy behavior.
+	Retry storage.RetryPolicy
 }
+
+// ErrCorrupt marks a mid-log CRC mismatch: unlike a benign torn tail (bytes
+// past the last fsync of a crashed process, expected and safely dropped),
+// valid records are known to exist past the bad frame, so dropping the rest
+// of the log silently would lose acknowledged history. Callers degrade the
+// store instead.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// CorruptError identifies where in the log corruption was found. It unwraps
+// to ErrCorrupt.
+type CorruptError struct {
+	Path string
+	LSN  uint64
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record in %s at LSN %d", e.Path, e.LSN)
+}
+
+// Unwrap ties the error to the ErrCorrupt sentinel.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 
 // WAL is an append-only segmented log. Append and Commit are safe for
 // concurrent use; Replay and TruncateBefore are meant for the single-
@@ -118,6 +144,9 @@ type WAL struct {
 	flushMu sync.Mutex // the group-commit leader lock
 	syncMu  sync.Mutex // serializes fsync with segment close (rotation)
 	durable atomic.Uint64
+
+	retries atomic.Int64  // transient-fault retry attempts taken
+	corrupt *CorruptError // mid-log corruption found at Open, if any
 }
 
 // Open creates dir if needed, scans any existing segments to find the end of
@@ -136,11 +165,20 @@ func Open(dir string, opt Options) (*WAL, error) {
 	}
 	w := &WAL{dir: dir, opt: opt}
 	if n := len(segs); n > 0 {
-		valid, err := validBytes(segs[n-1].path)
+		last := segs[n-1]
+		valid, resync, err := scanTail(last.path)
 		if err != nil {
 			return nil, err
 		}
-		w.appended = segs[n-1].start + valid
+		if resync {
+			// Valid frames exist past the invalid one: this is mid-log
+			// corruption, not the benign torn tail of a crash. Open still
+			// succeeds with the valid prefix — the records past the bad frame
+			// cannot be applied consistently — but the loss is never silent:
+			// CorruptTail reports it so the store can degrade.
+			w.corrupt = &CorruptError{Path: last.path, LSN: last.start + valid}
+		}
+		w.appended = last.start + valid
 	}
 	w.durable.Store(w.appended)
 	if err := w.openSegment(w.appended); err != nil {
@@ -157,16 +195,44 @@ func (w *WAL) openSegment(start uint64) error {
 	if err != nil {
 		return fmt.Errorf("wal: open segment: %w", err)
 	}
+	// Make the directory entry durable so a crash right after segment
+	// creation cannot orphan records appended to a file that is not yet
+	// linked. Raw (not injector-gated): this runs on Open/rotation control
+	// paths where an injected kill would mean "store failed to open", not
+	// "crash mid-workload".
+	if err := storage.SyncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
 	w.f = f
 	w.segStart = start
 	return nil
 }
 
+// CorruptTail reports mid-log corruption found while scanning the last
+// segment at Open: valid frames existed past a CRC-invalid one. A benign
+// torn tail (no valid data after the tear) returns nil.
+func (w *WAL) CorruptTail() error {
+	if w.corrupt == nil {
+		return nil
+	}
+	return w.corrupt
+}
+
+// Retries returns how many transient-fault retry attempts the WAL has taken
+// across appends and fsyncs.
+func (w *WAL) Retries() int64 { return w.retries.Load() }
+
 // Append frames and writes one record, returning the LSN just past it: the
 // record is durable once DurableLSN() >= lsn. Append alone does not fsync —
 // pair it with Commit.
 func (w *WAL) Append(t Type, payload []byte) (lsn uint64, err error) {
-	if err := w.opt.Injector.BeforeWrite(); err != nil {
+	// Injected append faults fire before any byte reaches the file, so a
+	// transient EIO is retried here without poisoning the segment; a real
+	// partial write below still poisons.
+	if err := w.opt.Retry.Do(&w.retries, func() error {
+		return w.opt.Injector.WALAppend()
+	}); err != nil {
 		return 0, err
 	}
 	frame := make([]byte, frameHeader+len(payload))
@@ -226,15 +292,19 @@ func (w *WAL) rotateLocked() error {
 	return w.openSegment(w.appended)
 }
 
-// fsync runs the injector sync-point hook and fsyncs the given file.
+// fsync runs the injector sync-point hook and fsyncs the given file,
+// retrying transient fsync faults under the retry policy (an injected crash
+// is not transient and fails through immediately).
 func (w *WAL) fsync(f *os.File) error {
-	if err := w.opt.Injector.BeforeSync(); err != nil {
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
-	}
-	return nil
+	return w.opt.Retry.Do(&w.retries, func() error {
+		if err := w.opt.Injector.SyncPoint(storage.OpWALSync); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		return nil
+	})
 }
 
 // Commit blocks until the record ending at lsn is durable under the
@@ -382,35 +452,52 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 
 // Replay streams every record whose end LSN is strictly greater than from,
 // in log order, to fn. Within a segment, scanning stops at the first frame
-// that fails validation (the torn tail of a crashed generation); later
-// segments — which can only exist if the torn one was followed by a clean
-// restart — are still visited.
+// that fails validation. Whether that stop is an error depends on what is
+// known to follow: a segment with a successor must scan cleanly through to
+// the successor's start LSN — stopping short means a mid-log CRC mismatch
+// over acknowledged records, reported as a CorruptError (wrapping
+// ErrCorrupt) so the caller can degrade rather than silently lose the rest
+// of the log. The last segment has no successor, so its stop is the benign
+// torn tail of a crashed generation and replay ends cleanly.
 func (w *WAL) Replay(from uint64, fn func(lsn uint64, t Type, payload []byte) error) error {
 	segs, err := listSegments(w.dir)
 	if err != nil {
 		return err
 	}
-	for _, s := range segs {
-		if err := replaySegment(s, from, fn); err != nil {
+	for i, s := range segs {
+		var expectedEnd uint64
+		if i+1 < len(segs) {
+			expectedEnd = segs[i+1].start - s.start
+		}
+		if err := replaySegment(s, from, expectedEnd, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func replaySegment(s segment, from uint64, fn func(lsn uint64, t Type, payload []byte) error) error {
+// replaySegment streams one segment's valid records. expectedEnd, when
+// non-zero, is the byte length the valid scan must reach (the next
+// segment's start); stopping short is mid-log corruption.
+func replaySegment(s segment, from, expectedEnd uint64, fn func(lsn uint64, t Type, payload []byte) error) error {
 	data, err := os.ReadFile(s.path)
 	if err != nil {
 		return fmt.Errorf("wal: replay %s: %w", s.path, err)
 	}
 	pos := 0
+	stop := func() error {
+		if expectedEnd != 0 && uint64(pos) < expectedEnd {
+			return &CorruptError{Path: s.path, LSN: s.start + uint64(pos)}
+		}
+		return nil
+	}
 	for {
 		if pos+frameHeader > len(data) {
-			return nil // clean end or torn header
+			return stop() // clean end or torn header
 		}
 		n := int(binary.LittleEndian.Uint32(data[pos:]))
 		if n > maxRecord || pos+frameHeader+n > len(data) {
-			return nil // torn or garbage length
+			return stop() // torn or garbage length
 		}
 		t := Type(data[pos+4])
 		want := binary.LittleEndian.Uint32(data[pos+5:])
@@ -418,7 +505,7 @@ func replaySegment(s segment, from uint64, fn func(lsn uint64, t Type, payload [
 		crc := crc32.Update(0, crc32.IEEETable, data[pos+4:pos+5])
 		crc = crc32.Update(crc, crc32.IEEETable, payload)
 		if crc != want {
-			return nil // torn tail
+			return stop() // torn tail or corruption
 		}
 		pos += frameHeader + n
 		end := s.start + uint64(pos)
@@ -428,6 +515,34 @@ func replaySegment(s segment, from uint64, fn func(lsn uint64, t Type, payload [
 			}
 		}
 	}
+}
+
+// Verify checks the integrity of every sealed segment that has a successor:
+// its CRC-valid prefix must reach the successor's start. The active segment
+// (and a trailing sealed one with no successor) is skipped — its tail is
+// legitimately in flux. This is the scrubber's WAL primitive.
+func (w *WAL) Verify() error {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	active := w.segStart
+	w.mu.Unlock()
+	for i, s := range segs {
+		if s.start >= active || i+1 >= len(segs) {
+			break
+		}
+		expectedEnd := segs[i+1].start - s.start
+		valid, err := validBytes(s.path)
+		if err != nil {
+			return err
+		}
+		if valid < expectedEnd {
+			return &CorruptError{Path: s.path, LSN: s.start + valid}
+		}
+	}
+	return nil
 }
 
 // segment is one on-disk log file, named by the LSN of its first byte.
@@ -461,26 +576,72 @@ func listSegments(dir string) ([]segment, error) {
 	return segs, nil
 }
 
+// resyncWindow bounds how far past an invalid frame scanTail searches for a
+// later valid frame when classifying a tear.
+const resyncWindow = 1 << 20
+
+// scanTail measures the CRC-valid prefix of a segment and classifies what
+// follows it: resync is true when a later valid frame exists past the
+// invalid point, which means the tear is mid-log corruption of acknowledged
+// records rather than the benign torn tail of a crash (where nothing valid
+// can follow the last partial write).
+func scanTail(path string) (valid uint64, resync bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("wal: scan %s: %w", path, err)
+	}
+	pos := int(validPrefix(data))
+	if pos >= len(data) {
+		return uint64(pos), false, nil
+	}
+	// Try every offset after the invalid frame as a candidate frame start.
+	limit := len(data)
+	if pos+resyncWindow < limit {
+		limit = pos + resyncWindow
+	}
+	for off := pos + 1; off+frameHeader <= limit; off++ {
+		if t := data[off+4]; t < byte(TypeReport) || t > byte(TypeRefresh) {
+			continue
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n > maxRecord || off+frameHeader+n > len(data) {
+			continue
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		crc := crc32.Update(0, crc32.IEEETable, data[off+4:off+5])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc == binary.LittleEndian.Uint32(data[off+5:]) {
+			return uint64(pos), true, nil
+		}
+	}
+	return uint64(pos), false, nil
+}
+
 // validBytes measures the CRC-valid prefix of one segment file.
 func validBytes(path string) (uint64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: scan %s: %w", path, err)
 	}
+	return validPrefix(data), nil
+}
+
+// validPrefix measures the CRC-valid prefix of a segment image.
+func validPrefix(data []byte) uint64 {
 	pos := 0
 	for {
 		if pos+frameHeader > len(data) {
-			return uint64(pos), nil
+			return uint64(pos)
 		}
 		n := int(binary.LittleEndian.Uint32(data[pos:]))
 		if n > maxRecord || pos+frameHeader+n > len(data) {
-			return uint64(pos), nil
+			return uint64(pos)
 		}
 		payload := data[pos+frameHeader : pos+frameHeader+n]
 		crc := crc32.Update(0, crc32.IEEETable, data[pos+4:pos+5])
 		crc = crc32.Update(crc, crc32.IEEETable, payload)
 		if crc != binary.LittleEndian.Uint32(data[pos+5:]) {
-			return uint64(pos), nil
+			return uint64(pos)
 		}
 		pos += frameHeader + n
 	}

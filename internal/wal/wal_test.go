@@ -373,3 +373,193 @@ func TestRecordCodecsRoundTrip(t *testing.T) {
 		t.Fatal("truncated batch decoded")
 	}
 }
+
+func TestMidLogCorruptionInEarlierSegmentFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 48)
+	for i := 0; i < 12; i++ {
+		payload[0] = byte(i)
+		appendRecord(t, w, TypeReport, payload)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("want >= 3 segments, got %d", w.Segments())
+	}
+	w.Close()
+
+	// Corrupt a record in the FIRST segment — a segment with successors, so
+	// every byte of it was acknowledged. Replay must not silently stop: it
+	// reports a CorruptError wrapping ErrCorrupt.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[frameHeader+10] ^= 0xFF
+	if err := os.WriteFile(segs[0].path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	replayErr := w2.Replay(0, func(uint64, Type, []byte) error { return nil })
+	if !errors.Is(replayErr, ErrCorrupt) {
+		t.Fatalf("replay over corrupt sealed segment = %v, want ErrCorrupt", replayErr)
+	}
+	var ce *CorruptError
+	if !errors.As(replayErr, &ce) || ce.LSN != 0 {
+		t.Fatalf("corrupt error %v does not point at frame 0", replayErr)
+	}
+	// Verify (the scrubber's primitive) finds the same corruption without a
+	// full replay.
+	if err := w2.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptTailDistinguishedFromTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, w, TypeReport, []byte("one"))
+	appendRecord(t, w, TypeReport, []byte("two"))
+	appendRecord(t, w, TypeReport, []byte("three"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Case 1: a benign torn tail — the last record is cut short. No valid
+	// frame can follow a partial write, so CorruptTail is nil.
+	seg := segmentPath(dir, 0)
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.CorruptTail(); err != nil {
+		t.Fatalf("torn tail classified as corruption: %v", err)
+	}
+	w2.Close()
+
+	// Case 2: the MIDDLE record's payload is flipped while the final record
+	// is intact — valid frames exist past the bad one, so this is mid-log
+	// corruption of acknowledged data. Open still succeeds with the prefix,
+	// but CorruptTail reports it.
+	b := append([]byte(nil), orig...)
+	b[frameHeader+3+frameHeader] ^= 0xFF
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the replacement active segment Open created in case 1 so the
+	// only segment is the corrupted one.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s.start != 0 {
+			os.Remove(s.path)
+		}
+	}
+	w3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if err := w3.CorruptTail(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("CorruptTail = %v, want ErrCorrupt", err)
+	}
+	// The valid prefix still replays (no error: the corrupted segment's
+	// expected end is exactly the prefix the reopened log continues from).
+	_, payloads, _ := collect(t, w3, 0)
+	if len(payloads) != 1 || string(payloads[0]) != "one" {
+		t.Fatalf("prefix replay gave %q, want just one", payloads)
+	}
+}
+
+func TestWALTransientFaultsRetried(t *testing.T) {
+	dir := t.TempDir()
+	fi := storage.NewScriptedInjector(
+		storage.FaultRule{Op: storage.OpWALAppend, Seq: 1, Kind: storage.FaultTransientEIO},
+		storage.FaultRule{Op: storage.OpWALSync, Seq: 1, Kind: storage.FaultSyncFail},
+	)
+	w, err := Open(dir, Options{
+		Injector: fi,
+		Retry:    storage.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Both the first append attempt and the first fsync attempt fail with a
+	// transient fault; the retry loop hides both from the caller.
+	lsn, err := w.Append(TypeReport, []byte("retried"))
+	if err != nil {
+		t.Fatalf("Append with transient fault = %v, want retried success", err)
+	}
+	if err := w.Commit(lsn); err != nil {
+		t.Fatalf("Commit with transient fsync fault = %v, want retried success", err)
+	}
+	if w.Retries() < 2 {
+		t.Fatalf("Retries = %d, want >= 2", w.Retries())
+	}
+	_, payloads, _ := collect(t, w, 0)
+	if len(payloads) != 1 || string(payloads[0]) != "retried" {
+		t.Fatalf("replay gave %q", payloads)
+	}
+}
+
+func TestWALPermanentAppendFaultSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	fi := storage.NewScriptedInjector(
+		storage.FaultRule{Op: storage.OpWALAppend, Seq: 2, Kind: storage.FaultPermanentEIO},
+	)
+	w, err := Open(dir, Options{
+		Injector: fi,
+		Retry:    storage.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(TypeReport, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Append(TypeReport, []byte("doomed"))
+	if err == nil || storage.IsTransient(err) {
+		t.Fatalf("append under permanent fault = %v, want non-transient error", err)
+	}
+	if !storage.IsMediaFault(err) {
+		t.Fatalf("append error %v is not classified as a media fault", err)
+	}
+	// The fault fired before any byte hit the file: the log is NOT poisoned
+	// for durability purposes, and the latched op keeps failing.
+	if _, err := w.Append(TypeReport, []byte("still doomed")); err == nil {
+		t.Fatal("latched permanent append fault cleared itself")
+	}
+}

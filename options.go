@@ -84,6 +84,12 @@ type storeConfig struct {
 	ckptEvery   int64
 	walSegBytes int64
 	injector    *FaultInjector
+
+	// retry bounds the transient-fault retry loops in the buffer pools and
+	// the WAL (the zero value takes the storage defaults); scrubEvery is the
+	// background integrity scrubber's cadence (0 disables it).
+	retry      RetryPolicy
+	scrubEvery time.Duration
 }
 
 // SyncPolicy says when a durable Store's acknowledged writes must reach
@@ -317,6 +323,23 @@ func WithWALSegmentBytes(n int64) Option {
 func WithFaultInjector(fi *FaultInjector) Option {
 	return func(c *storeConfig) { c.injector = fi }
 }
+
+// WithRetryPolicy bounds the exponential-backoff loop that retries
+// transient storage faults (intermittent EIO, failed fsyncs) under every
+// physical page access and log append before the error ever reaches a Store
+// verb: MaxAttempts total tries, delays doubling from BaseDelay up to
+// MaxDelay. Zero fields take the defaults (4 attempts, 1ms base, 50ms cap).
+// Permanent faults and checksum failures are never retried — they degrade
+// the store instead (see Store.Health).
+func WithRetryPolicy(p RetryPolicy) Option { return func(c *storeConfig) { c.retry = p } }
+
+// WithScrubEvery starts a background scrubber on a durable Store: every d it
+// checksum-verifies each live page of the page file and re-scans the sealed
+// WAL segments, quarantining corrupt pages and degrading the store to
+// read-only when latent corruption is found — instead of letting a future
+// read trip over it. d <= 0 (the default) disables the scrubber; ScrubNow
+// remains the manual trigger. Only meaningful with WithDataDir.
+func WithScrubEvery(d time.Duration) Option { return func(c *storeConfig) { c.scrubEvery = d } }
 
 // WithTauBuckets sizes the tau histograms (default 100, paper setting).
 func WithTauBuckets(n int) Option { return func(c *storeConfig) { c.tauBuckets = n } }

@@ -143,6 +143,16 @@ type Store struct {
 	// write. Its evaluation state is sharded with the same ObjectID hash
 	// as the write path and updated outside the shard locks.
 	subEng atomic.Pointer[subEngine]
+
+	// Health state machine (see health.go): health holds the current Health
+	// value; healthMu guards the reason/cause pair recorded when the Store
+	// first left Healthy. Transitions are one-way (Healthy → Degraded →
+	// Failed), driven by noteIOFault classification at the write-verb exits
+	// and by the background scrubber.
+	health       atomic.Int32
+	healthMu     sync.Mutex
+	healthReason string
+	healthCause  error
 }
 
 // MaintenanceOp names a Store maintenance action.
@@ -160,6 +170,12 @@ const (
 	// MaintCheckpoint is a durable-mode checkpoint (manual Checkpoint call
 	// or the WithCheckpointEvery cadence).
 	MaintCheckpoint MaintenanceOp = "checkpoint"
+	// MaintHealth is a health-state transition (Healthy → Degraded or
+	// → Failed); Err carries the classified cause. See Store.Health.
+	MaintHealth MaintenanceOp = "health"
+	// MaintScrub is one completed integrity scrub pass (the WithScrubEvery
+	// cadence or a manual ScrubNow); Err is the first corruption found.
+	MaintScrub MaintenanceOp = "scrub"
 )
 
 // MaintenanceEvent reports one completed maintenance action to the
@@ -375,6 +391,7 @@ func (s *Store) shardIndex(id ObjectID) int {
 // own pool so concurrent page-cache hits never serialize on one pool mutex.
 func (s *Store) newPool() *storage.BufferPool {
 	p := storage.NewBufferPool(s.disk, s.cfg.base.BufferPages)
+	p.SetRetryPolicy(s.cfg.retry)
 	s.poolMu.Lock()
 	s.pools = append(s.pools, p)
 	s.poolMu.Unlock()
@@ -393,6 +410,7 @@ func (s *Store) buildManager(an core.Analysis, pools *[]*storage.BufferPool) (*c
 		SearchParallelism:  s.cfg.searchPar,
 	}, func(spec core.PartitionSpec) (model.Index, error) {
 		p := storage.NewBufferPool(s.disk, s.cfg.base.BufferPages)
+		p.SetRetryPolicy(s.cfg.retry)
 		idx, err := buildBase(p, s.cfg.base, spec.Domain, spec.Name)
 		if err != nil {
 			return nil, err
@@ -1012,6 +1030,10 @@ func (s *Store) Search(q RangeQuery) ([]ObjectID, error) {
 		return nil
 	})
 	if err != nil {
+		// Reads are never gated by health — a degraded store keeps serving
+		// queries — but a read that surfaced a media fault still moves the
+		// health state machine.
+		s.noteIOFault(err)
 		return nil, err
 	}
 	if len(lists) == 1 {
@@ -1058,6 +1080,7 @@ func (s *Store) SearchKNN(q KNNQuery) ([]Neighbor, error) {
 		return nil
 	})
 	if err != nil {
+		s.noteIOFault(err)
 		return nil, err
 	}
 	if len(lists) == 1 {

@@ -390,6 +390,9 @@ func (s *Store) Subscribe(sub Subscription, now float64) (SubscriptionID, []Moni
 		return 0, nil, err
 	}
 	if d := s.dur; d != nil && !d.recovering.Load() {
+		if herr := s.writeAllowed(); herr != nil {
+			return 0, nil, herr
+		}
 		d.commitMu.RLock()
 		id, evs, err := s.subscribeApply(sub, now)
 		var (
@@ -401,12 +404,15 @@ func (s *Store) Subscribe(sub Subscription, now float64) (SubscriptionID, []Moni
 		}
 		d.commitMu.RUnlock()
 		if err != nil {
+			s.noteIOFault(err)
 			return 0, nil, err
 		}
 		if werr != nil {
+			s.noteIOFault(werr)
 			return 0, nil, werr
 		}
 		if cerr := d.wal.Commit(lsn); cerr != nil {
+			s.noteIOFault(cerr)
 			return 0, nil, cerr
 		}
 		d.noteRecords(s, 1)
@@ -533,15 +539,20 @@ func (s *Store) RefreshSubscriptions(now float64) ([]MonitorEvent, error) {
 	}
 	// A refresh mutates memberships as a function of time alone, so recovery
 	// must replay it at the same clock to reproduce the same result sets:
-	// it is logged like any other write.
+	// it is logged like any other write, and gated like one.
+	if herr := s.writeAllowed(); herr != nil {
+		return nil, herr
+	}
 	d.commitMu.RLock()
 	evs, err := s.refreshApply(now)
 	lsn, werr := d.wal.Append(wal.TypeRefresh, wal.EncodeRefresh(now))
 	d.commitMu.RUnlock()
 	if werr != nil {
+		s.noteIOFault(werr)
 		return evs, werr
 	}
 	if cerr := d.wal.Commit(lsn); cerr != nil {
+		s.noteIOFault(cerr)
 		return evs, cerr
 	}
 	d.noteRecords(s, 1)
