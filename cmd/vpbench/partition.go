@@ -1,0 +1,281 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	vpindex "repro"
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// partitionResult is one (workload, objective) measurement of the
+// partitioning-objective experiment.
+type partitionResult struct {
+	Workload     string  `json:"workload"`  // "road-grid", "drift", "speed-mixture"
+	Objective    string  `json:"objective"` // "dva", "speed", "none", "auto"
+	FinalKind    string  `json:"final_kind"`
+	Repartitions int64   `json:"repartitions"`
+	Queries      int     `json:"queries"`
+	IOPerSearch  float64 `json:"io_per_search"`
+}
+
+// partitionReport is the BENCH_partition.json schema: the cost-driven
+// objective chooser's datapoint in the repo's perf trajectory.
+type partitionReport struct {
+	Experiment string            `json:"experiment"`
+	Objects    int               `json:"objects"`
+	Duration   float64           `json:"duration_ts"`
+	Results    []partitionResult `json:"results"`
+	// AutoVsBestFixed maps each workload to auto's I/O divided by the best
+	// fixed objective's — the chooser's headline: <= 1.1 everywhere means
+	// auto is never more than 10% off the per-workload optimum no one
+	// objective achieves across all three workloads.
+	AutoVsBestFixed map[string]float64 `json:"auto_vs_best_fixed"`
+	// SpeedVsDVAOnMixture is speed-band I/O over DVA I/O on the isotropic
+	// speed mixture (< 1 means speed bands beat the paper's objective where
+	// no dominant axis exists).
+	SpeedVsDVAOnMixture float64 `json:"speed_vs_dva_on_mixture"`
+}
+
+// partitionWorkload is one pre-materialized workload: the initial
+// population, the analysis sample, the report stream, the in-stream query
+// stream (unmeasured; it feeds the auto chooser's query-shape log), and the
+// measured tail queries.
+type partitionWorkload struct {
+	name    string
+	sample  []vpindex.Vec2
+	initial []vpindex.Object
+	stream  []vpindex.Object
+	inQ     []vpindex.RangeQuery
+	tailQ   []vpindex.RangeQuery
+}
+
+// runPartition compares the partitioning objectives — fixed DVA, fixed
+// speed bands, unpartitioned, and the cost-driven auto chooser — on three
+// workloads: a stable two-axis road grid (DVA's home turf), the 45°
+// direction drift of -exp drift, and an isotropic speed mixture with no
+// dominant axis (speed partitioning's home turf). Every store gets the same
+// adaptive repartition policy, the same phase-0 sample, and the same report
+// and query streams; query I/O per search is measured over a tail window at
+// stream end with a warm-up discard, clean-sample guarded exactly like -exp
+// drift. Results go to stdout and the JSON report at outPath.
+func runPartition(sc bench.Scale, seed int64, outPath string) error {
+	speed := sc.DomainSide * 0.003
+	domain := vpindex.R(0, 0, sc.DomainSide, sc.DomainSide)
+	radius := sc.DomainSide / 40
+	interval := sc.Duration / 8
+	predictive := interval * 4
+
+	grid := func(name string, angle1 float64) (*partitionWorkload, error) {
+		gen, err := workload.NewDriftGenerator(workload.DriftParams{
+			NumObjects:     sc.Objects,
+			Domain:         domain,
+			MeanSpeed:      speed,
+			SpeedJitter:    speed * 2 / 3,
+			PerpJitter:     speed / 20,
+			Axes:           2,
+			Angle0:         0,
+			Angle1:         angle1,
+			SwitchT:        sc.Duration / 2,
+			Duration:       sc.Duration,
+			UpdateInterval: interval,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wl := &partitionWorkload{
+			name:    name,
+			sample:  gen.VelocitySample(min(sc.Objects, 10_000)),
+			initial: gen.Initial(),
+			inQ:     gen.DriftQueries(sc.Queries, 0, sc.Duration, radius, predictive, seed+13),
+			tailQ:   gen.DriftQueries(2*sc.Queries, sc.Duration, sc.Duration, radius, predictive, seed+17),
+		}
+		for {
+			o, ok := gen.Next()
+			if !ok {
+				return wl, nil
+			}
+			wl.stream = append(wl.stream, o)
+		}
+	}
+	mix := func() (*partitionWorkload, error) {
+		gen, err := workload.NewSpeedMixGenerator(workload.SpeedMixParams{
+			NumObjects:     sc.Objects,
+			Domain:         domain,
+			SlowFraction:   0.6,
+			SlowSpeed:      speed / 25,
+			FastSpeed:      speed,
+			Duration:       sc.Duration,
+			UpdateInterval: interval,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wl := &partitionWorkload{
+			name:    "speed-mixture",
+			sample:  gen.VelocitySample(min(sc.Objects, 10_000)),
+			initial: gen.Initial(),
+			inQ:     gen.Queries(sc.Queries, 0, sc.Duration, radius, predictive, seed+13),
+			tailQ:   gen.Queries(2*sc.Queries, sc.Duration, sc.Duration, radius, predictive, seed+17),
+		}
+		for {
+			o, ok := gen.Next()
+			if !ok {
+				return wl, nil
+			}
+			wl.stream = append(wl.stream, o)
+		}
+	}
+
+	var workloads []*partitionWorkload
+	stable, err := grid("road-grid", 0)
+	if err != nil {
+		return err
+	}
+	drifting, err := grid("drift", math.Pi/4)
+	if err != nil {
+		return err
+	}
+	mixture, err := mix()
+	if err != nil {
+		return err
+	}
+	workloads = append(workloads, stable, drifting, mixture)
+
+	objectives := []struct {
+		name string
+		opt  vpindex.Option
+	}{
+		{"dva", vpindex.WithPartitioner(vpindex.ObjectiveDVA)},
+		{"speed", vpindex.WithPartitioner(vpindex.ObjectiveSpeed)},
+		{"none", vpindex.WithPartitioner(vpindex.ObjectiveNone)},
+		{"auto", vpindex.WithPartitionerAuto()},
+	}
+
+	rep := partitionReport{
+		Experiment:      "partition",
+		Objects:         sc.Objects,
+		Duration:        sc.Duration,
+		AutoVsBestFixed: map[string]float64{},
+	}
+	io := map[string]map[string]float64{} // workload -> objective -> I/O per search
+	for _, wl := range workloads {
+		io[wl.name] = map[string]float64{}
+		for _, obj := range objectives {
+			store, err := vpindex.Open(
+				vpindex.WithKind(vpindex.Bx),
+				vpindex.WithDomain(domain),
+				vpindex.WithBufferPages(sc.Buffer),
+				vpindex.WithMaxUpdateInterval(interval),
+				obj.opt,
+				vpindex.WithVelocityPartitioning(2),
+				vpindex.WithVelocitySample(wl.sample),
+				vpindex.WithRepartitionPolicy(vpindex.RepartitionPolicy{
+					Every:          sc.Objects,
+					DriftThreshold: 0.3,
+					ReservoirSize:  sc.Objects,
+				}),
+				vpindex.WithSeed(seed),
+			)
+			if err != nil {
+				return err
+			}
+			if err := store.ReportBatch(wl.initial); err != nil {
+				return err
+			}
+			// Replay the stream; in-stream queries run unmeasured — their
+			// job is realism and feeding the chooser's query-shape log.
+			qi := 0
+			for _, o := range wl.stream {
+				if err := store.Report(o); err != nil {
+					return err
+				}
+				for qi < len(wl.inQ) && wl.inQ[qi].Now <= o.T {
+					if _, err := store.Search(wl.inQ[qi]); err != nil {
+						return err
+					}
+					qi++
+				}
+			}
+			// Let an in-flight background swap land before the tail window.
+			for w := 0; w < 200 && store.Stats().SwapInFlight; w++ {
+				time.Sleep(10 * time.Millisecond)
+			}
+			// Tail measurement: first half warms the page cache, the second
+			// half is counted — dropping any sample a background swap dirtied
+			// (same clean-sample guard as -exp drift).
+			var tio, tn int64
+			for i, q := range wl.tailQ {
+				before := store.Stats()
+				if _, err := store.Search(q); err != nil {
+					return err
+				}
+				if i < len(wl.tailQ)/2 {
+					continue
+				}
+				after := store.Stats()
+				if before.SwapInFlight || after.SwapInFlight ||
+					after.PartitionEpoch != before.PartitionEpoch ||
+					after.Repartitions != before.Repartitions {
+					continue
+				}
+				tio += after.Reads - before.Reads
+				tn++
+			}
+			perSearch := 0.0
+			if tn > 0 {
+				perSearch = float64(tio) / float64(tn)
+			}
+			an, _ := store.Analysis()
+			r := partitionResult{
+				Workload:     wl.name,
+				Objective:    obj.name,
+				FinalKind:    an.Kind.String(),
+				Repartitions: store.Stats().Repartitions,
+				Queries:      int(tn),
+				IOPerSearch:  perSearch,
+			}
+			io[wl.name][obj.name] = perSearch
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("partition: %-13s %-5s  final=%-5s swaps=%d  %4d queries, avg I/O %7.1f\n",
+				wl.name, obj.name, r.FinalKind, r.Repartitions, tn, perSearch)
+		}
+	}
+
+	for _, wl := range workloads {
+		best := math.Inf(1)
+		for _, fixed := range []string{"dva", "speed", "none"} {
+			if v := io[wl.name][fixed]; v > 0 && v < best {
+				best = v
+			}
+		}
+		if best > 0 && !math.IsInf(best, 1) {
+			rep.AutoVsBestFixed[wl.name] = io[wl.name]["auto"] / best
+		}
+	}
+	if dva := io["speed-mixture"]["dva"]; dva > 0 {
+		rep.SpeedVsDVAOnMixture = io["speed-mixture"]["speed"] / dva
+	}
+	for _, wl := range workloads {
+		fmt.Printf("partition: %-13s auto at %.2fx of the best fixed objective\n",
+			wl.name, rep.AutoVsBestFixed[wl.name])
+	}
+	fmt.Printf("partition: speed bands at %.2fx of DVA I/O on the speed mixture\n\n",
+		rep.SpeedVsDVAOnMixture)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("partition: wrote %s\n\n", outPath)
+	return nil
+}

@@ -71,7 +71,10 @@ func main() {
 	}
 	an, _ := store.Analysis()
 	fmt.Println("corridors discovered by the velocity analyzer:")
-	for i, d := range an.DVAs {
+	for i, d := range an.Frames {
+		if d.IsOutlier {
+			continue
+		}
 		fmt.Printf("  corridor %d: heading %6.1f deg, tau %.1f m/ts\n",
 			i, d.Axis.Angle()*180/math.Pi, d.Tau)
 	}

@@ -51,7 +51,10 @@ func main() {
 
 	an, _ := store.Analysis()
 	fmt.Println("velocity analysis:")
-	for i, d := range an.DVAs {
+	for i, d := range an.Frames {
+		if d.IsOutlier {
+			continue
+		}
 		fmt.Printf("  DVA %d: axis (%.3f, %.3f), tau %.2f m/ts, %d sample points kept\n",
 			i, d.Axis.X, d.Axis.Y, d.Tau, d.Count)
 	}

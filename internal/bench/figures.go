@@ -400,7 +400,10 @@ func RunDVADump(ds workload.Dataset, sc Scale, seed int64) (Table, error) {
 	if err != nil {
 		return tab, err
 	}
-	for i, d := range an.DVAs {
+	for i, d := range an.Frames {
+		if d.IsOutlier {
+			continue
+		}
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprintf("VP (partition %d)", i),
 			fmt.Sprintf("(%.3f, %.3f)", d.Axis.X, d.Axis.Y),

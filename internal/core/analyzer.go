@@ -1,19 +1,24 @@
 // Package core implements the velocity partitioning (VP) technique — the
 // contribution of "Boosting Moving Object Indexing through Velocity
-// Partitioning" (Nguyen, He, Zhang, Ward; PVLDB 5(9), 2012).
+// Partitioning" (Nguyen, He, Zhang, Ward; PVLDB 5(9), 2012) — behind a
+// pluggable partitioning-objective contract.
 //
-// The package has the paper's two components (Fig. 9):
+// The package has the paper's two components (Fig. 9), generalized:
 //
-//   - the velocity analyzer (this file): finds the dominant velocity axes
-//     (DVAs) of a velocity-point sample with the PCA-guided k-means of
-//     Algorithm 2, and derives each partition's outlier threshold tau by
-//     minimizing the search-area expansion objective of Section 5.2
-//     (Eq. 10);
+//   - the velocity analyzers (partitioner.go, this file): a Partitioner
+//     turns a velocity sample into partition Frames. The paper's objective
+//     (DVAPartitioner / Analyze) finds the dominant velocity axes (DVAs)
+//     with the PCA-guided k-means of Algorithm 2 and derives each
+//     partition's outlier threshold tau by minimizing the search-area
+//     expansion objective of Section 5.2 (Eq. 10); SpeedPartitioner
+//     implements concentric speed bands, and NonePartitioner the
+//     unpartitioned baseline. EstimateCost (cost.go) scores any candidate
+//     Analysis against a recent query-shape log so an adaptive store can
+//     pick the cheapest objective per workload;
 //   - the index manager (manager.go): maintains one moving-object index per
-//     DVA — built over the coordinate frame rotated so the DVA is the
-//     x-axis — plus one outlier index in the standard frame, and routes
-//     inserts, deletes, updates and range queries across them
-//     (Algorithms 1 and 3).
+//     partition frame — rotated for DVA frames, identity otherwise — and
+//     routes inserts, deletes, updates and range queries across them
+//     (Algorithms 1 and 3), whatever objective produced the frames.
 package core
 
 import (
@@ -26,8 +31,8 @@ import (
 	"repro/internal/geom"
 )
 
-// AnalyzerConfig parameterizes the velocity analyzer. Zero values take the
-// paper's settings.
+// AnalyzerConfig parameterizes the DVA velocity analyzer. Zero values take
+// the paper's settings.
 type AnalyzerConfig struct {
 	// K is the number of DVA partitions. The paper sets 2 for road
 	// networks ("most road networks have two dominant traffic directions").
@@ -50,42 +55,11 @@ func (c AnalyzerConfig) withDefaults() AnalyzerConfig {
 	return c
 }
 
-// DVA describes one dominant velocity axis found by the analyzer.
-type DVA struct {
-	// Axis is the unit direction of the DVA (sign-canonical: x >= 0).
-	Axis geom.Vec2
-	// Tau is the outlier threshold: an object whose velocity's
-	// perpendicular distance to Axis exceeds Tau is routed to the outlier
-	// partition (Section 5.2).
-	Tau float64
-	// Count is the number of sample points retained in this partition
-	// after outlier removal; OutlierCount is how many it shed.
-	Count        int
-	OutlierCount int
-	// Dominance is lambda1/(lambda1+lambda2) of the retained points: 1.0
-	// means the partition moves in a perfectly 1-D velocity space.
-	Dominance float64
-}
-
-// Rotation returns the world->DVA-frame rotation matrix [PC1; PC2].
-func (d DVA) Rotation() geom.Mat2 { return geom.RotationTo(d.Axis) }
-
-// Analysis is the velocity analyzer's output: the partition boundaries the
-// index manager needs, plus diagnostics.
-type Analysis struct {
-	DVAs []DVA
-	// TotalOutliers counts sample points assigned to the outlier
-	// partition.
-	TotalOutliers int
-	// SampleSize is the number of velocity points analyzed.
-	SampleSize int
-	// Elapsed is the analyzer's wall-clock run time (Fig. 18 measures it).
-	Elapsed time.Duration
-}
-
 // Analyze runs Algorithm 1 (VelocityPartitioning) over a sample of velocity
 // points: find the DVAs with the PC-distance k-means, derive tau per
-// partition, shed outliers, and recompute each DVA over the survivors.
+// partition, shed outliers, and recompute each DVA over the survivors. The
+// result is a KindDVA Analysis whose frames are the K DVA partitions
+// followed by the outlier frame.
 func Analyze(sample []geom.Vec2, cfg AnalyzerConfig) (Analysis, error) {
 	start := time.Now()
 	cfg = cfg.withDefaults()
@@ -97,15 +71,15 @@ func Analyze(sample []geom.Vec2, cfg AnalyzerConfig) (Analysis, error) {
 	if err != nil {
 		return Analysis{}, err
 	}
-	out := Analysis{DVAs: make([]DVA, cfg.K), SampleSize: len(sample)}
+	out := Analysis{Kind: KindDVA, Frames: make([]Frame, cfg.K), SampleSize: len(sample)}
 	for ci, cl := range clusters {
 		member := make([]geom.Vec2, 0, cl.Count)
 		for _, idx := range cl.Members {
 			member = append(member, sample[idx])
 		}
-		d := DVA{Axis: cl.Axis}
+		f := Frame{Axis: cl.Axis}
 		if len(member) == 0 {
-			out.DVAs[ci] = d
+			out.Frames[ci] = f
 			continue
 		}
 		// Line 4: tau from the perpendicular-speed distribution (Sec. 5.2).
@@ -113,28 +87,29 @@ func Analyze(sample []geom.Vec2, cfg AnalyzerConfig) (Analysis, error) {
 		for i, v := range member {
 			perp[i] = v.PerpDistToAxis(cl.Axis)
 		}
-		d.Tau = OptimalTau(perp, cfg.TauBuckets)
+		f.Tau = OptimalTau(perp, cfg.TauBuckets)
 		// Line 5: shed the outliers.
 		kept := member[:0]
 		for i, v := range member {
-			if perp[i] <= d.Tau {
+			if perp[i] <= f.Tau {
 				kept = append(kept, v)
 			} else {
-				d.OutlierCount++
+				f.OutlierCount++
 			}
 		}
-		d.Count = len(kept)
-		out.TotalOutliers += d.OutlierCount
+		f.Count = len(kept)
+		out.TotalOutliers += f.OutlierCount
 		// Line 6: recompute the DVA over the survivors for a more precise
 		// axis (and the dominance diagnostic).
 		if len(kept) > 0 {
 			if res, err := pca.Analyze(kept, pca.Uncentered); err == nil {
-				d.Axis = res.PC1
-				_, d.Dominance = res.Axis()
+				f.Axis = res.PC1
+				_, f.Dominance = res.Axis()
 			}
 		}
-		out.DVAs[ci] = d
+		out.Frames[ci] = f
 	}
+	out.Frames = append(out.Frames, Frame{IsOutlier: true, Count: out.TotalOutliers})
 	out.Elapsed = time.Since(start)
 	return out, nil
 }

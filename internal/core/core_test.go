@@ -56,12 +56,21 @@ func TestAnalyzeFindsDVAsAndTau(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(an.DVAs) != 2 || an.SampleSize != 10000 {
+	if an.Kind != KindDVA || len(an.Frames) != 3 || an.NumVelocityFrames() != 2 || an.SampleSize != 10000 {
 		t.Fatalf("analysis: %+v", an)
+	}
+	if !an.Frames[len(an.Frames)-1].IsOutlier {
+		t.Fatal("last frame should be the outlier frame")
+	}
+	if err := an.Validate(); err != nil {
+		t.Fatalf("analysis invalid: %v", err)
 	}
 	for _, want := range []geom.Vec2{{X: 1, Y: 0}, {X: 0, Y: 1}} {
 		found := false
-		for _, d := range an.DVAs {
+		for _, d := range an.Frames {
+			if d.IsOutlier {
+				continue
+			}
 			if axisAngleDiff(d.Axis, want) < 0.05 {
 				found = true
 				// Tau should be a few jitter sigmas: > 1, well below the
@@ -639,14 +648,8 @@ func TestReanalyzeRebuildsPartitions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	drift := m.AxisDrift(an)
-	if len(drift) != 2 {
-		t.Fatalf("drift entries: %d", len(drift))
-	}
-	for _, d := range drift {
-		if d < math.Pi/8 {
-			t.Fatalf("expected large axis drift, got %g rad", d)
-		}
+	if drift := m.Drift(an); drift < math.Pi/8 {
+		t.Fatalf("expected large axis drift, got %g rad", drift)
 	}
 	if err := m.Reanalyze(an, tprFactory(pool)); err != nil {
 		t.Fatal(err)

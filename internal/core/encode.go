@@ -8,56 +8,142 @@ import (
 
 // Analysis wire codec, used by the durable Store: partition-swap WAL records
 // and checkpoint files persist the Analysis so recovery can rebuild the
-// exact same velocity partitions without re-running the analyzer (whose
+// exact same velocity partitions without re-running the partitioner (whose
 // k-means would otherwise need the original sample). Elapsed is diagnostic
 // only and is not persisted.
+//
+// Two formats coexist:
+//
+//   - v2 (written by EncodeAnalysis): a sentinel + version header, the
+//     partitioner kind, and the full Frame set, so checkpoints carry any
+//     objective.
+//   - legacy (pre-Partitioner checkpoints): no header; SampleSize leads,
+//     followed by the DVA-only partition records. DecodeAnalysis detects it
+//     by the absence of the sentinel — a legacy encoding's first word is
+//     SampleSize, which can never be 2^64-1 — and decodes it as a KindDVA
+//     analysis, synthesizing the outlier frame the old format left
+//     implicit.
+
+// encSentinel marks the versioned format. A legacy encoding starts with
+// SampleSize (an int, so < 2^63); the all-ones word is unreachable there.
+const encSentinel = ^uint64(0)
+
+// encVersion is the current format version.
+const encVersion = 2
+
+const (
+	v2Header     = 8 + 8 + 1 + 8 + 8 + 8 // sentinel, version, kind, sample, outliers, nframes
+	v2FrameBytes = 6*8 + 2*8 + 1         // axis x/y, tau, speed min/max, dominance, count, outlierCount, flags
+
+	legacyHeader     = 24
+	legacyFrameBytes = 48
+)
 
 func appendF64(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }
 
-// EncodeAnalysis serializes an Analysis (fixed-width little-endian).
+// EncodeAnalysis serializes an Analysis in the versioned format
+// (fixed-width little-endian).
 func EncodeAnalysis(an Analysis) []byte {
-	b := make([]byte, 0, 24+len(an.DVAs)*48)
+	b := make([]byte, 0, v2Header+len(an.Frames)*v2FrameBytes)
+	b = binary.LittleEndian.AppendUint64(b, encSentinel)
+	b = binary.LittleEndian.AppendUint64(b, encVersion)
+	b = append(b, byte(an.Kind))
 	b = binary.LittleEndian.AppendUint64(b, uint64(an.SampleSize))
 	b = binary.LittleEndian.AppendUint64(b, uint64(an.TotalOutliers))
-	b = binary.LittleEndian.AppendUint64(b, uint64(len(an.DVAs)))
-	for _, d := range an.DVAs {
-		b = appendF64(b, d.Axis.X)
-		b = appendF64(b, d.Axis.Y)
-		b = appendF64(b, d.Tau)
-		b = binary.LittleEndian.AppendUint64(b, uint64(d.Count))
-		b = binary.LittleEndian.AppendUint64(b, uint64(d.OutlierCount))
-		b = appendF64(b, d.Dominance)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(an.Frames)))
+	for _, f := range an.Frames {
+		b = appendF64(b, f.Axis.X)
+		b = appendF64(b, f.Axis.Y)
+		b = appendF64(b, f.Tau)
+		b = appendF64(b, f.SpeedMin)
+		b = appendF64(b, f.SpeedMax)
+		b = appendF64(b, f.Dominance)
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.Count))
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.OutlierCount))
+		var flags byte
+		if f.IsOutlier {
+			flags |= 1
+		}
+		b = append(b, flags)
 	}
 	return b
 }
 
-// DecodeAnalysis reverses EncodeAnalysis.
+// DecodeAnalysis reverses EncodeAnalysis, accepting both the versioned
+// format and the legacy pre-Partitioner format still present in old
+// checkpoints and WAL swap records.
 func DecodeAnalysis(p []byte) (Analysis, error) {
-	const header = 24
-	const dvaBytes = 48
-	if len(p) < header {
+	if len(p) >= 8 && binary.LittleEndian.Uint64(p) == encSentinel {
+		return decodeAnalysisV2(p)
+	}
+	return decodeAnalysisLegacy(p)
+}
+
+func decodeAnalysisV2(p []byte) (Analysis, error) {
+	if len(p) < v2Header {
+		return Analysis{}, fmt.Errorf("core: truncated analysis")
+	}
+	if v := binary.LittleEndian.Uint64(p[8:]); v != encVersion {
+		return Analysis{}, fmt.Errorf("core: unknown analysis format version %d", v)
+	}
+	var an Analysis
+	an.Kind = PartitionerKind(p[16])
+	an.SampleSize = int(binary.LittleEndian.Uint64(p[17:]))
+	an.TotalOutliers = int(binary.LittleEndian.Uint64(p[25:]))
+	n := binary.LittleEndian.Uint64(p[33:])
+	if uint64(len(p)-v2Header) != n*v2FrameBytes {
+		return Analysis{}, fmt.Errorf("core: analysis length mismatch")
+	}
+	p = p[v2Header:]
+	an.Frames = make([]Frame, n)
+	for i := range an.Frames {
+		f := &an.Frames[i]
+		f.Axis.X = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		f.Axis.Y = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		f.Tau = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+		f.SpeedMin = math.Float64frombits(binary.LittleEndian.Uint64(p[24:]))
+		f.SpeedMax = math.Float64frombits(binary.LittleEndian.Uint64(p[32:]))
+		f.Dominance = math.Float64frombits(binary.LittleEndian.Uint64(p[40:]))
+		f.Count = int(binary.LittleEndian.Uint64(p[48:]))
+		f.OutlierCount = int(binary.LittleEndian.Uint64(p[56:]))
+		f.IsOutlier = p[64]&1 != 0
+		p = p[v2FrameBytes:]
+	}
+	return an, nil
+}
+
+// decodeAnalysisLegacy reads the pre-Partitioner format: SampleSize,
+// TotalOutliers, a DVA count, then 48 bytes per DVA. The outlier partition
+// was implicit in that format (the manager always appended one), so it is
+// synthesized here as the final frame.
+func decodeAnalysisLegacy(p []byte) (Analysis, error) {
+	if len(p) < legacyHeader {
 		return Analysis{}, fmt.Errorf("core: truncated analysis")
 	}
 	var an Analysis
+	an.Kind = KindDVA
 	an.SampleSize = int(binary.LittleEndian.Uint64(p))
 	an.TotalOutliers = int(binary.LittleEndian.Uint64(p[8:]))
 	n := binary.LittleEndian.Uint64(p[16:])
-	if uint64(len(p)-header) != n*dvaBytes {
+	if uint64(len(p)-legacyHeader) != n*legacyFrameBytes {
 		return Analysis{}, fmt.Errorf("core: analysis length mismatch")
 	}
-	p = p[header:]
-	an.DVAs = make([]DVA, n)
-	for i := range an.DVAs {
-		d := &an.DVAs[i]
-		d.Axis.X = math.Float64frombits(binary.LittleEndian.Uint64(p))
-		d.Axis.Y = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
-		d.Tau = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
-		d.Count = int(binary.LittleEndian.Uint64(p[24:]))
-		d.OutlierCount = int(binary.LittleEndian.Uint64(p[32:]))
-		d.Dominance = math.Float64frombits(binary.LittleEndian.Uint64(p[40:]))
-		p = p[dvaBytes:]
+	p = p[legacyHeader:]
+	an.Frames = make([]Frame, n, n+1)
+	for i := range an.Frames {
+		f := &an.Frames[i]
+		f.Axis.X = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		f.Axis.Y = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		f.Tau = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+		f.Count = int(binary.LittleEndian.Uint64(p[24:]))
+		f.OutlierCount = int(binary.LittleEndian.Uint64(p[32:]))
+		f.Dominance = math.Float64frombits(binary.LittleEndian.Uint64(p[40:]))
+		p = p[legacyFrameBytes:]
+	}
+	if n > 0 {
+		an.Frames = append(an.Frames, Frame{IsOutlier: true, Count: an.TotalOutliers})
 	}
 	return an, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/hex"
+	"math"
 	"testing"
 
 	"repro/internal/geom"
@@ -8,9 +10,11 @@ import (
 
 func TestAnalysisCodecRoundTrip(t *testing.T) {
 	an := Analysis{
-		DVAs: []DVA{
+		Kind: KindDVA,
+		Frames: []Frame{
 			{Axis: geom.V(0.8, 0.6), Tau: 3.25, Count: 4200, OutlierCount: 17, Dominance: 0.41},
 			{Axis: geom.V(-0.6, 0.8), Tau: 1.5, Count: 3800, OutlierCount: 9, Dominance: 0.38},
+			{IsOutlier: true, Count: 26},
 		},
 		TotalOutliers: 26,
 		SampleSize:    10_000,
@@ -19,22 +23,22 @@ func TestAnalysisCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.SampleSize != an.SampleSize || got.TotalOutliers != an.TotalOutliers || len(got.DVAs) != len(an.DVAs) {
+	if got.Kind != an.Kind || got.SampleSize != an.SampleSize || got.TotalOutliers != an.TotalOutliers || len(got.Frames) != len(an.Frames) {
 		t.Fatalf("header mismatch: %+v", got)
 	}
-	for i := range an.DVAs {
-		if got.DVAs[i] != an.DVAs[i] {
-			t.Fatalf("DVA %d = %+v, want %+v", i, got.DVAs[i], an.DVAs[i])
+	for i := range an.Frames {
+		if got.Frames[i] != an.Frames[i] {
+			t.Fatalf("frame %d = %+v, want %+v", i, got.Frames[i], an.Frames[i])
 		}
 	}
 
-	// Empty analysis (no DVAs) round-trips too.
+	// Empty analysis (no frames) round-trips too.
 	empty, err := DecodeAnalysis(EncodeAnalysis(Analysis{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(empty.DVAs) != 0 {
-		t.Fatalf("empty analysis decoded %d DVAs", len(empty.DVAs))
+	if len(empty.Frames) != 0 {
+		t.Fatalf("empty analysis decoded %d frames", len(empty.Frames))
 	}
 
 	// Truncation and trailing bytes are rejected.
@@ -47,5 +51,83 @@ func TestAnalysisCodecRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeAnalysis(b[:10]); err == nil {
 		t.Fatal("truncated header decoded")
+	}
+}
+
+func TestAnalysisCodecRoundTripSpeedAndNone(t *testing.T) {
+	for _, an := range []Analysis{
+		{
+			Kind: KindSpeed,
+			Frames: []Frame{
+				{SpeedMin: 0, SpeedMax: 12.5, Count: 7000},
+				{SpeedMin: 12.5, SpeedMax: math.Inf(1), Count: 3000},
+			},
+			SampleSize: 10_000,
+		},
+		{
+			Kind:       KindNone,
+			Frames:     []Frame{{SpeedMax: math.Inf(1), Count: 500}},
+			SampleSize: 500,
+		},
+	} {
+		if err := an.Validate(); err != nil {
+			t.Fatalf("%s analysis invalid: %v", an.Kind, err)
+		}
+		got, err := DecodeAnalysis(EncodeAnalysis(an))
+		if err != nil {
+			t.Fatalf("%s: %v", an.Kind, err)
+		}
+		if got.Kind != an.Kind || got.SampleSize != an.SampleSize || len(got.Frames) != len(an.Frames) {
+			t.Fatalf("%s header mismatch: %+v", an.Kind, got)
+		}
+		for i := range an.Frames {
+			if got.Frames[i] != an.Frames[i] {
+				t.Fatalf("%s frame %d = %+v, want %+v", an.Kind, i, got.Frames[i], an.Frames[i])
+			}
+		}
+	}
+}
+
+// TestDecodeLegacyAnalysis pins the exact bytes the pre-Partitioner codec
+// (PRs 6/7) produced for a two-DVA analysis, proving old checkpoints and
+// WAL swap records decode into the frame representation: kind DVA, the DVA
+// frames in order, and the formerly implicit outlier frame synthesized
+// last.
+func TestDecodeLegacyAnalysis(t *testing.T) {
+	const legacyHex = "c0060000000000001c00000000000000020000000000000000000000" +
+		"0000f03f00000000000000000000000000000c408403000000000000110000000000" +
+		"00000ad7a3703d0aef3f0000000000000000000000000000f03f0000000000000240" +
+		"20030000000000000b00000000000000713d0ad7a370ed3f"
+	raw, err := hex.DecodeString(legacyHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := DecodeAnalysis(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Analysis{
+		Kind: KindDVA,
+		Frames: []Frame{
+			{Axis: geom.V(1, 0), Tau: 3.5, Count: 900, OutlierCount: 17, Dominance: 0.97},
+			{Axis: geom.V(0, 1), Tau: 2.25, Count: 800, OutlierCount: 11, Dominance: 0.92},
+			{IsOutlier: true, Count: 28},
+		},
+		TotalOutliers: 28,
+		SampleSize:    1728,
+	}
+	if an.Kind != want.Kind || an.SampleSize != want.SampleSize || an.TotalOutliers != want.TotalOutliers {
+		t.Fatalf("header: %+v", an)
+	}
+	if len(an.Frames) != len(want.Frames) {
+		t.Fatalf("frames: %d, want %d", len(an.Frames), len(want.Frames))
+	}
+	for i := range want.Frames {
+		if an.Frames[i] != want.Frames[i] {
+			t.Fatalf("frame %d = %+v, want %+v", i, an.Frames[i], want.Frames[i])
+		}
+	}
+	if err := an.Validate(); err != nil {
+		t.Fatalf("legacy analysis does not validate: %v", err)
 	}
 }

@@ -35,7 +35,7 @@ func (m *Manager) SearchKNN(q model.KNNQuery) ([]model.Neighbor, error) {
 	err := parallel.Do(len(m.pars), m.cfg.SearchParallelism, func(i int) error {
 		p := &m.pars[i]
 		pq := q
-		if !p.spec.IsOutlier {
+		if !p.identity {
 			pq.Center = p.rot.Apply(q.Center)
 		}
 		ns, err := knns[i].SearchKNN(pq)

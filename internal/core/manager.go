@@ -12,17 +12,20 @@ import (
 
 // PartitionSpec describes one partition to the index factory.
 type PartitionSpec struct {
-	// Name labels the partition ("dva0", "dva1", ..., "outlier").
+	// Name labels the partition ("dva0", ..., "outlier"; "speed0", ...;
+	// "all" for the unpartitioned objective).
 	Name string
 	// Domain is the data-space bound in the partition's own coordinate
 	// frame: the rotated bound of the world domain for DVA partitions, the
-	// world domain itself for the outlier partition. Grid-based indexes
-	// (the Bx-tree) size their grids from it.
+	// world domain itself for identity-rotation partitions. Grid-based
+	// indexes (the Bx-tree) size their grids from it.
 	Domain geom.Rect
-	// Axis is the DVA direction (zero vector for the outlier partition).
+	// Axis is the DVA direction (zero vector for every other partition).
 	Axis geom.Vec2
-	// IsOutlier marks the outlier partition.
+	// IsOutlier marks the DVA layout's outlier partition.
 	IsOutlier bool
+	// Frame is the full partition frame the spec was built from.
+	Frame Frame
 }
 
 // IndexFactory builds the underlying moving-object index for one partition.
@@ -59,12 +62,14 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 // partition is one live partition: the underlying index plus the frame
 // transform and routing state.
 type partition struct {
-	spec PartitionSpec
-	idx  model.Index
-	rot  geom.Mat2 // world -> partition frame (identity for outlier)
-	axis geom.Vec2
-	tau  float64
-	hist *tauHistogram // online |v_perp| distribution (DVA partitions)
+	spec     PartitionSpec
+	idx      model.Index
+	rot      geom.Mat2 // world -> partition frame
+	identity bool      // rot is the identity: skip query/object transforms
+	frame    Frame
+	axis     geom.Vec2
+	tau      float64       // live outlier threshold (DVA partitions)
+	hist     *tauHistogram // online |v_perp| distribution (DVA partitions)
 }
 
 // record tracks where an object lives and its last known state; the paper's
@@ -75,19 +80,23 @@ type record struct {
 	part int
 }
 
-// Manager is the VP technique's index manager: k DVA indexes plus an
-// outlier index behind the model.Index interface. It is safe for concurrent
-// use; updates that migrate an object between partitions hold the manager
-// lock for the whole delete+insert so queries never observe the object as
-// missing (the locking concern of Section 5.3), while Search/SearchKNN run
-// under the read lock and fan out across the partitions in parallel —
-// partition independence (each object lives in exactly one partition, and
-// partition indexes share no mutable state on their query paths) is exactly
-// what makes the fan-out safe.
+// Manager is the VP technique's index manager, generalized over
+// partitioning objectives: one index per partition frame — k rotated DVA
+// indexes plus an outlier index, concentric speed-band indexes, or a single
+// unpartitioned index — behind the model.Index interface. It is safe for
+// concurrent use; updates that migrate an object between partitions hold
+// the manager lock for the whole delete+insert so queries never observe the
+// object as missing (the locking concern of Section 5.3), while
+// Search/SearchKNN run under the read lock and fan out across the
+// partitions in parallel — partition independence (each object lives in
+// exactly one partition, and partition indexes share no mutable state on
+// their query paths) is exactly what makes the fan-out safe.
 type Manager struct {
 	mu   sync.RWMutex
 	cfg  ManagerConfig
-	pars []partition // DVA partitions first, outlier last
+	kind PartitionerKind
+	pars []partition // one per analysis frame, in frame order
+
 	objs map[model.ObjectID]record
 
 	insertsSinceRefresh int
@@ -96,47 +105,87 @@ type Manager struct {
 
 var _ model.Index = (*Manager)(nil)
 
-// NewManager builds the partition set from a completed velocity analysis.
-func NewManager(an Analysis, cfg ManagerConfig, factory IndexFactory) (*Manager, error) {
-	cfg = cfg.withDefaults()
-	if len(an.DVAs) == 0 {
-		return nil, fmt.Errorf("core: analysis has no DVAs")
+// frameName labels one partition frame for the index factory.
+func frameName(kind PartitionerKind, i int, f Frame) string {
+	switch {
+	case f.IsOutlier:
+		return "outlier"
+	case kind == KindSpeed:
+		return fmt.Sprintf("speed%d", i)
+	case kind == KindNone:
+		return "all"
+	default:
+		return fmt.Sprintf("dva%d", i)
 	}
-	m := &Manager{
-		cfg:  cfg,
-		objs: make(map[model.ObjectID]record),
-		name: "vp",
-	}
-	for i, d := range an.DVAs {
-		rot := d.Rotation()
+}
+
+// buildPartitions constructs the live partition set for a validated
+// analysis: one index per frame, rotated domains for DVA frames, online tau
+// histograms only where tau routing applies.
+func buildPartitions(an Analysis, cfg ManagerConfig, factory IndexFactory) ([]partition, error) {
+	pars := make([]partition, 0, len(an.Frames))
+	for i, f := range an.Frames {
+		rot := f.Rotation()
+		identity := f.Identity()
+		domain := cfg.Domain
+		if !identity {
+			domain = cfg.Domain.BoundOfTransformed(rot)
+		}
 		spec := PartitionSpec{
-			Name:   fmt.Sprintf("dva%d", i),
-			Domain: cfg.Domain.BoundOfTransformed(rot),
-			Axis:   d.Axis,
+			Name:      frameName(an.Kind, i, f),
+			Domain:    domain,
+			Axis:      f.Axis,
+			IsOutlier: f.IsOutlier,
+			Frame:     f,
 		}
 		idx, err := factory(spec)
 		if err != nil {
 			return nil, fmt.Errorf("core: building %s: %w", spec.Name, err)
 		}
-		// The online tau histogram spans up to the world-domain diagonal
-		// speed scale: use 4x the analysis tau (or 1 if zero) padded; the
-		// exact limit only affects resolution, not correctness.
-		limit := d.Tau * 4
-		if limit <= 0 {
-			limit = 1
+		p := partition{
+			spec: spec, idx: idx, rot: rot, identity: identity,
+			frame: f, axis: f.Axis, tau: f.Tau,
 		}
-		m.pars = append(m.pars, partition{
-			spec: spec, idx: idx, rot: rot, axis: d.Axis, tau: d.Tau,
-			hist: newTauHistogram(limit, cfg.TauBuckets),
-		})
+		if an.Kind == KindDVA && !f.IsOutlier {
+			// The online tau histogram spans up to the world-domain diagonal
+			// speed scale: use 4x the analysis tau (or 1 if zero) padded; the
+			// exact limit only affects resolution, not correctness.
+			limit := f.Tau * 4
+			if limit <= 0 {
+				limit = 1
+			}
+			p.hist = newTauHistogram(limit, cfg.TauBuckets)
+		}
+		pars = append(pars, p)
 	}
-	outSpec := PartitionSpec{Name: "outlier", Domain: cfg.Domain, IsOutlier: true}
-	outIdx, err := factory(outSpec)
+	return pars, nil
+}
+
+// NewManager builds the partition set from a completed velocity analysis,
+// whatever objective produced it.
+func NewManager(an Analysis, cfg ManagerConfig, factory IndexFactory) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if err := an.Validate(); err != nil {
+		return nil, err
+	}
+	pars, err := buildPartitions(an, cfg, factory)
 	if err != nil {
-		return nil, fmt.Errorf("core: building outlier partition: %w", err)
+		return nil, err
 	}
-	m.pars = append(m.pars, partition{spec: outSpec, idx: outIdx, rot: geom.Identity2})
-	return m, nil
+	return &Manager{
+		cfg:  cfg,
+		kind: an.Kind,
+		pars: pars,
+		objs: make(map[model.ObjectID]record),
+		name: "vp",
+	}, nil
+}
+
+// Kind returns the partitioning objective behind the live partition set.
+func (m *Manager) Kind() PartitionerKind {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.kind
 }
 
 // SetName overrides the reported index name.
@@ -172,6 +221,7 @@ type PartitionInfo struct {
 	Spec  PartitionSpec
 	Index model.Index
 	Rot   geom.Mat2
+	Frame Frame
 	Tau   float64
 	Size  int
 }
@@ -182,16 +232,30 @@ func (m *Manager) Partitions() []PartitionInfo {
 	defer m.mu.RUnlock()
 	out := make([]PartitionInfo, len(m.pars))
 	for i, p := range m.pars {
-		out[i] = PartitionInfo{Spec: p.spec, Index: p.idx, Rot: p.rot, Tau: p.tau, Size: p.idx.Len()}
+		out[i] = PartitionInfo{Spec: p.spec, Index: p.idx, Rot: p.rot, Frame: p.frame, Tau: p.tau, Size: p.idx.Len()}
 	}
 	return out
 }
 
-// route decides the partition for an object: the DVA whose axis is closest
-// in perpendicular velocity distance, or the outlier partition when that
-// distance exceeds the DVA's tau (Section 5.3). It also feeds the online
-// tau histogram of the chosen DVA.
+// route decides the partition for an object under the live objective.
+// KindDVA: the DVA whose axis is closest in perpendicular velocity
+// distance, or the outlier partition when that distance exceeds the DVA's
+// (online-refreshed) tau (Section 5.3) — feeding the chosen DVA's tau
+// histogram on the way. KindSpeed: the band containing |v|. KindNone: the
+// single partition.
 func (m *Manager) route(o model.Object) int {
+	switch m.kind {
+	case KindSpeed:
+		s := o.Vel.Norm()
+		for i := range m.pars {
+			if s < m.pars[i].frame.SpeedMax {
+				return i
+			}
+		}
+		return len(m.pars) - 1
+	case KindNone:
+		return 0
+	}
 	best := -1
 	bestDist := 0.0
 	for i := range m.pars {
@@ -230,7 +294,7 @@ func (m *Manager) maybeRefreshTau(n int) {
 	}
 	m.insertsSinceRefresh = 0
 	for i := range m.pars {
-		if m.pars[i].spec.IsOutlier || m.pars[i].hist.total == 0 {
+		if m.pars[i].hist == nil || m.pars[i].hist.total == 0 {
 			continue
 		}
 		m.pars[i].tau = m.pars[i].hist.Optimal()
@@ -281,7 +345,7 @@ func (m *Manager) InsertBulk(objs []model.Object) error {
 // coordinates of o and the 1st PC of imin").
 func (m *Manager) insertInto(pi int, o model.Object) error {
 	p := &m.pars[pi]
-	if p.spec.IsOutlier {
+	if p.identity {
 		return p.idx.Insert(o)
 	}
 	return p.idx.Insert(o.Transform(p.rot))
@@ -290,7 +354,7 @@ func (m *Manager) insertInto(pi int, o model.Object) error {
 // deleteFrom removes o (world frame) from partition pi.
 func (m *Manager) deleteFrom(pi int, o model.Object) error {
 	p := &m.pars[pi]
-	if p.spec.IsOutlier {
+	if p.identity {
 		return p.idx.Delete(o)
 	}
 	return p.idx.Delete(o.Transform(p.rot))
@@ -410,23 +474,26 @@ func (m *Manager) UpdateByID(new model.Object) error {
 }
 
 // Search implements model.Index: Algorithm 3. The query is transformed into
-// each DVA frame (its region bounded by an axis-aligned MBR there), the
-// partitions are probed by a bounded worker pool (cfg.SearchParallelism)
-// into per-partition result buffers, and after the joins the buffers are
-// merged in partition order, so the output is byte-identical to the
-// sequential loop. The outlier partition takes the query unchanged.
+// each rotated partition frame (its region bounded by an axis-aligned MBR
+// there), the partitions are probed by a bounded worker pool
+// (cfg.SearchParallelism) into per-partition result buffers, and after the
+// joins the buffers are merged in partition order, so the output is
+// byte-identical to the sequential loop. Identity-rotation partitions — the
+// DVA layout's outlier index, every speed band, the unpartitioned objective
+// — take the query unchanged.
 //
 // The merge is the exact refinement of Algorithm 3 line 8, driven entirely
 // by the lookup table: a candidate id counts only if the table places it in
 // the partition that returned it (which also makes cross-partition
-// duplicates structurally impossible — no seen-set needed). DVA candidates
-// of rectangular queries are re-checked against the original query in the
-// world frame, because a rotated rectangle is only conservatively bounded
-// by its MBR in the partition frame. Circular queries skip that re-check
-// on the hot path: rotations are isometries, so the circle survives the
-// frame change exactly and the partition index's own Matches refinement
-// already was the exact world-frame predicate. Outlier candidates always
-// skip it: their partition ran the query unchanged.
+// duplicates structurally impossible — no seen-set needed). Rotated-frame
+// candidates of rectangular queries are re-checked against the original
+// query in the world frame, because a rotated rectangle is only
+// conservatively bounded by its MBR in the partition frame. Circular
+// queries skip that re-check on the hot path: rotations are isometries, so
+// the circle survives the frame change exactly and the partition index's
+// own Matches refinement already was the exact world-frame predicate.
+// Identity-rotation candidates always skip it: their partition ran the
+// query unchanged.
 func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -437,7 +504,7 @@ func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 	err := parallel.Do(len(m.pars), m.cfg.SearchParallelism, func(i int) error {
 		p := &m.pars[i]
 		pq := q
-		if !p.spec.IsOutlier {
+		if !p.identity {
 			pq = q.Transform(p.rot)
 		}
 		ids, err := p.idx.Search(pq)
@@ -457,7 +524,7 @@ func (m *Manager) Search(q model.RangeQuery) ([]model.ObjectID, error) {
 	exactInFrame := q.IsCircle()
 	out := make([]model.ObjectID, 0, total)
 	for i, ids := range lists {
-		recheck := !m.pars[i].spec.IsOutlier && !exactInFrame
+		recheck := !m.pars[i].identity && !exactInFrame
 		for _, id := range ids {
 			rec, ok := m.objs[id]
 			if !ok || rec.part != i {
@@ -509,74 +576,105 @@ func (m *Manager) SetTau(i int, tau float64) {
 	m.pars[i].tau = tau
 }
 
-// AxisDrift returns, for each DVA partition, the angle (radians) between
-// its current axis and the matching axis of a fresh analysis — the signal
-// Section 5.5 says should trigger re-partitioning when "the dominant
-// direction of object travel changes significantly". Each new axis is
-// matched to the closest current one.
-func (m *Manager) AxisDrift(an Analysis) []float64 {
+// DriftMax is the objective distance Drift reports when a fresh analysis is
+// structurally incomparable to the live partition set (different objective
+// kind or partition count): the largest possible axis angle, so any
+// positive drift threshold trips and the partitions are rebuilt.
+const DriftMax = math.Pi / 2
+
+// Drift returns the objective distance (radians-scaled, in [0, DriftMax])
+// between the live partition set and a fresh analysis — the signal Section
+// 5.5 says should trigger re-partitioning when "the dominant direction of
+// object travel changes significantly", generalized across objectives:
+//
+//   - KindDVA vs KindDVA: the largest angle between a live axis and its
+//     closest fresh axis (each live axis matched independently).
+//   - KindSpeed vs KindSpeed: the largest relative shift of a band
+//     threshold, scaled by DriftMax so a full-range move compares to axis
+//     drift on the same threshold scale.
+//   - KindNone vs KindNone: 0 (nothing to drift).
+//   - Any kind or partition-count mismatch: DriftMax. This is also the
+//     guard against an Analysis with a different K than the live manager —
+//     a structurally different candidate always reads as maximally
+//     drifted, never as a partial match over mismatched indices.
+func (m *Manager) Drift(an Analysis) float64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	out := make([]float64, 0, len(m.pars)-1)
-	for i := range m.pars {
-		if m.pars[i].spec.IsOutlier {
-			continue
-		}
-		best := math.Pi / 2
-		for _, d := range an.DVAs {
-			cos := math.Abs(m.pars[i].axis.Normalize().Dot(d.Axis.Normalize()))
-			if cos > 1 {
-				cos = 1
-			}
-			if a := math.Acos(cos); a < best {
-				best = a
-			}
-		}
-		out = append(out, best)
+	if an.Kind != m.kind || len(an.Frames) != len(m.pars) {
+		return DriftMax
 	}
-	return out
+	worst := 0.0
+	switch m.kind {
+	case KindNone:
+		return 0
+	case KindSpeed:
+		scale := 0.0
+		for _, p := range m.pars {
+			if !math.IsInf(p.frame.SpeedMax, 1) && p.frame.SpeedMax > scale {
+				scale = p.frame.SpeedMax
+			}
+		}
+		for _, f := range an.Frames {
+			if !math.IsInf(f.SpeedMax, 1) && f.SpeedMax > scale {
+				scale = f.SpeedMax
+			}
+		}
+		if scale == 0 {
+			return 0
+		}
+		for i, p := range m.pars {
+			old, fresh := p.frame.SpeedMax, an.Frames[i].SpeedMax
+			if math.IsInf(old, 1) || math.IsInf(fresh, 1) {
+				continue // the top band's bound is structural, not a threshold
+			}
+			if d := math.Abs(old-fresh) / scale * DriftMax; d > worst {
+				worst = d
+			}
+		}
+	default: // KindDVA
+		for i := range m.pars {
+			if m.pars[i].spec.IsOutlier {
+				continue
+			}
+			best := DriftMax
+			for _, f := range an.Frames {
+				if f.IsOutlier {
+					continue
+				}
+				cos := math.Abs(m.pars[i].axis.Normalize().Dot(f.Axis.Normalize()))
+				if cos > 1 {
+					cos = 1
+				}
+				if a := math.Acos(cos); a < best {
+					best = a
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+	}
+	return worst
 }
 
 // Reanalyze rebuilds the partition set from a fresh velocity analysis
 // (Section 5.5's "rerun the velocity analyzer ... and readjust the
-// indexes"): new partition indexes are created through the factory and
-// every live object is re-routed and re-inserted. The manager is locked
-// for the duration (a rebuild is a rare, heavyweight maintenance action —
-// the paper argues directions are stable enough that this almost never
-// fires; tau refresh handles the common speed-only drift).
+// indexes"), which may change the objective kind and the partition count:
+// new partition indexes are created through the factory and every live
+// object is re-routed and re-inserted. The manager is locked for the
+// duration (a rebuild is a rare, heavyweight maintenance action — the paper
+// argues directions are stable enough that this almost never fires; tau
+// refresh handles the common speed-only drift).
 func (m *Manager) Reanalyze(an Analysis, factory IndexFactory) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(an.DVAs) == 0 {
-		return fmt.Errorf("core: analysis has no DVAs")
+	if err := an.Validate(); err != nil {
+		return err
 	}
-	fresh := make([]partition, 0, len(an.DVAs)+1)
-	for i, d := range an.DVAs {
-		rot := d.Rotation()
-		spec := PartitionSpec{
-			Name:   fmt.Sprintf("dva%d", i),
-			Domain: m.cfg.Domain.BoundOfTransformed(rot),
-			Axis:   d.Axis,
-		}
-		idx, err := factory(spec)
-		if err != nil {
-			return fmt.Errorf("core: rebuilding %s: %w", spec.Name, err)
-		}
-		limit := d.Tau * 4
-		if limit <= 0 {
-			limit = 1
-		}
-		fresh = append(fresh, partition{
-			spec: spec, idx: idx, rot: rot, axis: d.Axis, tau: d.Tau,
-			hist: newTauHistogram(limit, m.cfg.TauBuckets),
-		})
-	}
-	outSpec := PartitionSpec{Name: "outlier", Domain: m.cfg.Domain, IsOutlier: true}
-	outIdx, err := factory(outSpec)
+	fresh, err := buildPartitions(an, m.cfg, factory)
 	if err != nil {
-		return fmt.Errorf("core: rebuilding outlier partition: %w", err)
+		return err
 	}
-	fresh = append(fresh, partition{spec: outSpec, idx: outIdx, rot: geom.Identity2})
 
 	// Re-route every object into the fresh partitions through a fresh
 	// lookup table, committing the table only after the last insert
@@ -586,12 +684,13 @@ func (m *Manager) Reanalyze(an Analysis, factory IndexFactory) error {
 	// deletes and updates would target the wrong (or a nonexistent)
 	// partition.
 	objs := make(map[model.ObjectID]record, len(m.objs))
-	old := m.pars
-	m.pars = fresh
+	old, oldKind := m.pars, m.kind
+	m.pars, m.kind = fresh, an.Kind
 	for id, rec := range m.objs {
 		pi := m.route(rec.obj)
 		if err := m.insertInto(pi, rec.obj); err != nil {
-			m.pars = old // restore; fresh partitions are discarded whole
+			// Restore; fresh partitions are discarded whole.
+			m.pars, m.kind = old, oldKind
 			return fmt.Errorf("core: re-routing object %d: %w", id, err)
 		}
 		objs[id] = record{obj: rec.obj, part: pi}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// SpeedMixParams configures the speed-mixture workload: a population whose
+// headings are uniform over the circle — no dominant travel axis for the
+// DVA objective to exploit — while the speed distribution is sharply
+// bimodal: a slow cohort (pedestrians, delivery carts) mixed with a fast
+// one (highway traffic). This is the scenario speed partitioning (Xu et
+// al.) targets and the DVA technique cannot help with: partitioning by
+// direction leaves every partition's velocity bounding box as wide as the
+// fast cohort, while concentric speed bands confine the slow majority to a
+// tiny box.
+type SpeedMixParams struct {
+	NumObjects int
+	Domain     geom.Rect
+	// SlowFraction of the population belongs to the slow cohort (objects
+	// keep their cohort for their whole lifetime; default 0.6).
+	SlowFraction float64
+	// SlowSpeed ± SlowJitter is the slow cohort's speed range (defaults 2
+	// and 1 m/ts).
+	SlowSpeed, SlowJitter float64
+	// FastSpeed ± FastJitter is the fast cohort's speed range (defaults 100
+	// and 20 m/ts).
+	FastSpeed, FastJitter float64
+	Duration              float64
+	// UpdateInterval is how often each object reports; reports are
+	// staggered evenly across the population.
+	UpdateInterval float64
+	Seed           int64
+}
+
+func (p SpeedMixParams) withDefaults() SpeedMixParams {
+	if p.NumObjects <= 0 {
+		p.NumObjects = 1000
+	}
+	if p.Domain.IsEmpty() || p.Domain.Area() == 0 {
+		p.Domain = geom.R(0, 0, 100000, 100000)
+	}
+	if p.SlowFraction <= 0 || p.SlowFraction >= 1 {
+		p.SlowFraction = 0.6
+	}
+	if p.SlowSpeed <= 0 {
+		p.SlowSpeed = 2
+	}
+	if p.SlowJitter <= 0 || p.SlowJitter >= p.SlowSpeed {
+		p.SlowJitter = p.SlowSpeed / 2
+	}
+	if p.FastSpeed <= 0 {
+		p.FastSpeed = 100
+	}
+	if p.FastJitter <= 0 || p.FastJitter >= p.FastSpeed {
+		p.FastJitter = p.FastSpeed / 5
+	}
+	if p.Duration <= 0 {
+		p.Duration = 240
+	}
+	if p.UpdateInterval <= 0 {
+		p.UpdateInterval = p.Duration / 8
+	}
+	return p
+}
+
+// SpeedMixGenerator produces the deterministic speed-mixture report stream.
+type SpeedMixGenerator struct {
+	params SpeedMixParams
+	rng    *rand.Rand
+	objs   []model.Object
+	slow   []bool // cohort per object, fixed at creation
+	round  int
+	next   int
+}
+
+// NewSpeedMixGenerator builds the population at time 0: the first
+// SlowFraction·N objects are the slow cohort, the rest the fast one, all
+// with uniform headings.
+func NewSpeedMixGenerator(p SpeedMixParams) (*SpeedMixGenerator, error) {
+	p = p.withDefaults()
+	if p.UpdateInterval > p.Duration {
+		return nil, fmt.Errorf("workload: speed-mix update interval %g exceeds duration %g",
+			p.UpdateInterval, p.Duration)
+	}
+	g := &SpeedMixGenerator{
+		params: p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		objs:   make([]model.Object, p.NumObjects),
+		slow:   make([]bool, p.NumObjects),
+	}
+	for i := range g.objs {
+		g.slow[i] = float64(i) < p.SlowFraction*float64(p.NumObjects)
+		g.objs[i] = model.Object{
+			ID: model.ObjectID(i + 1),
+			Pos: geom.V(
+				p.Domain.MinX+g.rng.Float64()*p.Domain.Width(),
+				p.Domain.MinY+g.rng.Float64()*p.Domain.Height(),
+			),
+			Vel: g.velocity(g.slow[i]),
+			T:   0,
+		}
+	}
+	return g, nil
+}
+
+// Params returns the (defaulted) parameter set in effect.
+func (g *SpeedMixGenerator) Params() SpeedMixParams { return g.params }
+
+// velocity draws one velocity for the given cohort: uniform heading, speed
+// uniform within the cohort's band.
+func (g *SpeedMixGenerator) velocity(slow bool) geom.Vec2 {
+	p := g.params
+	speed := p.FastSpeed + (g.rng.Float64()*2-1)*p.FastJitter
+	if slow {
+		speed = p.SlowSpeed + (g.rng.Float64()*2-1)*p.SlowJitter
+	}
+	ang := g.rng.Float64() * 2 * math.Pi
+	return geom.V(speed*math.Cos(ang), speed*math.Sin(ang))
+}
+
+// Initial returns the population at time 0. The returned slice is a copy;
+// the generator keeps evolving its own state as Next is called.
+func (g *SpeedMixGenerator) Initial() []model.Object {
+	return append([]model.Object(nil), g.objs...)
+}
+
+// VelocitySample draws n velocities from the mixture — the upfront analysis
+// sample for a store partitioned before the stream starts.
+func (g *SpeedMixGenerator) VelocitySample(n int) []geom.Vec2 {
+	p := g.params
+	sub := &SpeedMixGenerator{params: p, rng: rand.New(rand.NewSource(p.Seed + 7))}
+	out := make([]geom.Vec2, n)
+	for i := range out {
+		out[i] = sub.velocity(float64(i%1000) < p.SlowFraction*1000)
+	}
+	return out
+}
+
+// Next pulls the next location report, time-ordered: object i of round k
+// reports at (k + i/N) · UpdateInterval with a fresh heading from its
+// cohort, its position advanced linearly since its previous report (wrapped
+// into the domain). ok is false once the stream passes the duration.
+func (g *SpeedMixGenerator) Next() (model.Object, bool) {
+	p := g.params
+	t := (float64(g.round) + float64(g.next)/float64(len(g.objs))) * p.UpdateInterval
+	if t > p.Duration {
+		return model.Object{}, false
+	}
+	i := g.next
+	g.next++
+	if g.next == len(g.objs) {
+		g.next = 0
+		g.round++
+	}
+	o := g.objs[i]
+	dt := t - o.T
+	o.Pos = g.wrap(o.Pos.Add(o.Vel.Scale(dt)))
+	o.Vel = g.velocity(g.slow[i])
+	o.T = t
+	g.objs[i] = o
+	return o, true
+}
+
+// wrap folds a position back into the domain (toroidal), keeping the
+// population density constant however long the run.
+func (g *SpeedMixGenerator) wrap(v geom.Vec2) geom.Vec2 {
+	d := g.params.Domain
+	w, h := d.Width(), d.Height()
+	x := math.Mod(v.X-d.MinX, w)
+	if x < 0 {
+		x += w
+	}
+	y := math.Mod(v.Y-d.MinY, h)
+	if y < 0 {
+		y += h
+	}
+	return geom.V(d.MinX+x, d.MinY+y)
+}
+
+// Queries generates n circular predictive queries with issue times spread
+// uniformly over [t0, t1] (the same shape DriftQueries produces, so the
+// partition-objective experiment can issue identical query streams over
+// every workload).
+func (g *SpeedMixGenerator) Queries(n int, t0, t1, radius, predictive float64, seed int64) []model.RangeQuery {
+	rng := rand.New(rand.NewSource(seed))
+	d := g.params.Domain
+	out := make([]model.RangeQuery, n)
+	for i := range out {
+		issue := t0 + (t1-t0)*float64(i+1)/float64(n+1)
+		c := geom.V(d.MinX+rng.Float64()*d.Width(), d.MinY+rng.Float64()*d.Height())
+		out[i] = model.RangeQuery{
+			Kind:   model.TimeSlice,
+			Circle: geom.Circle{C: c, R: radius},
+			Rect:   geom.Circle{C: c, R: radius}.Bound(),
+			Now:    issue,
+			T0:     issue + predictive,
+		}
+	}
+	return out
+}

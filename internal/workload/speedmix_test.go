@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSpeedMixGeneratorShape(t *testing.T) {
+	p := SpeedMixParams{NumObjects: 800, Duration: 60, UpdateInterval: 10, Seed: 3}
+	g, err := NewSpeedMixGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = g.Params()
+
+	classify := func(v geom.Vec2) (slow, fast bool) {
+		s := v.Norm()
+		return s >= p.SlowSpeed-p.SlowJitter && s <= p.SlowSpeed+p.SlowJitter,
+			s >= p.FastSpeed-p.FastJitter && s <= p.FastSpeed+p.FastJitter
+	}
+
+	// The initial population splits into the two cohorts at SlowFraction,
+	// every speed inside its cohort's band.
+	init := g.Initial()
+	if len(init) != 800 {
+		t.Fatalf("population %d", len(init))
+	}
+	nslow := 0
+	var sum geom.Vec2
+	for _, o := range init {
+		slow, fast := classify(o.Vel)
+		if !slow && !fast {
+			t.Fatalf("velocity %v in neither cohort band", o.Vel)
+		}
+		if slow {
+			nslow++
+		}
+		sum = sum.Add(o.Vel.Scale(1 / o.Vel.Norm()))
+		if !p.Domain.ContainsPoint(o.Pos) {
+			t.Fatalf("initial position %v outside domain", o.Pos)
+		}
+	}
+	if got, want := float64(nslow)/800, p.SlowFraction; math.Abs(got-want) > 0.01 {
+		t.Fatalf("slow fraction %g, want %g", got, want)
+	}
+	// Headings are isotropic: the mean unit heading stays near zero (a
+	// dominant axis would pull it or the axis-aligned spread apart).
+	if r := sum.Scale(1.0 / 800).Norm(); r > 0.1 {
+		t.Fatalf("mean heading magnitude %g suggests a dominant direction", r)
+	}
+
+	// The stream is time-ordered, respects the duration, keeps cohorts
+	// stable, and wraps positions into the domain.
+	slowAt := map[int64]bool{}
+	for i, o := range init {
+		slowAt[int64(o.ID)] = i < nslow
+	}
+	last := -1.0
+	n := 0
+	for {
+		o, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+		if o.T < last {
+			t.Fatalf("stream went backwards: %g after %g", o.T, last)
+		}
+		last = o.T
+		if o.T > p.Duration {
+			t.Fatalf("report at %g past duration %g", o.T, p.Duration)
+		}
+		if !p.Domain.ContainsPoint(o.Pos) {
+			t.Fatalf("report position %v outside domain", o.Pos)
+		}
+		slow, fast := classify(o.Vel)
+		if slowAt[int64(o.ID)] && !slow {
+			t.Fatalf("slow object %d reported fast velocity %v", o.ID, o.Vel)
+		}
+		if !slowAt[int64(o.ID)] && !fast {
+			t.Fatalf("fast object %d reported slow velocity %v", o.ID, o.Vel)
+		}
+	}
+	// Six full rounds fit strictly below the duration; round 6's first
+	// report lands exactly at t=60 and the staggered rest exceed it.
+	if want := 800*6 + 1; n != want {
+		t.Fatalf("stream carried %d reports, want %d", n, want)
+	}
+
+	// VelocitySample reflects the mixture without consuming the stream.
+	sample := g.VelocitySample(1000)
+	nslow = 0
+	for _, v := range sample {
+		slow, fast := classify(v)
+		if !slow && !fast {
+			t.Fatalf("sample velocity %v in neither band", v)
+		}
+		if slow {
+			nslow++
+		}
+	}
+	if got := float64(nslow) / 1000; math.Abs(got-p.SlowFraction) > 0.05 {
+		t.Fatalf("sample slow fraction %g", got)
+	}
+
+	// Determinism: an identically seeded generator replays the stream.
+	g2, err := NewSpeedMixGenerator(SpeedMixParams{NumObjects: 800, Duration: 60, UpdateInterval: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := NewSpeedMixGenerator(SpeedMixParams{NumObjects: 800, Duration: 60, UpdateInterval: 10, Seed: 3})
+	for i := 0; i < 2000; i++ {
+		a, aok := g1.Next()
+		b, bok := g2.Next()
+		if aok != bok || a != b {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// Queries carry the requested window and shape.
+	qs := g.Queries(10, 5, 55, 500, 60, 9)
+	if len(qs) != 10 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Now < 5 || q.Now > 55 || q.T0 != q.Now+60 || q.Circle.R != 500 {
+			t.Fatalf("query %+v out of spec", q)
+		}
+	}
+
+	// Invalid interval is rejected.
+	if _, err := NewSpeedMixGenerator(SpeedMixParams{Duration: 10, UpdateInterval: 20}); err == nil {
+		t.Fatal("interval > duration accepted")
+	}
+}

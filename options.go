@@ -4,8 +4,26 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/wal"
+)
+
+// PartitionObjective selects a partitioning objective for a
+// velocity-partitioned Store (see WithPartitioner / WithPartitionerAuto).
+type PartitionObjective = core.PartitionerKind
+
+const (
+	// ObjectiveDVA partitions by dominant velocity axes — the paper's
+	// technique and the default.
+	ObjectiveDVA = core.KindDVA
+	// ObjectiveSpeed partitions by concentric speed bands with thresholds
+	// minimizing the expected query enlargement over the sampled speed
+	// distribution.
+	ObjectiveSpeed = core.KindSpeed
+	// ObjectiveNone keeps a single unpartitioned index inside the
+	// partition machinery — the baseline the auto chooser can fall back to.
+	ObjectiveNone = core.KindNone
 )
 
 // DefaultAutoPartitionSample is the bootstrap sample size used when velocity
@@ -61,6 +79,13 @@ type storeConfig struct {
 	tauBuckets int
 	tauRefresh int
 	seed       int64
+
+	// objective is the fixed partitioning objective (default ObjectiveDVA);
+	// objectiveSet marks that WithPartitioner was given (which alone enables
+	// velocity partitioning); autoObjective turns on the cost-driven chooser.
+	objective     PartitionObjective
+	objectiveSet  bool
+	autoObjective bool
 
 	// repart is the adaptive repartitioning policy; maintHook observes
 	// maintenance outcomes (bootstrap cutovers, drift checks, swaps).
@@ -218,6 +243,35 @@ func WithAutoPartition(n int) Option {
 	}
 }
 
+// WithPartitioner fixes the partitioning objective: every analysis — the
+// bootstrap, drift checks, manual Repartition — runs that objective's
+// partitioner. Implies velocity partitioning (the partition count comes
+// from WithVelocityPartitioning, default 2: k DVA partitions plus the
+// outlier index, or k speed bands). The default objective is ObjectiveDVA,
+// the paper's technique; ObjectiveNone runs the partition machinery with a
+// single unpartitioned index.
+func WithPartitioner(obj PartitionObjective) Option {
+	return func(c *storeConfig) {
+		c.objective = obj
+		c.objectiveSet = true
+		c.autoObjective = false
+	}
+}
+
+// WithPartitionerAuto enables the cost-driven objective chooser: each
+// analysis (bootstrap, drift checks, manual Repartition) runs every
+// candidate partitioner — DVA, speed bands, none — over the velocity
+// sample, scores each candidate against the recent query-shape log with
+// the enlargement cost model (see core.EstimateCost), and installs the
+// cheapest, with a 10% preference for the live objective so near-ties
+// cannot flap the partitions. Implies velocity partitioning.
+func WithPartitionerAuto() Option {
+	return func(c *storeConfig) {
+		c.objectiveSet = true
+		c.autoObjective = true
+	}
+}
+
 // WithRepartitionPolicy sets the complete adaptive repartitioning policy at
 // once. The shorthand options WithRepartitionEvery and WithDriftThreshold
 // cover the common cases; later options override earlier ones field-wise
@@ -353,7 +407,7 @@ func WithSeed(seed int64) Option { return func(c *storeConfig) { c.seed = seed }
 
 // vpEnabled reports whether any option asked for velocity partitioning.
 func (c *storeConfig) vpEnabled() bool {
-	return c.k > 0 || len(c.sample) > 0 || c.autoN > 0
+	return c.k > 0 || len(c.sample) > 0 || c.autoN > 0 || c.objectiveSet
 }
 
 // normalize fills defaults and reconciles the VP trio.

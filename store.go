@@ -134,6 +134,13 @@ type Store struct {
 	repartitions atomic.Int64
 	swapping     atomic.Bool
 
+	// Query-shape logging for the partitioning cost model: qlogCap is each
+	// shard's ring capacity; qrr distributes observed queries round-robin
+	// across the shard rings so one ring's mutex never becomes a global
+	// query-path bottleneck.
+	qlogCap int
+	qrr     atomic.Uint64
+
 	maintErrMu sync.Mutex
 	maintErr   error
 
@@ -183,13 +190,19 @@ const (
 type MaintenanceEvent struct {
 	Op  MaintenanceOp
 	Err error // nil on success
-	// Drift is the largest angle (radians) between a live DVA and the
-	// matching axis of the fresh analysis (drift checks and repartitions).
+	// Drift is the objective distance between the live partition set and
+	// the fresh analysis (drift checks and repartitions): the largest axis
+	// angle in radians under the DVA objective, the scaled threshold shift
+	// under the speed objective, core.DriftMax on an objective change.
 	Drift float64
 	// SampleSize is the number of velocities the analysis consumed.
 	SampleSize int
 	// Swapped reports whether a new partition set went live.
 	Swapped bool
+	// Objective is the partitioning objective of the analysis the action
+	// selected (meaningful for bootstrap, drift-check, and repartition
+	// events).
+	Objective PartitionObjective
 }
 
 // storeShard is one lock domain of the Store: the objects whose IDs hash
@@ -227,6 +240,35 @@ type storeShard struct {
 	// overwrite position once the ring is full.
 	res    []Vec2
 	resPos int
+
+	// qlog is a bounded ring of recently observed query shapes (the cost
+	// model's workload evidence), under its own mutex because Search holds
+	// only sh.mu's read side and must not serialize on it.
+	qmu  sync.Mutex
+	qlog []core.QueryShape
+	qpos int
+}
+
+// observeQuery records one query shape in the shard's ring (capacity cap;
+// oldest entry overwritten first). Takes qmu itself.
+func (sh *storeShard) observeQuery(q core.QueryShape, cap int) {
+	if cap <= 0 {
+		return
+	}
+	sh.qmu.Lock()
+	if len(sh.qlog) < cap {
+		if sh.qlog == nil {
+			sh.qlog = make([]core.QueryShape, 0, cap)
+		}
+		sh.qlog = append(sh.qlog, q)
+	} else {
+		sh.qlog[sh.qpos] = q
+		sh.qpos++
+		if sh.qpos == len(sh.qlog) {
+			sh.qpos = 0
+		}
+	}
+	sh.qmu.Unlock()
 }
 
 // observeVel records a reported velocity in the shard's recent-velocity
@@ -298,6 +340,7 @@ func Open(opts ...Option) (*Store, error) {
 	}
 	if cfg.vpEnabled() {
 		s.resCap = (cfg.repart.ReservoirSize + cfg.shards - 1) / cfg.shards
+		s.qlogCap = (defaultQueryLogSize + cfg.shards - 1) / cfg.shards
 	}
 	s.shards = make([]*storeShard, cfg.shards)
 	for i := range s.shards {
@@ -425,19 +468,116 @@ func (s *Store) buildManager(an core.Analysis, pools *[]*storage.BufferPool) (*c
 	return mgr, nil
 }
 
-// partitionLocked runs the DVA analysis over sample, builds one partition
-// manager per shard, and migrates every live object into them. Nothing is
-// committed until every shard's migration has succeeded, so a failure
-// leaves the staging state serving. Caller holds every shard's lock (or is
-// Open, before the Store escapes).
+// defaultQueryLogSize is the total capacity of the query-shape log, split
+// evenly across the shards (mirroring the velocity reservoir's split).
+const defaultQueryLogSize = 1024
+
+// partitionerFor builds the configured Partitioner for one objective.
+func (s *Store) partitionerFor(obj PartitionObjective) core.Partitioner {
+	switch obj {
+	case ObjectiveSpeed:
+		return core.SpeedPartitioner{Bands: s.cfg.k, Buckets: s.cfg.tauBuckets}
+	case ObjectiveNone:
+		return core.NonePartitioner{}
+	default:
+		return core.DVAPartitioner{Config: core.AnalyzerConfig{
+			K:          s.cfg.k,
+			TauBuckets: s.cfg.tauBuckets,
+			Cluster:    clusterOptions(s.cfg.seed),
+		}}
+	}
+}
+
+// costQueries returns the workload evidence for the partitioning cost
+// model: the pooled query-shape log, or — before any query has been
+// observed — a single synthetic shape built from the configured query
+// extent and a medium prediction window, so the chooser is never blind.
+func (s *Store) costQueries() []core.QueryShape {
+	out := make([]core.QueryShape, 0, s.qlogCap*len(s.shards))
+	for _, sh := range s.shards {
+		sh.qmu.Lock()
+		out = append(out, sh.qlog...)
+		sh.qmu.Unlock()
+	}
+	if len(out) > 0 {
+		return out
+	}
+	extent := s.cfg.base.QueryExtent
+	if extent <= 0 {
+		extent = 1000 // the TPR*-tree's Table 1 default
+	}
+	return []core.QueryShape{{HalfW: extent / 2, HalfH: extent / 2, Window: 60}}
+}
+
+// chooseAnalysis picks the analysis the next partition epoch is built from.
+// forced pins one objective (RepartitionTo); otherwise a fixed objective
+// (WithPartitioner) analyzes with that partitioner only, and the auto
+// chooser (WithPartitionerAuto) runs every candidate partitioner over the
+// sample, scores each result against the recent query-shape log with
+// core.EstimateCost, and takes the cheapest — with a 10% preference for the
+// live objective so cost-model noise near a tie cannot flap the partitions
+// between objectives on every drift check.
+func (s *Store) chooseAnalysis(sample []Vec2, forced *PartitionObjective) (core.Analysis, error) {
+	if forced != nil {
+		an, err := s.partitionerFor(*forced).Analyze(sample)
+		if err != nil {
+			return core.Analysis{}, fmt.Errorf("vpindex: velocity analysis (%s): %w", *forced, err)
+		}
+		return an, nil
+	}
+	if !s.cfg.autoObjective {
+		an, err := s.partitionerFor(s.cfg.objective).Analyze(sample)
+		if err != nil {
+			return core.Analysis{}, fmt.Errorf("vpindex: velocity analysis: %w", err)
+		}
+		return an, nil
+	}
+	queries := s.costQueries()
+	live := ObjectiveDVA
+	haveLive := false
+	if s.partitioned.Load() {
+		s.anMu.RLock()
+		live = s.analysis.Kind
+		s.anMu.RUnlock()
+		haveLive = true
+	}
+	var (
+		best     core.Analysis
+		bestCost float64
+		found    bool
+		firstErr error
+	)
+	for _, obj := range []PartitionObjective{ObjectiveDVA, ObjectiveSpeed, ObjectiveNone} {
+		an, err := s.partitionerFor(obj).Analyze(sample)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cost := core.EstimateCost(an, sample, queries)
+		if haveLive && obj == live {
+			cost *= 0.9
+		}
+		if !found || cost < bestCost {
+			best, bestCost, found = an, cost, true
+		}
+	}
+	if !found {
+		return core.Analysis{}, fmt.Errorf("vpindex: velocity analysis: %w", firstErr)
+	}
+	return best, nil
+}
+
+// partitionLocked runs the configured partitioning analysis over sample,
+// builds one partition manager per shard, and migrates every live object
+// into them. Nothing is committed until every shard's migration has
+// succeeded, so a failure leaves the staging state serving. Caller holds
+// every shard's lock (or is Open, before the Store escapes).
 func (s *Store) partitionLocked(sample []Vec2) error {
-	an, err := core.Analyze(sample, core.AnalyzerConfig{
-		K:          s.cfg.k,
-		TauBuckets: s.cfg.tauBuckets,
-		Cluster:    clusterOptions(s.cfg.seed),
-	})
+	an, err := s.chooseAnalysis(sample, nil)
 	if err != nil {
-		return fmt.Errorf("vpindex: velocity analysis: %w", err)
+		return err
 	}
 	return s.applyAnalysisLocked(an, sample)
 }
@@ -536,6 +676,11 @@ func (s *Store) cutover() {
 	ev := MaintenanceEvent{
 		Op: MaintBootstrap, Err: err, SampleSize: len(sample), Swapped: err == nil,
 	}
+	if err == nil {
+		s.anMu.RLock()
+		ev.Objective = s.analysis.Kind
+		s.anMu.RUnlock()
+	}
 	s.recordMaintenance(ev)
 	for i := len(s.shards) - 1; i >= 0; i-- {
 		s.shards[i].mu.Unlock()
@@ -583,16 +728,18 @@ func (s *Store) LastMaintenanceError() error {
 }
 
 // driftCheck is the automatic repartition probe launched by the policy
-// cadence: re-analyze the recent-velocity reservoir off the write path and
-// rebuild the partitions when any live axis drifted past the threshold. At
-// most one maintenance action runs at a time; a probe that finds one in
-// flight yields — the cadence counter keeps running, so the next multiple
-// tries again.
+// cadence: re-analyze the recent-velocity reservoir off the write path —
+// under WithPartitionerAuto, evaluating every candidate objective against
+// the recent query log — and rebuild the partitions when the live set
+// drifted past the threshold or a different objective won. At most one
+// maintenance action runs at a time; a probe that finds one in flight
+// yields — the cadence counter keeps running, so the next multiple tries
+// again.
 func (s *Store) driftCheck() {
 	if !s.maintMu.TryLock() {
 		return
 	}
-	ev := s.repartitionLocked(false)
+	ev := s.repartitionLocked(false, nil)
 	s.recordMaintenance(ev)
 	s.maintMu.Unlock()
 	s.notifyMaintenance(ev)
@@ -609,7 +756,22 @@ func (s *Store) driftCheck() {
 // hook).
 func (s *Store) Repartition() error {
 	s.maintMu.Lock()
-	ev := s.repartitionLocked(true)
+	ev := s.repartitionLocked(true, nil)
+	s.recordMaintenance(ev)
+	s.maintMu.Unlock()
+	s.notifyMaintenance(ev)
+	return ev.Err
+}
+
+// RepartitionTo synchronously rebuilds every shard's partitions under the
+// given objective, regardless of the drift threshold, the configured
+// objective, and the auto chooser's cost ranking — the operational override
+// for pinning an objective on a live store (and the lever the cross-
+// objective swap tests drive). Like Repartition it requires the Store to be
+// partitioned already and records its outcome as a maintenance action.
+func (s *Store) RepartitionTo(obj PartitionObjective) error {
+	s.maintMu.Lock()
+	ev := s.repartitionLocked(true, &obj)
 	s.recordMaintenance(ev)
 	s.maintMu.Unlock()
 	s.notifyMaintenance(ev)
@@ -617,8 +779,9 @@ func (s *Store) Repartition() error {
 }
 
 // repartitionLocked runs one analyze → compare → swap round. force skips
-// the drift threshold (the manual trigger). Caller holds maintMu.
-func (s *Store) repartitionLocked(force bool) MaintenanceEvent {
+// the drift threshold (the manual triggers); forced additionally pins the
+// objective. Caller holds maintMu.
+func (s *Store) repartitionLocked(force bool, forced *PartitionObjective) MaintenanceEvent {
 	ev := MaintenanceEvent{Op: MaintDriftCheck}
 	if force {
 		ev.Op = MaintRepartition
@@ -629,40 +792,31 @@ func (s *Store) repartitionLocked(force bool) MaintenanceEvent {
 	}
 	sample := s.reservoirSnapshot()
 	ev.SampleSize = len(sample)
-	an, err := core.Analyze(sample, core.AnalyzerConfig{
-		K:          s.cfg.k,
-		TauBuckets: s.cfg.tauBuckets,
-		Cluster:    clusterOptions(s.cfg.seed),
-	})
+	an, err := s.chooseAnalysis(sample, forced)
 	if err != nil {
 		ev.Err = fmt.Errorf("vpindex: repartition analysis: %w", err)
 		return ev
 	}
-	// Drift of the live axes against the fresh analysis; shard 0 is the
-	// representative (all shards share one analysis per epoch). While
-	// collecting, also detect a partial previous swap: if the shards sit on
-	// mixed epochs, shard 0 already carries the new axes — its drift reads
+	ev.Objective = an.Kind
+	// Drift of the live partition set against the fresh analysis; shard 0
+	// is the representative (all shards share one analysis per epoch). An
+	// objective or partition-count change reads as core.DriftMax, so a new
+	// chooser winner always trips any sane threshold. While collecting,
+	// also detect a partial previous swap: if the shards sit on mixed
+	// epochs, shard 0 already carries the new partitions — its drift reads
 	// ~0 — but the unswapped shards are still degraded, so the threshold
 	// must not be allowed to veto finishing the job.
 	mixed := false
-	var (
-		drifts []float64
-		epoch0 int
-	)
+	var epoch0 int
 	for i, sh := range s.shards {
 		sh.mu.RLock()
 		if i == 0 {
-			drifts = sh.mgr.AxisDrift(an)
+			ev.Drift = sh.mgr.Drift(an)
 			epoch0 = sh.epoch
 		} else if sh.epoch != epoch0 {
 			mixed = true
 		}
 		sh.mu.RUnlock()
-	}
-	for _, d := range drifts {
-		if d > ev.Drift {
-			ev.Drift = d
-		}
 	}
 	if !force && !mixed && ev.Drift <= s.cfg.repart.DriftThreshold {
 		return ev
@@ -1000,6 +1154,57 @@ func (s *Store) Get(id ObjectID) (Object, bool) {
 	return o, ok
 }
 
+// rangeQueryShape summarizes a validated range query for the cost model:
+// the region's half-extents and how far past the issue time it evaluates.
+func rangeQueryShape(q RangeQuery) core.QueryShape {
+	r := q.Rect
+	if q.IsCircle() {
+		r = q.Circle.Bound()
+	}
+	t := q.T0
+	if q.Kind != TimeSlice && q.T1 > t {
+		t = q.T1
+	}
+	w := t - q.Now
+	if w < 0 {
+		w = 0
+	}
+	return core.QueryShape{HalfW: r.Width() / 2, HalfH: r.Height() / 2, Window: w}
+}
+
+// knnQueryShape summarizes a kNN query: no region extent (the search region
+// grows from a point), only the prediction window.
+func knnQueryShape(q KNNQuery) core.QueryShape {
+	w := q.T - q.Now
+	if w < 0 {
+		w = 0
+	}
+	return core.QueryShape{Window: w}
+}
+
+// observeQueryShape records one observed query in the per-shard query-shape
+// log, round-robin across shards so no single ring mutex serializes the
+// query path. Disabled (qlogCap == 0) unless velocity partitioning is on.
+func (s *Store) observeQueryShape(q core.QueryShape) {
+	if s.qlogCap <= 0 {
+		return
+	}
+	sh := s.shards[int(s.qrr.Add(1)%uint64(len(s.shards)))]
+	sh.observeQuery(q, s.qlogCap)
+}
+
+// QueryLogSize reports how many query shapes the partitioning cost model
+// currently has as workload evidence (0 when velocity partitioning is off).
+func (s *Store) QueryLogSize() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.qmu.Lock()
+		n += len(sh.qlog)
+		sh.qmu.Unlock()
+	}
+	return n
+}
+
 // searchShardLocked answers q within one shard. Caller holds sh.mu (read).
 func searchShardLocked(sh *storeShard, q RangeQuery) ([]ObjectID, error) {
 	if sh.mgr != nil {
@@ -1017,6 +1222,7 @@ func (s *Store) Search(q RangeQuery) ([]ObjectID, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	s.observeQueryShape(rangeQueryShape(q))
 	lists := make([][]ObjectID, len(s.shards))
 	err := parallel.Do(len(s.shards), s.cfg.searchPar, func(i int) error {
 		sh := s.shards[i]
@@ -1055,6 +1261,7 @@ func (s *Store) Search(q RangeQuery) ([]ObjectID, error) {
 // per-shard top-k lists. Returns ErrUnsupported if the configured base
 // structure has no kNN implementation (both built-in kinds do).
 func (s *Store) SearchKNN(q KNNQuery) ([]Neighbor, error) {
+	s.observeQueryShape(knnQueryShape(q))
 	lists := make([][]Neighbor, len(s.shards))
 	err := parallel.Do(len(s.shards), s.cfg.searchPar, func(i int) error {
 		sh := s.shards[i]

@@ -232,7 +232,7 @@ func TestStoreAutoPartitionBootstrap(t *testing.T) {
 				t.Fatal("not partitioned at threshold")
 			}
 			an, ok := store.Analysis()
-			if !ok || an.SampleSize != threshold || len(an.DVAs) != 2 {
+			if !ok || an.SampleSize != threshold || an.NumVelocityFrames() != 2 {
 				t.Fatalf("analysis after bootstrap: %+v ok=%v", an, ok)
 			}
 			if got := store.Len(); got != beforeLen+1 {
@@ -532,7 +532,10 @@ func maxAxisAngle(t *testing.T, s *vpindex.Store, angle float64) float64 {
 		t.Fatal("store has no analysis")
 	}
 	worst := 0.0
-	for _, d := range an.DVAs {
+	for _, d := range an.Frames {
+		if d.IsOutlier {
+			continue
+		}
 		best := math.Pi
 		for k := 0; k < 2; k++ {
 			a := angle + float64(k)*math.Pi/2

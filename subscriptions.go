@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/parallel"
 	"repro/internal/wal"
@@ -164,9 +165,16 @@ func (s *Store) refreshSubClasses() {
 	if !ok {
 		return
 	}
-	classes := make([]monitor.VelocityClass, 0, len(an.DVAs))
-	for _, d := range an.DVAs {
-		classes = append(classes, monitor.VelocityClass{Axis: d.Axis, Perp: d.Tau})
+	// Only DVA frames carry a useful anisotropy bound; speed bands and the
+	// unpartitioned objective leave the filter on its isotropic catch-all.
+	classes := make([]monitor.VelocityClass, 0, len(an.Frames))
+	if an.Kind == core.KindDVA {
+		for _, f := range an.Frames {
+			if f.IsOutlier {
+				continue
+			}
+			classes = append(classes, monitor.VelocityClass{Axis: f.Axis, Perp: f.Tau})
+		}
 	}
 	e.regMu.Lock()
 	e.filter.SetClasses(classes, e.subs)

@@ -104,7 +104,7 @@ func TestVPAnalysisExposed(t *testing.T) {
 		t.Fatal(err)
 	}
 	an := idx.Analysis()
-	if len(an.DVAs) != 2 || an.SampleSize != 1000 {
+	if an.NumVelocityFrames() != 2 || an.SampleSize != 1000 {
 		t.Fatalf("analysis: %+v", an)
 	}
 	if idx.NumPartitions() != 3 {
