@@ -23,6 +23,11 @@ type durThroughputResult struct {
 	Seconds    float64 `json:"seconds"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	WALBytes   uint64  `json:"wal_bytes"`
+	// Cost of one checkpoint taken right after the hammer run: the
+	// commit-lock pause and the serialized size (the first checkpoint of a
+	// fresh store is a full snapshot of the whole fleet).
+	CheckpointPauseUsec float64 `json:"checkpoint_pause_usec"`
+	CheckpointMB        float64 `json:"checkpoint_mb"`
 }
 
 // durRecoveryResult is one recovery-time measurement: reopen cost as a
@@ -142,6 +147,15 @@ func runDurability(ds workload.Dataset, sc bench.Scale, seed int64, procs int, o
 		}
 		ran, seconds, err := hammerDurable(store, objs, procs, totalOps, batchSize, seed)
 		st, _ := store.DurabilityStats()
+		if err == nil {
+			// Outside the timed window: one full checkpoint of the hammered
+			// store, to surface the capture pause and snapshot size.
+			if cerr := store.Checkpoint(); cerr != nil {
+				err = cerr
+			} else {
+				st, _ = store.DurabilityStats()
+			}
+		}
 		cerr := store.Close()
 		os.RemoveAll(dir)
 		if err != nil {
@@ -151,18 +165,21 @@ func runDurability(ds workload.Dataset, sc bench.Scale, seed int64, procs int, o
 			return cerr
 		}
 		res := durThroughputResult{
-			Policy:     pc.name,
-			Goroutines: procs,
-			BatchSize:  batchSize,
-			Ops:        ran,
-			Seconds:    seconds,
-			OpsPerSec:  float64(ran) / seconds,
-			WALBytes:   st.WALAppendedLSN,
+			Policy:              pc.name,
+			Goroutines:          procs,
+			BatchSize:           batchSize,
+			Ops:                 ran,
+			Seconds:             seconds,
+			OpsPerSec:           float64(ran) / seconds,
+			WALBytes:            st.WALAppendedLSN,
+			CheckpointPauseUsec: float64(st.CheckpointPauseNs) / 1e3,
+			CheckpointMB:        float64(st.CheckpointBytes) / 1e6,
 		}
 		tput[pc.name] = res.OpsPerSec
 		rep.Throughput = append(rep.Throughput, res)
-		fmt.Printf("  %-13s %9.0f reports/s  (%d ops in %.2fs, WAL %.1f MB)\n",
-			pc.name, res.OpsPerSec, ran, seconds, float64(st.WALAppendedLSN)/1e6)
+		fmt.Printf("  %-13s %9.0f reports/s  (%d ops in %.2fs, WAL %.1f MB; full ckpt pause %.0f µs, %.1f MB)\n",
+			pc.name, res.OpsPerSec, ran, seconds, float64(st.WALAppendedLSN)/1e6,
+			res.CheckpointPauseUsec, res.CheckpointMB)
 	}
 	if tput["none"] > 0 {
 		rep.GroupVsNone = tput["group_commit"] / tput["none"]

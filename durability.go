@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/storage"
@@ -27,15 +28,22 @@ import (
 //     the SyncPolicy before returning. Partition transitions append a swap
 //     record carrying the completed analysis, so recovery rebuilds the exact
 //     partitions without re-running the analyzer.
-//   - Checkpoints snapshot the full logical state — objects, the partition
-//     analysis, the subscription registry with its memberships — to a shadow
-//     file that is atomically renamed over the previous checkpoint, then
-//     reclaim the log segments the snapshot covers.
-//   - Recovery loads the newest checkpoint and replays the log tail through
-//     the normal write paths, so every index invariant, subscription
-//     evaluation, and maintenance hook behaves exactly as it did the first
-//     time. The page file (FileStore) is rebuilt from logical state at every
-//     open: index pages newer than the checkpoint are never trusted.
+//   - Checkpoints are incremental: the first one snapshots the full logical
+//     state — objects, the partition analysis, the subscription registry with
+//     its memberships — and every later one captures only what changed since
+//     the previous checkpoint (per-shard dirty sets of touched ObjectIDs,
+//     removed-ID tombstones, and registry/partition dirty flags) into a delta
+//     file (ckpt-<gen>.delta) chained to the last full snapshot. Every file
+//     uses the same shadow-write protocol — tmp, fsync, atomic rename, dir
+//     fsync — so a crash never leaves a torn element. A compaction policy
+//     (WithCheckpointCompaction) folds a long chain back into a single full
+//     snapshot in the background, off the commit lock.
+//   - Recovery loads the full snapshot plus its deltas in generation order and
+//     replays the log tail through the normal write paths, so every index
+//     invariant, subscription evaluation, and maintenance hook behaves exactly
+//     as it did the first time. The page file (FileStore) is rebuilt from
+//     logical state at every open: index pages newer than the checkpoint are
+//     never trusted.
 //
 // Consistency between a checkpoint and the log is the commitMu protocol:
 // each write verb holds commitMu shared across its {apply, append} pair and
@@ -58,11 +66,34 @@ type durability struct {
 	// {snapshot, LSN} capture; see the file comment.
 	commitMu sync.RWMutex
 
-	ckptMu    sync.Mutex // serializes checkpoint writers
+	ckptMu    sync.Mutex // serializes checkpoint writers (incl. compaction)
 	ckptEvery int64
 	records   atomic.Int64 // records logged, for the auto-checkpoint cadence
 	ckptLSN   atomic.Uint64
 	ckpts     atomic.Int64
+
+	// Incremental-checkpoint state. ckptGen is the generation of the newest
+	// durable chain element (0 = none yet, so the next checkpoint is full);
+	// chainLen / chainBytes describe the delta chain behind the last full
+	// snapshot and drive the compaction policy; subsDirty / partDirty flag
+	// subscription-registry and partition-analysis changes since the last
+	// checkpoint (the per-object dirty sets live on the shards). ckptInFlight
+	// dedups the auto-checkpoint cadence's background trigger; compacting
+	// dedups background compactions. pauseLast / pauseMax / ckptBytes are the
+	// observability counters behind DurabilityStats.
+	ckptGen         atomic.Uint64
+	chainLen        atomic.Int64
+	chainBytes      atomic.Int64
+	subsDirty       atomic.Bool
+	partDirty       atomic.Bool
+	ckptInFlight    atomic.Bool
+	compacting      atomic.Bool
+	compactions     atomic.Int64
+	pauseLast       atomic.Int64
+	pauseMax        atomic.Int64
+	ckptBytes       atomic.Int64
+	compactChainMax int
+	compactBytesMax int64
 
 	// recovering suppresses logging and maintenance while Open replays: the
 	// replayed verbs run their normal in-memory paths but append nothing.
@@ -87,6 +118,10 @@ const (
 	ckptTmpName   = "checkpoint.tmp"
 )
 
+// deltaFileName names one delta-chain element. The zero-padded generation
+// makes lexical directory order equal generation order.
+func deltaFileName(gen uint64) string { return fmt.Sprintf("ckpt-%020d.delta", gen) }
+
 // initDurable opens the data directory's page file and log. Called from Open
 // before any index is built; recovery itself runs after the shards exist.
 func (s *Store) initDurable() error {
@@ -99,6 +134,7 @@ func (s *Store) initDurable() error {
 		// open; stale images must not survive into the new generation.
 		Truncate: true,
 		Injector: cfg.injector,
+		Mmap:     cfg.mmapOn,
 	})
 	if err != nil {
 		return err
@@ -114,7 +150,10 @@ func (s *Store) initDurable() error {
 		return err
 	}
 	s.disk = fstore
-	s.dur = &durability{dir: cfg.dataDir, wal: w, fstore: fstore, ckptEvery: cfg.ckptEvery}
+	s.dur = &durability{
+		dir: cfg.dataDir, wal: w, fstore: fstore, ckptEvery: cfg.ckptEvery,
+		compactChainMax: cfg.compactChain, compactBytesMax: cfg.compactBytes,
+	}
 	// Index building inside Open (upfront sample, staging shards) must not
 	// log; recover() lifts this once the replay is done.
 	s.dur.recovering.Store(true)
@@ -148,6 +187,12 @@ func (s *Store) Close() error {
 		close(d.scrubStop)
 		<-d.scrubDone
 	}
+	// Drain any in-flight background checkpoint or compaction: both hold
+	// ckptMu for their whole file-writing span and re-check closed after
+	// acquiring it, so once this barrier passes, nothing touches the data
+	// directory again.
+	d.ckptMu.Lock()
+	d.ckptMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	var first error
 	if err := d.wal.Sync(); err != nil {
 		first = err
@@ -165,8 +210,10 @@ func (s *Store) Close() error {
 // durableApply wraps a write verb's in-memory apply with logging: under the
 // shared commit lock, a successful apply appends its record; after release,
 // the caller waits for durability per the sync policy. Non-durable stores
-// (and replay during recovery) run the apply alone.
-func (s *Store) durableApply(t wal.Type, encode func() []byte, apply func() (bool, error)) (bool, error) {
+// (and replay during recovery) run the apply alone. encode appends the record
+// payload to dst — a pooled buffer that WAL.Append copies out of before
+// returning, so the steady-state write path allocates nothing per record.
+func (s *Store) durableApply(t wal.Type, encode func(dst []byte) []byte, apply func() (bool, error)) (bool, error) {
 	d := s.dur
 	if d == nil || d.recovering.Load() {
 		return apply()
@@ -181,8 +228,11 @@ func (s *Store) durableApply(t wal.Type, encode func() []byte, apply func() (boo
 		s.noteIOFault(err)
 		return false, err
 	}
-	lsn, werr := d.wal.Append(t, encode())
+	buf := wal.GetBuf()
+	*buf = encode((*buf)[:0])
+	lsn, werr := d.wal.Append(t, *buf)
 	d.commitMu.RUnlock()
+	wal.PutBuf(buf)
 	if werr != nil {
 		s.noteIOFault(werr)
 		return false, werr
@@ -213,11 +263,12 @@ func (s *Store) reportBatchDurable(d *durability, objs []Object) error {
 		werr error
 	)
 	if n > 0 {
-		flat := make([]Object, 0, n)
-		for _, g := range evalGroups {
-			flat = append(flat, g...)
-		}
-		lsn, werr = d.wal.Append(wal.TypeReportBatch, wal.EncodeReportBatch(flat))
+		// Encode straight from the per-shard groups into a pooled buffer:
+		// no flattened intermediate slice, no per-batch payload allocation.
+		buf := wal.GetBuf()
+		*buf = wal.AppendReportBatch((*buf)[:0], evalGroups)
+		lsn, werr = d.wal.Append(wal.TypeReportBatch, *buf)
+		wal.PutBuf(buf)
 	}
 	d.commitMu.RUnlock()
 	if werr != nil {
@@ -245,6 +296,11 @@ func (s *Store) logSwap(an core.Analysis) {
 	if d == nil || d.recovering.Load() {
 		return
 	}
+	// Mark the partitions dirty before the append: a delta capture that sees
+	// the flag clear is guaranteed to have cut before this record's LSN, so
+	// the swap is covered by the WAL tail instead; seeing it set merely adds
+	// a redundant analysis to the next delta.
+	d.partDirty.Store(true)
 	if _, err := d.wal.Append(wal.TypePartitionSwap, core.EncodeAnalysis(an)); err != nil {
 		s.noteIOFault(err)
 	} else {
@@ -255,14 +311,24 @@ func (s *Store) logSwap(an core.Analysis) {
 // noteRecords advances the auto-checkpoint cadence by n logged records and
 // kicks a background checkpoint each time the running counter crosses a
 // multiple of WithCheckpointEvery. Like the repartition cadence, the counter
-// is never reset, so every multiple fires exactly once.
+// is never reset. At most one background checkpoint is in flight at a time:
+// without the CAS guard, a write burst would spawn one goroutine per cadence
+// trip and they would all queue on ckptMu behind a slow checkpoint, piling up
+// without bound and then running back-to-back redundant snapshots. A multiple
+// crossed while one is in flight is simply absorbed — the in-flight
+// checkpoint already covers those records.
 func (d *durability) noteRecords(s *Store, n int64) {
 	if d.ckptEvery <= 0 {
 		return
 	}
 	after := d.records.Add(n)
 	if after/d.ckptEvery != (after-n)/d.ckptEvery {
-		go func() { _ = s.Checkpoint() }()
+		if d.ckptInFlight.CompareAndSwap(false, true) {
+			go func() {
+				defer d.ckptInFlight.Store(false)
+				_ = s.Checkpoint()
+			}()
+		}
 	}
 }
 
@@ -280,6 +346,21 @@ type DurabilityStats struct {
 	// is the log position the newest on-disk checkpoint covers.
 	Checkpoints   int64
 	CheckpointLSN uint64
+	// CheckpointPauseNs / CheckpointPauseMaxNs are the commit-lock hold time
+	// of the most recent checkpoint capture and the worst one this process —
+	// the stop-the-world window writes actually feel, which delta checkpoints
+	// shrink from O(dataset) to O(changes). CheckpointBytes is the byte size
+	// of the most recently written checkpoint file (full or delta).
+	CheckpointPauseNs    int64
+	CheckpointPauseMaxNs int64
+	CheckpointBytes      int64
+	// DeltaChainLen is the number of delta files currently chained behind the
+	// last full snapshot; Compactions counts background chain folds.
+	DeltaChainLen int64
+	Compactions   int64
+	// MmapReads reports whether page reads are currently served from a
+	// read-only memory mapping of the data file (WithMmap) rather than pread.
+	MmapReads bool
 	// ReplayedRecords counts log records replayed by this process's Open.
 	ReplayedRecords int64
 	// Health / HealthReason mirror Store.Health with the reason recorded at
@@ -314,32 +395,56 @@ func (s *Store) DurabilityStats() (DurabilityStats, bool) {
 	reason := s.healthReason
 	s.healthMu.Unlock()
 	return DurabilityStats{
-		WALAppendedLSN:   d.wal.AppendedLSN(),
-		WALDurableLSN:    d.wal.DurableLSN(),
-		WALSegments:      d.wal.Segments(),
-		Checkpoints:      d.ckpts.Load(),
-		CheckpointLSN:    d.ckptLSN.Load(),
-		ReplayedRecords:  d.replayed.Load(),
-		Health:           s.Health(),
-		HealthReason:     reason,
-		QuarantinedPages: d.fstore.Quarantined(),
-		ScrubPasses:      d.scrubPasses.Load(),
-		ScrubCorruptions: d.scrubCorrupt.Load(),
-		IORetries:        retries,
+		WALAppendedLSN:       d.wal.AppendedLSN(),
+		WALDurableLSN:        d.wal.DurableLSN(),
+		WALSegments:          d.wal.Segments(),
+		Checkpoints:          d.ckpts.Load(),
+		CheckpointLSN:        d.ckptLSN.Load(),
+		CheckpointPauseNs:    d.pauseLast.Load(),
+		CheckpointPauseMaxNs: d.pauseMax.Load(),
+		CheckpointBytes:      d.ckptBytes.Load(),
+		DeltaChainLen:        d.chainLen.Load(),
+		Compactions:          d.compactions.Load(),
+		MmapReads:            d.fstore.MmapActive(),
+		ReplayedRecords:      d.replayed.Load(),
+		Health:               s.Health(),
+		HealthReason:         reason,
+		QuarantinedPages:     d.fstore.Quarantined(),
+		ScrubPasses:          d.scrubPasses.Load(),
+		ScrubCorruptions:     d.scrubCorrupt.Load(),
+		IORetries:            retries,
 	}, true
 }
 
-// checkpointState is one consistent cut of the Store's logical state.
+// checkpointState is one chain element: a consistent cut of the Store's
+// logical state (full snapshot) or of everything that changed since the
+// previous element (delta). partitioned doubles as "this element carries an
+// analysis to apply": always set for a partitioned full snapshot, set on a
+// delta only when the partitions changed since the previous element.
 type checkpointState struct {
+	gen       uint64 // chain generation; monotonic across fulls and deltas
+	parentGen uint64 // generation this delta chains onto (0 for a full)
+	delta     bool
+
 	lsn         uint64
 	partitioned bool
 	analysis    core.Analysis
 	objects     []Object
+	tombs       []ObjectID // IDs removed since the previous element (delta only)
 
 	hasEngine bool
 	clock     float64
 	nextID    SubscriptionID
 	subs      []checkpointSub
+
+	// Capture bookkeeping, never encoded: the dirty/gone maps swapped out of
+	// the shards (restored if the write fails) and the captured dirty-flag
+	// values; size is the on-disk element size filled in by readChain.
+	savedDirty []map[ObjectID]struct{}
+	savedGone  []map[ObjectID]struct{}
+	savedSubs  bool
+	savedPart  bool
+	size       int64
 }
 
 // checkpointSub is one subscription with its full membership.
@@ -349,12 +454,15 @@ type checkpointSub struct {
 	members []ObjectID
 }
 
-// Checkpoint snapshots the Store's full logical state to the data
-// directory — shadow file, fsync, atomic rename — and then reclaims the log
-// segments the snapshot covers. Returns ErrUnsupported for a non-durable
-// Store. Safe to call concurrently with writes (the snapshot capture briefly
-// blocks the write verbs); concurrent checkpoints serialize. The outcome is
-// also recorded as a maintenance event (MaintCheckpoint).
+// Checkpoint persists a consistent cut of the Store's logical state to the
+// data directory — the first checkpoint (and any compaction) writes a full
+// snapshot, every later one writes only the state dirtied since the previous
+// checkpoint as a delta file chained to the last full snapshot — and then
+// reclaims the log segments the cut covers. The write-verb pause is the
+// capture window only, O(changes) for a delta; serialization and fsync run
+// off the commit lock. Returns ErrUnsupported for a non-durable Store. Safe
+// to call concurrently with writes; concurrent checkpoints serialize. The
+// outcome is also recorded as a maintenance event (MaintCheckpoint).
 func (s *Store) Checkpoint() error {
 	d := s.dur
 	if d == nil {
@@ -367,34 +475,86 @@ func (s *Store) Checkpoint() error {
 	if Health(s.health.Load()) == HealthFailed {
 		return s.healthErr(ErrFailed)
 	}
+	ck, err := s.checkpointLocked(d)
+	ev := MaintenanceEvent{Op: MaintCheckpoint, Err: err, SampleSize: len(ck.objects), Swapped: err == nil}
+	s.recordMaintenance(ev)
+	s.notifyMaintenance(ev)
+	if err == nil && ck.delta {
+		s.maybeCompact(d)
+	}
+	return err
+}
+
+// checkpointLocked is Checkpoint's core under ckptMu: capture, write, stats.
+// Hook notification and compaction scheduling stay outside the lock so a
+// maintenance hook may call any Store method — including Close, which drains
+// in-flight checkpoints by acquiring ckptMu itself.
+func (s *Store) checkpointLocked(d *durability) (checkpointState, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	// Re-check under the lock: a Close that won the race has already drained
+	// the files, and a checkpoint written now would recreate them.
+	if d.closed.Load() {
+		return checkpointState{}, s.healthErr(ErrFailed)
+	}
+	full := d.ckptGen.Load() == 0 // nothing durable yet: the chain needs its base
+	start := time.Now()
 	d.commitMu.Lock()
-	ck := s.captureCheckpoint(d)
+	var ck checkpointState
+	if full {
+		ck = s.captureCheckpoint(d)
+	} else {
+		ck = s.captureDelta(d)
+	}
 	d.commitMu.Unlock()
-	err := d.writeCheckpoint(ck)
-	if err == nil {
+	pause := time.Since(start).Nanoseconds()
+	d.pauseLast.Store(pause)
+	for {
+		max := d.pauseMax.Load()
+		if pause <= max || d.pauseMax.CompareAndSwap(max, pause) {
+			break
+		}
+	}
+	name := ckptFileName
+	if ck.delta {
+		name = deltaFileName(ck.gen)
+	}
+	n, err := d.writeCheckpointFile(name, ck)
+	if err != nil {
+		// The capture emptied the dirty sets; the write never became durable,
+		// so fold them back in (newer marks win) for the next attempt.
+		s.restoreDirty(d, ck)
+	} else {
+		d.ckptGen.Store(ck.gen)
 		d.ckptLSN.Store(ck.lsn)
+		d.ckptBytes.Store(n)
 		d.ckpts.Add(1)
+		if ck.delta {
+			d.chainLen.Add(1)
+			d.chainBytes.Add(n)
+		} else {
+			d.resetChain(ck.gen)
+		}
 		// Reclamation is best-effort: a failure leaves extra segments whose
 		// replay is harmless (the next recovery starts at the checkpoint's
 		// LSN and skips everything before it).
 		_ = d.wal.TruncateBefore(ck.lsn)
 	}
-	ev := MaintenanceEvent{Op: MaintCheckpoint, Err: err, SampleSize: len(ck.objects), Swapped: err == nil}
-	s.recordMaintenance(ev)
-	s.notifyMaintenance(ev)
-	return err
+	return ck, err
 }
 
-// captureCheckpoint snapshots the logical state. Caller holds d.commitMu
-// exclusively, so no write verb is between its apply and its append: every
-// operation is either fully reflected here or entirely after ck.lsn.
+// captureCheckpoint snapshots the full logical state. Caller holds
+// d.commitMu exclusively, so no write verb is between its apply and its
+// append: every operation is either fully reflected here or entirely after
+// ck.lsn. The dirty sets are consumed — the snapshot covers everything —
+// and stashed on the returned state so a failed write can restore them.
 func (s *Store) captureCheckpoint(d *durability) checkpointState {
-	ck := checkpointState{lsn: d.wal.AppendedLSN()}
+	ck := checkpointState{lsn: d.wal.AppendedLSN(), gen: d.ckptGen.Load() + 1}
 	ck.analysis, ck.partitioned = s.Analysis()
+	ck.savedSubs = d.subsDirty.Swap(false)
+	ck.savedPart = d.partDirty.Swap(false)
 	for _, sh := range s.shards {
-		sh.mu.RLock()
+		sh.mu.Lock()
 		if sh.mgr != nil {
 			ck.objects = append(ck.objects, sh.mgr.Objects()...)
 		} else {
@@ -402,11 +562,74 @@ func (s *Store) captureCheckpoint(d *durability) checkpointState {
 				ck.objects = append(ck.objects, o)
 			}
 		}
-		sh.mu.RUnlock()
+		ck.savedDirty = append(ck.savedDirty, sh.dirty)
+		ck.savedGone = append(ck.savedGone, sh.gone)
+		if sh.dirty != nil {
+			sh.dirty = make(map[ObjectID]struct{})
+			sh.gone = make(map[ObjectID]struct{})
+		}
+		sh.mu.Unlock()
 	}
+	s.captureEngine(&ck)
+	return ck
+}
+
+// captureDelta snapshots only the state dirtied since the previous
+// checkpoint: the current records of the dirty IDs, tombstones for the
+// removed ones, the analysis only if the partitions changed, and the
+// subscription registry whenever it exists and could have changed (a live
+// subscription's membership moves on every report, so the engine section
+// rides every delta while subscriptions are registered). Caller holds
+// d.commitMu exclusively; the locking discipline matches captureCheckpoint.
+func (s *Store) captureDelta(d *durability) checkpointState {
+	prev := d.ckptGen.Load()
+	ck := checkpointState{lsn: d.wal.AppendedLSN(), gen: prev + 1, parentGen: prev, delta: true}
+	ck.savedSubs = d.subsDirty.Swap(false)
+	ck.savedPart = d.partDirty.Swap(false)
+	if ck.savedPart {
+		ck.analysis, ck.partitioned = s.Analysis()
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id := range sh.dirty {
+			var (
+				o  Object
+				ok bool
+			)
+			if sh.mgr != nil {
+				o, ok = sh.mgr.Get(id)
+			} else {
+				o, ok = sh.objs[id]
+			}
+			if ok {
+				ck.objects = append(ck.objects, o)
+			} else {
+				ck.tombs = append(ck.tombs, id)
+			}
+		}
+		for id := range sh.gone {
+			ck.tombs = append(ck.tombs, id)
+		}
+		ck.savedDirty = append(ck.savedDirty, sh.dirty)
+		ck.savedGone = append(ck.savedGone, sh.gone)
+		if sh.dirty != nil {
+			sh.dirty = make(map[ObjectID]struct{})
+			sh.gone = make(map[ObjectID]struct{})
+		}
+		sh.mu.Unlock()
+	}
+	if e := s.subEng.Load(); e != nil && (e.nsubs.Load() > 0 || ck.savedSubs) {
+		s.captureEngine(&ck)
+	}
+	return ck
+}
+
+// captureEngine fills ck's subscription-registry section from the live
+// engine (no-op when none exists).
+func (s *Store) captureEngine(ck *checkpointState) {
 	e := s.subEng.Load()
 	if e == nil {
-		return ck
+		return
 	}
 	ck.hasEngine = true
 	ck.clock = e.now()
@@ -428,36 +651,211 @@ func (s *Store) captureCheckpoint(d *durability) checkpointState {
 		}
 		ck.subs = append(ck.subs, cs)
 	}
-	return ck
+}
+
+// restoreDirty folds a failed checkpoint's captured dirty state back into
+// the live shards so the next attempt re-covers it. Marks made after the
+// capture win: an ID re-dirtied since stays dirty, one removed since stays
+// gone.
+func (s *Store) restoreDirty(d *durability, ck checkpointState) {
+	for i, sh := range s.shards {
+		if i >= len(ck.savedDirty) || ck.savedDirty[i] == nil {
+			continue
+		}
+		sh.mu.Lock()
+		for id := range ck.savedDirty[i] {
+			if _, newer := sh.gone[id]; !newer {
+				sh.dirty[id] = struct{}{}
+			}
+		}
+		for id := range ck.savedGone[i] {
+			if _, newer := sh.dirty[id]; !newer {
+				sh.gone[id] = struct{}{}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if ck.savedSubs {
+		d.subsDirty.Store(true)
+	}
+	if ck.savedPart {
+		d.partDirty.Store(true)
+	}
+}
+
+// clearDirtyState empties every shard's dirty set and both dirty flags.
+// Recovery calls it after applying the on-disk chain (whose contents are by
+// definition already durable) and before replaying the WAL tail, whose
+// records re-mark exactly the state the next delta must cover.
+func (s *Store) clearDirtyState(d *durability) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.dirty != nil {
+			sh.dirty = make(map[ObjectID]struct{})
+			sh.gone = make(map[ObjectID]struct{})
+		}
+		sh.mu.Unlock()
+	}
+	d.subsDirty.Store(false)
+	d.partDirty.Store(false)
+}
+
+// resetChain records that a full snapshot at gen replaced the chain, and
+// removes any delta files it made stale (best-effort; recovery also skips
+// deltas at or below the full snapshot's generation).
+func (d *durability) resetChain(gen uint64) {
+	d.chainLen.Store(0)
+	d.chainBytes.Store(0)
+	names, err := filepath.Glob(filepath.Join(d.dir, "ckpt-*.delta"))
+	if err != nil {
+		return
+	}
+	stale := filepath.Join(d.dir, deltaFileName(gen))
+	for _, name := range names {
+		if name <= stale {
+			_ = os.Remove(name)
+		}
+	}
+}
+
+// compactionDue reports whether the delta chain has outgrown the
+// WithCheckpointCompaction policy.
+func (d *durability) compactionDue() bool {
+	return (d.compactChainMax > 0 && d.chainLen.Load() >= int64(d.compactChainMax)) ||
+		(d.compactBytesMax > 0 && d.chainBytes.Load() >= d.compactBytesMax)
+}
+
+// maybeCompact starts a background chain fold when the policy says so; at
+// most one compaction runs at a time.
+func (s *Store) maybeCompact(d *durability) {
+	if !d.compactionDue() {
+		return
+	}
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer d.compacting.Store(false)
+		_ = s.compactCheckpoints()
+	}()
+}
+
+// compactCheckpoints folds the on-disk full+delta chain into a single full
+// snapshot, entirely off the commit lock: it re-reads the chain from disk,
+// merges it, shadow-writes the merged state over checkpoint.ckpt, and
+// deletes the folded delta files. Writes proceed concurrently — their dirty
+// marks are untouched — and a crash at any point leaves the old chain
+// intact (a surviving stale delta is skipped at recovery). Serialized with
+// Checkpoint by ckptMu, so the chain cannot grow under the fold.
+func (s *Store) compactCheckpoints() error {
+	d := s.dur
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.closed.Load() || Health(s.health.Load()) == HealthFailed {
+		return nil
+	}
+	elems, err := d.readChain()
+	if err != nil || len(elems) < 2 {
+		return err
+	}
+	folded := foldChain(elems)
+	if _, err := d.writeCheckpointFile(ckptFileName, folded); err != nil {
+		return err
+	}
+	for _, e := range elems[1:] {
+		_ = os.Remove(filepath.Join(d.dir, deltaFileName(e.gen)))
+	}
+	d.chainLen.Store(0)
+	d.chainBytes.Store(0)
+	d.compactions.Add(1)
+	return nil
+}
+
+// foldChain merges a full snapshot and its deltas (in chain order) into one
+// full checkpointState carrying the last element's generation and LSN:
+// later object versions win, tombstones delete, and the newest analysis and
+// registry sections carry over (an element without those sections means
+// "unchanged since the previous one").
+func foldChain(elems []checkpointState) checkpointState {
+	out := checkpointState{
+		gen: elems[len(elems)-1].gen,
+		lsn: elems[len(elems)-1].lsn,
+	}
+	objs := make(map[ObjectID]Object, len(elems[0].objects))
+	for _, e := range elems {
+		for _, o := range e.objects {
+			objs[o.ID] = o
+		}
+		for _, id := range e.tombs {
+			delete(objs, id)
+		}
+		if e.partitioned {
+			out.analysis, out.partitioned = e.analysis, true
+		}
+		if e.hasEngine {
+			out.hasEngine = true
+			out.clock, out.nextID, out.subs = e.clock, e.nextID, e.subs
+		}
+	}
+	out.objects = make([]Object, 0, len(objs))
+	for _, o := range objs {
+		out.objects = append(out.objects, o)
+	}
+	sort.Slice(out.objects, func(i, j int) bool { return out.objects[i].ID < out.objects[j].ID })
+	return out
 }
 
 // Checkpoint file layout: magic, version, payload, CRC32 of the payload.
+// Version 2 added the chain fields (generation, parent generation, delta
+// flag, tombstones) and made the analysis section conditional on its flag;
+// v1 files from older builds are still read (as a full snapshot heading a
+// chain of zero deltas), but every new element is written as v2.
 const (
 	ckptMagic   = 0x5650434B // "VPCK"
-	ckptVersion = 1
+	ckptVersion = 2
+)
+
+// Flag bits in the checkpoint payload.
+const (
+	ckptFlagAnalysis = 1 << 0 // element carries a partition analysis
+	ckptFlagEngine   = 1 << 1 // element carries the subscription registry
+	ckptFlagDelta    = 1 << 2 // element is a delta, not a full snapshot
 )
 
 // encodeCheckpoint serializes a checkpointState.
 func encodeCheckpoint(ck checkpointState) []byte {
-	b := make([]byte, 0, 64+len(ck.objects)*48)
+	b := make([]byte, 0, 96+len(ck.objects)*48+len(ck.tombs)*8)
 	b = binary.LittleEndian.AppendUint32(b, ckptMagic)
 	b = binary.LittleEndian.AppendUint32(b, ckptVersion)
 	payloadStart := len(b)
+	b = binary.LittleEndian.AppendUint64(b, ck.gen)
+	b = binary.LittleEndian.AppendUint64(b, ck.parentGen)
 	b = binary.LittleEndian.AppendUint64(b, ck.lsn)
 	var flags byte
 	if ck.partitioned {
-		flags |= 1
+		flags |= ckptFlagAnalysis
 	}
 	if ck.hasEngine {
-		flags |= 2
+		flags |= ckptFlagEngine
+	}
+	if ck.delta {
+		flags |= ckptFlagDelta
 	}
 	b = append(b, flags)
-	an := core.EncodeAnalysis(ck.analysis)
-	b = binary.LittleEndian.AppendUint64(b, uint64(len(an)))
-	b = append(b, an...)
+	if ck.partitioned {
+		an := core.EncodeAnalysis(ck.analysis)
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(an)))
+		b = append(b, an...)
+	}
 	b = binary.LittleEndian.AppendUint64(b, uint64(len(ck.objects)))
 	for _, o := range ck.objects {
 		b = wal.AppendObject(b, o)
+	}
+	if ck.delta {
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(ck.tombs)))
+		for _, id := range ck.tombs {
+			b = binary.LittleEndian.AppendUint64(b, uint64(id))
+		}
 	}
 	if ck.hasEngine {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ck.clock))
@@ -489,8 +887,9 @@ func decodeCheckpoint(b []byte) (checkpointState, error) {
 	if binary.LittleEndian.Uint32(b) != ckptMagic {
 		return bad("bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(b[4:]); v != ckptVersion {
-		return bad(fmt.Sprintf("unsupported version %d", v))
+	ver := binary.LittleEndian.Uint32(b[4:])
+	if ver != 1 && ver != ckptVersion {
+		return bad(fmt.Sprintf("unsupported version %d", ver))
 	}
 	payload := b[8 : len(b)-4]
 	if got, want := binary.LittleEndian.Uint32(b[len(b)-4:]), crc32.ChecksumIEEE(payload); got != want {
@@ -505,6 +904,18 @@ func decodeCheckpoint(b []byte) (checkpointState, error) {
 		r = r[8:]
 		return v, true
 	}
+	if ver >= 2 {
+		gen, ok1 := u64()
+		parentGen, ok2 := u64()
+		if !ok1 || !ok2 {
+			return bad("truncated")
+		}
+		ck.gen, ck.parentGen = gen, parentGen
+	} else {
+		// A v1 file is a full snapshot from before chains existed; give it
+		// generation 1 so deltas written after recovery chain onto it.
+		ck.gen = 1
+	}
 	lsn, ok := u64()
 	if !ok || len(r) < 1 {
 		return bad("truncated")
@@ -512,17 +923,22 @@ func decodeCheckpoint(b []byte) (checkpointState, error) {
 	ck.lsn = lsn
 	flags := r[0]
 	r = r[1:]
-	ck.partitioned = flags&1 != 0
-	ck.hasEngine = flags&2 != 0
-	anLen, ok := u64()
-	if !ok || uint64(len(r)) < anLen {
-		return bad("truncated analysis")
+	ck.partitioned = flags&ckptFlagAnalysis != 0
+	ck.hasEngine = flags&ckptFlagEngine != 0
+	ck.delta = ver >= 2 && flags&ckptFlagDelta != 0
+	if ck.partitioned || ver == 1 {
+		// v1 wrote the analysis section unconditionally; v2 only when the
+		// analysis flag is set.
+		anLen, ok := u64()
+		if !ok || uint64(len(r)) < anLen {
+			return bad("truncated analysis")
+		}
+		var err error
+		if ck.analysis, err = core.DecodeAnalysis(r[:anLen]); err != nil {
+			return ck, err
+		}
+		r = r[anLen:]
 	}
-	var err error
-	if ck.analysis, err = core.DecodeAnalysis(r[:anLen]); err != nil {
-		return ck, err
-	}
-	r = r[anLen:]
 	nObjs, ok := u64()
 	if !ok || uint64(len(r)) < nObjs*48 {
 		return bad("truncated objects")
@@ -530,6 +946,17 @@ func decodeCheckpoint(b []byte) (checkpointState, error) {
 	ck.objects = make([]Object, nObjs)
 	for i := range ck.objects {
 		ck.objects[i], r, _ = wal.TakeObject(r)
+	}
+	if ck.delta {
+		nTombs, ok := u64()
+		if !ok || uint64(len(r)) < nTombs*8 {
+			return bad("truncated tombstones")
+		}
+		ck.tombs = make([]ObjectID, nTombs)
+		for i := range ck.tombs {
+			v, _ := u64()
+			ck.tombs[i] = ObjectID(v)
+		}
 	}
 	if !ck.hasEngine {
 		if len(r) != 0 {
@@ -573,27 +1000,29 @@ func decodeCheckpoint(b []byte) (checkpointState, error) {
 	return ck, nil
 }
 
-// writeCheckpoint persists ck with the shadow-file protocol: write to a tmp
-// file, fsync it, rename over the previous checkpoint, fsync the directory.
-// A crash anywhere leaves either the old or the new checkpoint, never a torn
-// one. The fault injector gates the write and both fsyncs, so the kill
-// matrix exercises every crash position.
-func (d *durability) writeCheckpoint(ck checkpointState) error {
+// writeCheckpointFile persists ck as name (checkpoint.ckpt or a delta file)
+// with the shadow-file protocol: write to a tmp file, fsync it, rename to
+// the target, fsync the directory. A crash anywhere leaves either the old
+// element set or the new one, never a torn file. The fault injector gates
+// the write and both fsyncs, so the kill matrix exercises every crash
+// position. Returns the element's encoded size.
+func (d *durability) writeCheckpointFile(name string, ck checkpointState) (int64, error) {
 	fi := d.fstore.Injector()
 	if err := fi.BeforeWrite(); err != nil {
-		return err
+		return 0, err
 	}
 	tmp := filepath.Join(d.dir, ckptTmpName)
 	f, err := os.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("vpindex: checkpoint: %w", err)
+		return 0, fmt.Errorf("vpindex: checkpoint: %w", err)
 	}
-	cleanup := func(err error) error {
+	cleanup := func(err error) (int64, error) {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	if _, err := f.Write(encodeCheckpoint(ck)); err != nil {
+	enc := encodeCheckpoint(ck)
+	if _, err := f.Write(enc); err != nil {
 		return cleanup(fmt.Errorf("vpindex: checkpoint write: %w", err))
 	}
 	if err := fi.BeforeSync(); err != nil {
@@ -604,14 +1033,14 @@ func (d *durability) writeCheckpoint(ck checkpointState) error {
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("vpindex: checkpoint close: %w", err)
+		return 0, fmt.Errorf("vpindex: checkpoint close: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(d.dir, ckptFileName)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("vpindex: checkpoint rename: %w", err)
+		return 0, fmt.Errorf("vpindex: checkpoint rename: %w", err)
 	}
 	if err := fi.BeforeSync(); err != nil {
-		return err
+		return 0, err
 	}
 	dir, err := os.Open(d.dir)
 	if err == nil {
@@ -619,14 +1048,15 @@ func (d *durability) writeCheckpoint(ck checkpointState) error {
 		dir.Close()
 	}
 	if err != nil {
-		return fmt.Errorf("vpindex: checkpoint dir fsync: %w", err)
+		return 0, fmt.Errorf("vpindex: checkpoint dir fsync: %w", err)
 	}
-	return nil
+	return int64(len(enc)), nil
 }
 
-// loadCheckpoint reads the newest checkpoint; ok is false when none exists.
-func (d *durability) loadCheckpoint() (ck checkpointState, ok bool, err error) {
-	b, err := os.ReadFile(filepath.Join(d.dir, ckptFileName))
+// loadCheckpointFile reads and decodes one chain element; ok is false when
+// the file does not exist.
+func (d *durability) loadCheckpointFile(name string) (ck checkpointState, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(d.dir, name))
 	if os.IsNotExist(err) {
 		return checkpointState{}, false, nil
 	}
@@ -634,37 +1064,119 @@ func (d *durability) loadCheckpoint() (ck checkpointState, ok bool, err error) {
 		return checkpointState{}, false, err
 	}
 	ck, err = decodeCheckpoint(b)
+	ck.size = int64(len(b))
 	return ck, err == nil, err
 }
 
-// recover restores the Store from the data directory: load the newest
-// checkpoint, rebuild partitions and objects and subscriptions from it
-// through the normal code paths, then replay the log tail. Runs inside Open
-// with the recovering flag set, so nothing is re-logged and no maintenance
-// analyses launch; the subscription filter's velocity classes are re-armed
-// at the end from whatever analysis survived.
+// readChain loads the on-disk checkpoint chain: the full snapshot followed
+// by its delta files in generation order. Deltas at or below the full
+// snapshot's generation are pre-compaction leftovers and are deleted; a gap
+// in the parent linkage means a missing element, which is corruption the
+// shadow-write protocol cannot produce, so it surfaces as an error rather
+// than a silently shortened history. Returns an empty chain when no
+// checkpoint exists yet.
+func (d *durability) readChain() ([]checkpointState, error) {
+	full, ok, err := d.loadCheckpointFile(ckptFileName)
+	if err != nil {
+		return nil, err
+	}
+	names, gerr := filepath.Glob(filepath.Join(d.dir, "ckpt-*.delta"))
+	if gerr != nil {
+		return nil, gerr
+	}
+	sort.Strings(names) // zero-padded generations: lexical order == chain order
+	if !ok {
+		if len(names) > 0 {
+			return nil, fmt.Errorf("vpindex: checkpoint: %d delta file(s) with no full snapshot", len(names))
+		}
+		return nil, nil
+	}
+	chain := []checkpointState{full}
+	for _, name := range names {
+		e, ok, err := d.loadCheckpointFile(filepath.Base(name))
+		if err != nil {
+			return nil, err
+		}
+		if !ok || !e.delta {
+			return nil, fmt.Errorf("vpindex: checkpoint: %s is not a delta element", filepath.Base(name))
+		}
+		if e.gen <= full.gen {
+			_ = os.Remove(name) // folded into the full snapshot by a compaction
+			continue
+		}
+		if e.parentGen != chain[len(chain)-1].gen {
+			return nil, fmt.Errorf("vpindex: checkpoint: delta chain gap at gen %d (parent %d, want %d)",
+				e.gen, e.parentGen, chain[len(chain)-1].gen)
+		}
+		chain = append(chain, e)
+	}
+	return chain, nil
+}
+
+// recover restores the Store from the data directory: load the checkpoint
+// chain (full snapshot plus deltas in generation order), rebuild partitions
+// and objects and subscriptions from it through the normal code paths, then
+// replay the log tail. Runs inside Open with the recovering flag set, so
+// nothing is re-logged and no maintenance analyses launch; the subscription
+// filter's velocity classes are re-armed at the end from whatever analysis
+// survived.
 func (s *Store) recover() error {
 	d := s.dur
 	defer d.recovering.Store(false)
-	ck, ok, err := d.loadCheckpoint()
+	chain, err := d.readChain()
 	if err != nil {
 		return err
 	}
-	if ok {
-		if ck.partitioned {
-			s.replaySwap(ck.analysis)
-		}
-		if len(ck.objects) > 0 {
-			if err := s.ReportBatch(ck.objects); err != nil {
-				return fmt.Errorf("vpindex: recover objects: %w", err)
+	var replayFrom uint64
+	if len(chain) > 0 {
+		// The newest analysis in the chain is the partition layout at the
+		// last capture; apply it first so every object lands in the right
+		// partitions directly (per-element swap replay would re-migrate the
+		// population once per layout change for nothing).
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].partitioned {
+				s.replaySwap(chain[i].analysis)
+				break
 			}
 		}
-		if ck.hasEngine {
-			s.restoreSubscriptions(ck)
+		// Objects and tombstones must apply in chain order: a later delta
+		// can re-report an ID an earlier one tombstoned, and vice versa.
+		// Within one element the two sets are disjoint. A tombstone may
+		// target an ID no earlier element carried (insert+remove between two
+		// checkpoints), so unknown IDs are ignored.
+		for _, e := range chain {
+			if len(e.objects) > 0 {
+				if err := s.ReportBatch(e.objects); err != nil {
+					return fmt.Errorf("vpindex: recover objects: %w", err)
+				}
+			}
+			for _, id := range e.tombs {
+				_ = s.Remove(id)
+			}
 		}
-		d.ckptLSN.Store(ck.lsn)
+		// The newest registry section is the registry at the last capture
+		// (an element without one means "unchanged").
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].hasEngine {
+				s.restoreSubscriptions(chain[i])
+				break
+			}
+		}
+		last := chain[len(chain)-1]
+		replayFrom = last.lsn
+		d.ckptLSN.Store(last.lsn)
+		d.ckptGen.Store(last.gen)
+		d.chainLen.Store(int64(len(chain) - 1))
+		var bytes int64
+		for _, e := range chain[1:] {
+			bytes += e.size
+		}
+		d.chainBytes.Store(bytes)
+		// Everything the chain just re-applied is already durable; only the
+		// WAL tail below re-marks state the next delta must cover.
+		s.clearDirtyState(d)
 	}
-	if err := d.wal.Replay(ck.lsn, func(_ uint64, t wal.Type, p []byte) error {
+	if err := d.wal.Replay(replayFrom, func(_ uint64, t wal.Type, p []byte) error {
 		s.replayRecord(t, p)
 		return nil
 	}); err != nil {

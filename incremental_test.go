@@ -1,0 +1,318 @@
+package vpindex_test
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	vpindex "repro"
+)
+
+// TestDeltaChainRecoveryEquivalence drives the same scripted workload into
+// two durable stores — one checkpointing mid-stream (full snapshot plus a
+// two-delta chain), one never checkpointing — and requires the recovered
+// states to be identical: same objects, same search results, same
+// subscription result set. The checkpointed store must also replay a
+// strictly shorter WAL tail, proving the chain actually covered the prefix.
+func TestDeltaChainRecoveryEquivalence(t *testing.T) {
+	script := oracleScript(7101, 48)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	optsA := durableOpts(vpindex.WithDataDir(dirA))
+	optsB := durableOpts(vpindex.WithDataDir(dirB))
+	storeA, err := vpindex.Open(optsA...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeB, err := vpindex.Open(optsB...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptAfter := map[int]bool{15: true, 27: true, 39: true}
+	for i, op := range script {
+		if err := applyOp(storeA, op); err != nil {
+			t.Fatalf("store A op %d: %v", i, err)
+		}
+		if err := applyOp(storeB, op); err != nil {
+			t.Fatalf("store B op %d: %v", i, err)
+		}
+		if ckptAfter[i] {
+			if err := storeA.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after op %d: %v", i, err)
+			}
+		}
+	}
+	stA, _ := storeA.DurabilityStats()
+	if stA.Checkpoints != 3 || stA.DeltaChainLen != 2 {
+		t.Fatalf("store A stats = %d checkpoints, chain %d; want 3 and 2", stA.Checkpoints, stA.DeltaChainLen)
+	}
+	if stA.CheckpointBytes <= 0 || stA.CheckpointPauseNs <= 0 || stA.CheckpointPauseMaxNs < stA.CheckpointPauseNs {
+		t.Fatalf("checkpoint cost stats unpopulated: %+v", stA)
+	}
+	if deltas, _ := filepath.Glob(filepath.Join(dirA, "ckpt-*.delta")); len(deltas) != 2 {
+		t.Fatalf("store A dir holds %d delta files, want 2", len(deltas))
+	}
+	if err := storeA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeB.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recA, err := vpindex.Open(optsA...)
+	if err != nil {
+		t.Fatalf("recovering chained store: %v", err)
+	}
+	defer recA.Close()
+	recB, err := vpindex.Open(optsB...)
+	if err != nil {
+		t.Fatalf("recovering WAL-only store: %v", err)
+	}
+	defer recB.Close()
+
+	if !matchesPrefix(t, recA, script, len(script)) {
+		t.Fatal("chained recovery diverged from the scripted state")
+	}
+	if !matchesPrefix(t, recB, script, len(script)) {
+		t.Fatal("WAL-only recovery diverged from the scripted state")
+	}
+	searchA, err := recA.Search(wholeDomain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	searchB, err := recB.Search(wholeDomain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sortedIDs(searchA), sortedIDs(searchB)) {
+		t.Fatalf("recovered searches diverge: %v vs %v", searchA, searchB)
+	}
+	subA, errA := recA.SubscriptionResults(vpindex.SubscriptionID(1))
+	subB, errB := recB.SubscriptionResults(vpindex.SubscriptionID(1))
+	if errA != nil || errB != nil {
+		t.Fatalf("recovered subscription lookups: %v, %v", errA, errB)
+	}
+	if !equalIDs(sortedIDs(subA), sortedIDs(subB)) {
+		t.Fatalf("recovered subscriptions diverge: %v vs %v", subA, subB)
+	}
+	replayA, _ := recA.DurabilityStats()
+	replayB, _ := recB.DurabilityStats()
+	if replayA.DeltaChainLen != 2 {
+		t.Fatalf("recovered chain length = %d, want 2", replayA.DeltaChainLen)
+	}
+	if replayA.ReplayedRecords >= replayB.ReplayedRecords {
+		t.Fatalf("chained store replayed %d records, WAL-only %d: the chain covered nothing",
+			replayA.ReplayedRecords, replayB.ReplayedRecords)
+	}
+}
+
+// TestCheckpointCompactionFoldsChain verifies the background fold: once the
+// delta chain reaches the configured length, compaction rewrites the full
+// snapshot, removes the delta files, and the next recovery sees a chain of
+// zero with unchanged logical state.
+func TestCheckpointCompactionFoldsChain(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts(vpindex.WithDataDir(dir), vpindex.WithCheckpointCompaction(2, 0))
+	store, err := vpindex.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(88))
+	live := map[vpindex.ObjectID]vpindex.Object{}
+	report := func(n int) {
+		for i := 0; i < n; i++ {
+			o := testObject(1+rng.Intn(40), rng)
+			if err := store.Report(o); err != nil {
+				t.Fatal(err)
+			}
+			live[o.ID] = o
+		}
+	}
+	report(30)
+	if err := store.Checkpoint(); err != nil { // full snapshot, chain 0
+		t.Fatal(err)
+	}
+	report(10)
+	if err := store.Checkpoint(); err != nil { // delta, chain 1
+		t.Fatal(err)
+	}
+	if st, _ := store.DurabilityStats(); st.Compactions != 0 || st.DeltaChainLen != 1 {
+		t.Fatalf("below threshold: %d compactions, chain %d; want 0 and 1", st.Compactions, st.DeltaChainLen)
+	}
+	victim := mustAnyID(t, live)
+	if err := store.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	delete(live, victim)
+	report(10)
+	if err := store.Checkpoint(); err != nil { // delta, chain 2 -> compaction due
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := store.DurabilityStats()
+		if st.Compactions >= 1 && st.DeltaChainLen == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction never folded the chain: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if deltas, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.delta")); len(deltas) != 0 {
+		t.Fatalf("%d delta files survive compaction", len(deltas))
+	}
+	want, err := store.Search(wholeDomain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := vpindex.Open(opts...)
+	if err != nil {
+		t.Fatalf("recovery after compaction: %v", err)
+	}
+	defer recovered.Close()
+	got, err := recovered.Search(wholeDomain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sortedIDs(got), sortedIDs(want)) {
+		t.Fatalf("post-compaction recovery = %v, want %v", got, want)
+	}
+	if st, _ := recovered.DurabilityStats(); st.DeltaChainLen != 0 {
+		t.Fatalf("recovered chain length = %d after compaction, want 0", st.DeltaChainLen)
+	}
+}
+
+// mustAnyID returns an arbitrary key of a non-empty live map.
+func mustAnyID(t *testing.T, live map[vpindex.ObjectID]vpindex.Object) vpindex.ObjectID {
+	t.Helper()
+	for id := range live {
+		return id
+	}
+	t.Fatal("live set empty")
+	return 0
+}
+
+// TestBackgroundCheckpointNoPileup is the regression test for the unbounded
+// cadence goroutines: with a checkpoint every record, a burst of reports used
+// to spawn one background checkpoint goroutine per record, all queued on the
+// checkpoint mutex. The in-flight guard must keep the goroutine count flat
+// while the burst runs.
+func TestBackgroundCheckpointNoPileup(t *testing.T) {
+	store, err := vpindex.Open(durableOpts(
+		vpindex.WithDataDir(t.TempDir()),
+		vpindex.WithCheckpointEvery(1),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rng := rand.New(rand.NewSource(6))
+	base := runtime.NumGoroutine()
+	peak := base
+	for i := 1; i <= 300; i++ {
+		if err := store.Report(testObject(i, rng)); err != nil {
+			t.Fatal(err)
+		}
+		if n := runtime.NumGoroutine(); n > peak {
+			peak = n
+		}
+	}
+	if peak > base+16 {
+		t.Fatalf("goroutines grew from %d to %d during the burst: background checkpoints piled up", base, peak)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _ := store.DurabilityStats(); st.Checkpoints >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no background checkpoint completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestKillPointDeltaChainOracle extends the crash matrix to the chain
+// machinery: the script checkpoints explicitly four times under a
+// chain-length-2 compaction trigger, so the injector's kill points land
+// inside the full-snapshot write, both delta writes, the background fold,
+// and the WAL appends between them. Every recovered state must equal the
+// brute-force survivor of an acknowledged-consistent prefix.
+func TestKillPointDeltaChainOracle(t *testing.T) {
+	script := oracleScript(4242, 30)
+	ckptAfter := map[int]bool{7: true, 13: true, 19: true, 25: true}
+	for killAt := int64(1); ; killAt++ {
+		dir := t.TempDir()
+		fi := vpindex.NewFaultInjector(killAt)
+		opts := durableOpts(
+			vpindex.WithDataDir(dir),
+			vpindex.WithSyncPolicy(vpindex.SyncAlways()),
+			vpindex.WithFaultInjector(fi),
+			vpindex.WithCheckpointCompaction(2, 0),
+			vpindex.WithWALSegmentBytes(2048),
+		)
+		store, err := vpindex.Open(opts...)
+		if err != nil {
+			t.Fatalf("killAt %d: open: %v", killAt, err)
+		}
+		acked := 0
+		crashed := false
+		for i, op := range script {
+			if err := applyOp(store, op); err != nil {
+				if !errors.Is(err, vpindex.ErrInjectedCrash) {
+					t.Fatalf("killAt %d: op %d failed with %v, not an injected crash", killAt, acked, err)
+				}
+				crashed = true
+				break
+			}
+			acked++
+			if ckptAfter[i] {
+				// A checkpoint that dies loses nothing acknowledged; stop
+				// driving the store, recovery must still see every acked op.
+				if err := store.Checkpoint(); err != nil {
+					if !errors.Is(err, vpindex.ErrInjectedCrash) {
+						t.Fatalf("killAt %d: checkpoint after op %d: %v", killAt, i, err)
+					}
+					crashed = true
+					break
+				}
+			}
+		}
+		if !crashed {
+			_ = store.Close()
+			recovered, err := vpindex.Open(durableOpts(vpindex.WithDataDir(dir))...)
+			if err != nil {
+				t.Fatalf("killAt %d: final recovery: %v", killAt, err)
+			}
+			if !matchesPrefix(t, recovered, script, len(script)) {
+				t.Fatalf("killAt %d: clean run did not recover the full script", killAt)
+			}
+			recovered.Close()
+			if fi.SyncPoints() < killAt {
+				t.Logf("delta-chain matrix covered %d kill points", killAt-1)
+				return
+			}
+			continue
+		}
+		_ = store.Close()
+
+		recovered, err := vpindex.Open(durableOpts(vpindex.WithDataDir(dir))...)
+		if err != nil {
+			t.Fatalf("killAt %d: recovery open: %v", killAt, err)
+		}
+		ok := matchesPrefix(t, recovered, script, acked) ||
+			(acked+1 <= len(script) && matchesPrefix(t, recovered, script, acked+1))
+		if !ok {
+			t.Fatalf("killAt %d: recovered state matches neither prefix %d nor %d of the script",
+				killAt, acked, acked+1)
+		}
+		recovered.Close()
+	}
+}

@@ -11,8 +11,15 @@ import (
 )
 
 func openTestStore(t *testing.T, fi *FaultInjector) *FileStore {
+	return openTestStoreWith(t, fi, FileStoreOptions{})
+}
+
+// openTestStoreWith opens a scratch FileStore with the given options (read
+// path, truncation) plus the injector; fileVariants feeds it both read paths.
+func openTestStoreWith(t *testing.T, fi *FaultInjector, opts FileStoreOptions) *FileStore {
 	t.Helper()
-	fs, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.dat"), FileStoreOptions{Injector: fi})
+	opts.Injector = fi
+	fs, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.dat"), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +28,11 @@ func openTestStore(t *testing.T, fi *FaultInjector) *FileStore {
 }
 
 func TestCorruptPageDetectedOnRead(t *testing.T) {
-	fs := openTestStore(t, nil)
+	fileVariants(t, testCorruptPageDetectedOnRead)
+}
+
+func testCorruptPageDetectedOnRead(t *testing.T, opts FileStoreOptions) {
+	fs := openTestStoreWith(t, nil, opts)
 	id, err := fs.Allocate()
 	if err != nil {
 		t.Fatal(err)
@@ -66,8 +77,12 @@ func TestCorruptPageDetectedOnRead(t *testing.T) {
 }
 
 func TestTornWriteCaughtByChecksum(t *testing.T) {
+	fileVariants(t, testTornWriteCaughtByChecksum)
+}
+
+func testTornWriteCaughtByChecksum(t *testing.T, opts FileStoreOptions) {
 	fi := NewScriptedInjector(FaultRule{Op: OpPageWrite, Seq: 2, Kind: FaultTornWrite})
-	fs := openTestStore(t, fi)
+	fs := openTestStoreWith(t, fi, opts)
 	id, err := fs.Allocate()
 	if err != nil {
 		t.Fatal(err)
@@ -97,8 +112,12 @@ func TestTornWriteCaughtByChecksum(t *testing.T) {
 }
 
 func TestBitFlipCaughtByChecksum(t *testing.T) {
+	fileVariants(t, testBitFlipCaughtByChecksum)
+}
+
+func testBitFlipCaughtByChecksum(t *testing.T, opts FileStoreOptions) {
 	fi := NewScriptedInjector(FaultRule{Op: OpPageWrite, Seq: 1, Kind: FaultBitFlip})
-	fs := openTestStore(t, fi)
+	fs := openTestStoreWith(t, fi, opts)
 	id, err := fs.Allocate()
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +134,11 @@ func TestBitFlipCaughtByChecksum(t *testing.T) {
 }
 
 func TestVerifyPageScrubPrimitive(t *testing.T) {
-	fs := openTestStore(t, nil)
+	fileVariants(t, testVerifyPageScrubPrimitive)
+}
+
+func testVerifyPageScrubPrimitive(t *testing.T, opts FileStoreOptions) {
+	fs := openTestStoreWith(t, nil, opts)
 	id, err := fs.Allocate()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can map the data file at all;
+// OpenFileStore falls back to pread silently when it cannot.
+const mmapSupported = false
+
+func mmapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, errors.New("storage: mmap not supported on this platform")
+}
+
+func munmapFile(_ []byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can map the data file at all;
+// OpenFileStore falls back to pread silently when it cannot.
+const mmapSupported = true
+
+// mmapFile maps length bytes of f read-only and shared: the mapping observes
+// every pwrite the store issues through the same file, so the read path sees
+// exactly what a pread would, minus the syscall and the copy into a scratch
+// slot.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -20,9 +20,10 @@ func flipByte(t *testing.T, path string, off int64) {
 	}
 }
 
-// withBackends runs a subtest against each PageStore implementation, so the
-// interface contract — allocation, validation errors, free-list ID reuse —
-// is asserted once for both.
+// withBackends runs a subtest against each PageStore implementation — and
+// against the FileStore's mmap read path where the platform has one — so the
+// interface contract (allocation, validation errors, free-list ID reuse) is
+// asserted once for all of them.
 func withBackends(t *testing.T, fn func(t *testing.T, ps PageStore)) {
 	t.Helper()
 	t.Run("MemStore", func(t *testing.T) {
@@ -35,6 +36,31 @@ func withBackends(t *testing.T, fn func(t *testing.T, ps PageStore)) {
 		}
 		t.Cleanup(func() { fs.Close() })
 		fn(t, fs)
+	})
+	t.Run("FileStoreMmap", func(t *testing.T) {
+		if !mmapSupported {
+			t.Skip("no mmap on this platform")
+		}
+		fs, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.dat"), FileStoreOptions{Mmap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fs.Close() })
+		fn(t, fs)
+	})
+}
+
+// fileVariants runs a FileStore-specific subtest once per read path: the
+// plain pread configuration and, where supported, the mmap one. Corruption,
+// quarantine, and superblock handling must be identical in both.
+func fileVariants(t *testing.T, fn func(t *testing.T, opts FileStoreOptions)) {
+	t.Helper()
+	t.Run("pread", func(t *testing.T) { fn(t, FileStoreOptions{}) })
+	t.Run("mmap", func(t *testing.T) {
+		if !mmapSupported {
+			t.Skip("no mmap on this platform")
+		}
+		fn(t, FileStoreOptions{Mmap: true})
 	})
 }
 
@@ -239,8 +265,12 @@ func TestPageStoreAfterClose(t *testing.T) {
 }
 
 func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	fileVariants(t, testFileStorePersistsAcrossReopen)
+}
+
+func testFileStorePersistsAcrossReopen(t *testing.T, opts FileStoreOptions) {
 	path := filepath.Join(t.TempDir(), "pages.dat")
-	fs, err := OpenFileStore(path, FileStoreOptions{})
+	fs, err := OpenFileStore(path, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +297,7 @@ func TestFileStorePersistsAcrossReopen(t *testing.T) {
 
 	// Reopen: allocator state (high-water mark, free list) and page images
 	// must survive.
-	fs2, err := OpenFileStore(path, FileStoreOptions{})
+	fs2, err := OpenFileStore(path, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,28 +351,34 @@ func TestFileStoreTruncateDiscards(t *testing.T) {
 }
 
 func TestFileStoreRejectsCorruptSuperblock(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "pages.dat")
-	fs, err := OpenFileStore(path, FileStoreOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := fs.Allocate(); err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.Close(); err != nil {
-		t.Fatal(err)
-	}
-	// Both superblock copies must be destroyed before open fails.
-	flipByte(t, path, sbOffNextID+2)              // copy A's nextID field
-	flipByte(t, path, sbCopyStride+sbOffNextID+2) // copy B's nextID field
-	if _, err := OpenFileStore(path, FileStoreOptions{}); err == nil {
-		t.Fatal("corrupt superblock accepted")
-	}
+	fileVariants(t, func(t *testing.T, opts FileStoreOptions) {
+		path := filepath.Join(t.TempDir(), "pages.dat")
+		fs, err := OpenFileStore(path, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Both superblock copies must be destroyed before open fails.
+		flipByte(t, path, sbOffNextID+2)              // copy A's nextID field
+		flipByte(t, path, sbCopyStride+sbOffNextID+2) // copy B's nextID field
+		if _, err := OpenFileStore(path, opts); err == nil {
+			t.Fatal("corrupt superblock accepted")
+		}
+	})
 }
 
 func TestFileStoreSuperblockSurvivesTornCopy(t *testing.T) {
+	fileVariants(t, testFileStoreSuperblockSurvivesTornCopy)
+}
+
+func testFileStoreSuperblockSurvivesTornCopy(t *testing.T, opts FileStoreOptions) {
 	path := filepath.Join(t.TempDir(), "pages.dat")
-	fs, err := OpenFileStore(path, FileStoreOptions{})
+	fs, err := OpenFileStore(path, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +415,7 @@ func TestFileStoreSuperblockSurvivesTornCopy(t *testing.T) {
 				t.Fatal(err)
 			}
 			flipByte(t, cp, off)
-			fs2, err := OpenFileStore(cp, FileStoreOptions{})
+			fs2, err := OpenFileStore(cp, opts)
 			if err != nil {
 				t.Fatalf("open with one torn superblock copy (off %d): %v", off, err)
 			}
@@ -416,6 +452,47 @@ func TestFileStoreSuperblockGenerationAdvances(t *testing.T) {
 		if err := fs2.Close(); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestFileStoreMmapRemapOnGrow(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	fs, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.dat"), FileStoreOptions{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if !fs.MmapActive() {
+		t.Fatal("mmap requested but not active")
+	}
+	// Pages allocated after the initial mapping force remaps; every image
+	// must read back intact through the (re)mapped window.
+	var ids []PageID
+	for i := 0; i < 64; i++ {
+		id, err := fs.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var page [PageSize]byte
+		page[0], page[PageSize-1] = byte(i), byte(255-i)
+		if err := fs.WritePage(id, &page); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		var got [PageSize]byte
+		if err := fs.ReadPage(id, &got); err != nil {
+			t.Fatalf("read page %d: %v", id, err)
+		}
+		if got[0] != byte(i) || got[PageSize-1] != byte(255-i) {
+			t.Fatalf("page %d read back wrong image", id)
+		}
+	}
+	if fs.PhysicalReads() != int64(len(ids)) {
+		t.Fatalf("PhysicalReads = %d, want %d", fs.PhysicalReads(), len(ids))
 	}
 }
 

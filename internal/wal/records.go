@@ -87,6 +87,23 @@ func EncodeReportBatch(objs []model.Object) []byte {
 	return b
 }
 
+// AppendReportBatch appends a batch report record covering every object in
+// every group to b (typically a pooled buffer from GetBuf), so callers that
+// already hold their objects grouped per shard never flatten them first.
+func AppendReportBatch(b []byte, groups [][]model.Object) []byte {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	b = appendU64(b, uint64(total))
+	for _, g := range groups {
+		for _, o := range g {
+			b = AppendObject(b, o)
+		}
+	}
+	return b
+}
+
 // DecodeReportBatch decodes a TypeReportBatch payload.
 func DecodeReportBatch(p []byte) ([]model.Object, error) {
 	n, rest, err := takeU64(p)
@@ -105,7 +122,12 @@ func DecodeReportBatch(p []byte) ([]model.Object, error) {
 
 // EncodeRemove encodes a remove record.
 func EncodeRemove(id model.ObjectID) []byte {
-	return appendU64(make([]byte, 0, 8), uint64(id))
+	return AppendRemove(make([]byte, 0, 8), id)
+}
+
+// AppendRemove appends a remove record to b.
+func AppendRemove(b []byte, id model.ObjectID) []byte {
+	return appendU64(b, uint64(id))
 }
 
 // DecodeRemove decodes a TypeRemove payload.
@@ -181,7 +203,12 @@ func TakeSubscription(b []byte) (monitor.Subscription, []byte, error) {
 // subscription, and the registration time (replay must re-seed the result
 // set at the same clock).
 func EncodeSubscribe(id monitor.SubscriptionID, sub monitor.Subscription, now float64) []byte {
-	b := appendU64(make([]byte, 0, 8+1+14*8), uint64(id))
+	return AppendSubscribe(make([]byte, 0, 8+1+14*8), id, sub, now)
+}
+
+// AppendSubscribe appends a subscribe record to b.
+func AppendSubscribe(b []byte, id monitor.SubscriptionID, sub monitor.Subscription, now float64) []byte {
+	b = appendU64(b, uint64(id))
 	b = AppendSubscription(b, sub)
 	b = appendF64(b, now)
 	return b
@@ -206,7 +233,12 @@ func DecodeSubscribe(p []byte) (monitor.SubscriptionID, monitor.Subscription, fl
 
 // EncodeUnsubscribe encodes an unsubscribe record.
 func EncodeUnsubscribe(id monitor.SubscriptionID) []byte {
-	return appendU64(make([]byte, 0, 8), uint64(id))
+	return AppendUnsubscribe(make([]byte, 0, 8), id)
+}
+
+// AppendUnsubscribe appends an unsubscribe record to b.
+func AppendUnsubscribe(b []byte, id monitor.SubscriptionID) []byte {
+	return appendU64(b, uint64(id))
 }
 
 // DecodeUnsubscribe decodes a TypeUnsubscribe payload.
@@ -220,7 +252,12 @@ func DecodeUnsubscribe(p []byte) (monitor.SubscriptionID, error) {
 
 // EncodeRefresh encodes a subscription-refresh record (pure time advance).
 func EncodeRefresh(now float64) []byte {
-	return appendF64(make([]byte, 0, 8), now)
+	return AppendRefresh(make([]byte, 0, 8), now)
+}
+
+// AppendRefresh appends a subscription-refresh record to b.
+func AppendRefresh(b []byte, now float64) []byte {
+	return appendF64(b, now)
 }
 
 // DecodeRefresh decodes a TypeRefresh payload.

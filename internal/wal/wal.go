@@ -223,9 +223,41 @@ func (w *WAL) CorruptTail() error {
 // across appends and fsyncs.
 func (w *WAL) Retries() int64 { return w.retries.Load() }
 
+// maxPooledBuf caps how large a scratch buffer the frame/encode pools will
+// retain; a rare oversized record allocates once and is dropped afterwards,
+// so a single huge batch cannot pin megabytes in every pool shard.
+const maxPooledBuf = 1 << 20
+
+// framePool recycles Append's frame scratch so the steady-state durable
+// write path frames records without a per-record allocation.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// bufPool recycles record-encode buffers for callers (see GetBuf/PutBuf).
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 256); return &b },
+}
+
+// GetBuf hands out a pooled encode buffer (length 0). Encode a record
+// payload into it with the Append* codecs, pass the result to WAL.Append —
+// which copies the payload into its own frame before returning — and give
+// the buffer back with PutBuf.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns an encode buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
 // Append frames and writes one record, returning the LSN just past it: the
 // record is durable once DurableLSN() >= lsn. Append alone does not fsync —
-// pair it with Commit.
+// pair it with Commit. The payload is copied into the frame before Append
+// returns, so callers may reuse (or pool) the payload buffer immediately.
 func (w *WAL) Append(t Type, payload []byte) (lsn uint64, err error) {
 	// Injected append faults fire before any byte reaches the file, so a
 	// transient EIO is retried here without poisoning the segment; a real
@@ -235,7 +267,14 @@ func (w *WAL) Append(t Type, payload []byte) (lsn uint64, err error) {
 	}); err != nil {
 		return 0, err
 	}
-	frame := make([]byte, frameHeader+len(payload))
+	fp := framePool.Get().(*[]byte)
+	frame := *fp
+	need := frameHeader + len(payload)
+	if cap(frame) < need {
+		frame = make([]byte, need)
+	} else {
+		frame = frame[:need]
+	}
 	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
 	frame[4] = byte(t)
 	crc := crc32.Update(0, crc32.IEEETable, frame[4:5])
@@ -244,7 +283,13 @@ func (w *WAL) Append(t Type, payload []byte) (lsn uint64, err error) {
 	copy(frame[frameHeader:], payload)
 
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	defer func() {
+		w.mu.Unlock()
+		if cap(frame) <= maxPooledBuf {
+			*fp = frame[:0]
+			framePool.Put(fp)
+		}
+	}()
 	if w.f == nil {
 		return 0, fmt.Errorf("wal: closed")
 	}

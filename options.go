@@ -115,6 +115,14 @@ type storeConfig struct {
 	// background integrity scrubber's cadence (0 disables it).
 	retry      RetryPolicy
 	scrubEvery time.Duration
+
+	// mmapOn maps pages.dat read-only so page reads skip the pread syscall
+	// (see WithMmap); compactChain / compactBytes bound the delta-checkpoint
+	// chain before a background compaction folds it into a full snapshot
+	// (see WithCheckpointCompaction; 0 = unbounded).
+	mmapOn       bool
+	compactChain int
+	compactBytes int64
 }
 
 // SyncPolicy says when a durable Store's acknowledged writes must reach
@@ -394,6 +402,30 @@ func WithRetryPolicy(p RetryPolicy) Option { return func(c *storeConfig) { c.ret
 // read trip over it. d <= 0 (the default) disables the scrubber; ScrubNow
 // remains the manual trigger. Only meaningful with WithDataDir.
 func WithScrubEvery(d time.Duration) Option { return func(c *storeConfig) { c.scrubEvery = d } }
+
+// WithMmap serves durable page reads from a read-only memory mapping of the
+// data file instead of pread: slot checksums are verified straight from the
+// mapping and the page is copied out with no syscall per read. Writes keep
+// going through pwrite + fsync (the shared mapping observes them), the
+// mapping is re-established when the file grows, and the Store silently
+// falls back to pread when the platform lacks mmap or a mapping attempt
+// fails — behavior is identical either way, only the syscall count differs.
+// Only meaningful with WithDataDir.
+func WithMmap() Option { return func(c *storeConfig) { c.mmapOn = true } }
+
+// WithCheckpointCompaction bounds a durable Store's delta-checkpoint chain:
+// when a checkpoint leaves more than maxChain delta files, or more than
+// maxBytes cumulative delta bytes, behind the last full snapshot, a
+// background compaction folds the chain into a fresh full snapshot off the
+// commit lock. A zero threshold is ignored; passing both as 0 disables
+// compaction (the chain grows until the next full checkpoint). Only
+// meaningful with WithDataDir.
+func WithCheckpointCompaction(maxChain int, maxBytes int64) Option {
+	return func(c *storeConfig) {
+		c.compactChain = maxChain
+		c.compactBytes = maxBytes
+	}
+}
 
 // WithTauBuckets sizes the tau histograms (default 100, paper setting).
 func WithTauBuckets(n int) Option { return func(c *storeConfig) { c.tauBuckets = n } }

@@ -235,6 +235,15 @@ type storeShard struct {
 	// generation is retired when a new one swaps in.
 	pools []*storage.BufferPool
 
+	// dirty / gone are the shard's incremental-checkpoint sets (durable
+	// stores only; both nil otherwise): the IDs reported/inserted/updated
+	// and the IDs removed since the last checkpoint capture. An ID is in at
+	// most one of the two — the newest verb wins — so a delta checkpoint
+	// reads each dirty ID's current record and tombstones the gone ones.
+	// Guarded by mu like the tables they shadow.
+	dirty map[ObjectID]struct{}
+	gone  map[ObjectID]struct{}
+
 	// res is a bounded ring of the shard's most recently reported
 	// velocities (the repartition analysis sample); resPos is the next
 	// overwrite position once the ring is full.
@@ -269,6 +278,26 @@ func (sh *storeShard) observeQuery(q core.QueryShape, cap int) {
 		}
 	}
 	sh.qmu.Unlock()
+}
+
+// markDirty records that id's record changed since the last checkpoint
+// capture. Caller holds sh.mu. No-op on non-durable stores.
+func (sh *storeShard) markDirty(id ObjectID) {
+	if sh.dirty == nil {
+		return
+	}
+	delete(sh.gone, id)
+	sh.dirty[id] = struct{}{}
+}
+
+// markGone records that id was removed since the last checkpoint capture.
+// Caller holds sh.mu. No-op on non-durable stores.
+func (sh *storeShard) markGone(id ObjectID) {
+	if sh.gone == nil {
+		return
+	}
+	delete(sh.dirty, id)
+	sh.gone[id] = struct{}{}
 }
 
 // observeVel records a reported velocity in the shard's recent-velocity
@@ -345,6 +374,11 @@ func Open(opts ...Option) (*Store, error) {
 	s.shards = make([]*storeShard, cfg.shards)
 	for i := range s.shards {
 		s.shards[i] = &storeShard{}
+		if cfg.dataDir != "" {
+			// Durable stores track per-shard dirty sets for delta checkpoints.
+			s.shards[i].dirty = make(map[ObjectID]struct{})
+			s.shards[i].gone = make(map[ObjectID]struct{})
+		}
 	}
 	if len(cfg.sample) > 0 {
 		if err := s.partitionLocked(cfg.sample); err != nil {
@@ -907,6 +941,7 @@ func (s *Store) reportShardLocked(sh *storeShard, o Object) (trip bool, err erro
 		if err := sh.mgr.Report(o); err != nil {
 			return false, err
 		}
+		sh.markDirty(o.ID)
 		sh.observeVel(o.Vel, s.resCap)
 		return false, nil
 	}
@@ -920,6 +955,7 @@ func (s *Store) reportShardLocked(sh *storeShard, o Object) (trip bool, err erro
 		return false, err
 	}
 	sh.objs[o.ID] = o
+	sh.markDirty(o.ID)
 	if sh.sample == nil {
 		return false, nil
 	}
@@ -955,7 +991,7 @@ func (s *Store) noteReports(n int) {
 // maintenance hook instead.
 func (s *Store) Report(o Object) error {
 	trip, err := s.durableApply(wal.TypeReport,
-		func() []byte { return wal.EncodeReport(o) },
+		func(dst []byte) []byte { return wal.AppendObject(dst, o) },
 		func() (bool, error) { return s.applyReport(o) })
 	if err != nil {
 		return err
@@ -1054,6 +1090,7 @@ func (s *Store) applyReportBatch(objs []Object) (evalGroups [][]Object, reported
 		if sh.mgr != nil {
 			n, err := sh.mgr.ReportBatch(group)
 			for _, o := range group[:n] {
+				sh.markDirty(o.ID)
 				sh.observeVel(o.Vel, s.resCap)
 			}
 			nReported.Add(int64(n))
@@ -1110,7 +1147,7 @@ func (s *Store) finishReportBatch(reported int, trip bool, err error) error {
 // set it was in (evaluated after the shard lock is released).
 func (s *Store) Remove(id ObjectID) error {
 	_, err := s.durableApply(wal.TypeRemove,
-		func() []byte { return wal.EncodeRemove(id) },
+		func(dst []byte) []byte { return wal.AppendRemove(dst, id) },
 		func() (bool, error) { return false, s.applyRemove(id) })
 	return err
 }
@@ -1131,6 +1168,9 @@ func (s *Store) applyRemove(id ObjectID) error {
 		} else if err = sh.base.Delete(old); err == nil {
 			delete(sh.objs, id)
 		}
+	}
+	if err == nil {
+		sh.markGone(id)
 	}
 	sh.mu.Unlock()
 	if err != nil {
@@ -1451,7 +1491,7 @@ func (s *Store) Insert(o Object) error {
 	// A successful Insert is logged as a plain report record: the ID was
 	// absent, so replaying it as an upsert reproduces the insert exactly.
 	trip, err := s.durableApply(wal.TypeReport,
-		func() []byte { return wal.EncodeReport(o) },
+		func(dst []byte) []byte { return wal.AppendObject(dst, o) },
 		func() (bool, error) { return s.applyInsert(o) })
 	if err != nil {
 		return err
@@ -1471,6 +1511,7 @@ func (s *Store) applyInsert(o Object) (bool, error) {
 	switch {
 	case sh.mgr != nil:
 		if err = sh.mgr.Insert(o); err == nil {
+			sh.markDirty(o.ID)
 			sh.observeVel(o.Vel, s.resCap)
 		}
 	default:
@@ -1504,7 +1545,7 @@ func (s *Store) Update(old, new Object) error {
 	// A successful Update is logged as a plain report record: the ID was
 	// present, so replaying it as an upsert reproduces the update exactly.
 	trip, err := s.durableApply(wal.TypeReport,
-		func() []byte { return wal.EncodeReport(new) },
+		func(dst []byte) []byte { return wal.AppendObject(dst, new) },
 		func() (bool, error) { return s.applyUpdate(old, new) })
 	if err != nil {
 		return err
@@ -1524,6 +1565,7 @@ func (s *Store) applyUpdate(old, new Object) (bool, error) {
 	switch {
 	case sh.mgr != nil:
 		if err = sh.mgr.UpdateByID(new); err == nil {
+			sh.markDirty(new.ID)
 			sh.observeVel(new.Vel, s.resCap)
 		}
 	default:

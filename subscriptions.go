@@ -408,7 +408,10 @@ func (s *Store) Subscribe(sub Subscription, now float64) (SubscriptionID, []Moni
 			werr error
 		)
 		if err == nil {
-			lsn, werr = d.wal.Append(wal.TypeSubscribe, wal.EncodeSubscribe(id, sub, now))
+			buf := wal.GetBuf()
+			*buf = wal.AppendSubscribe((*buf)[:0], id, sub, now)
+			lsn, werr = d.wal.Append(wal.TypeSubscribe, *buf)
+			wal.PutBuf(buf)
 		}
 		d.commitMu.RUnlock()
 		if err != nil {
@@ -457,6 +460,9 @@ func (s *Store) subscribeApply(sub Subscription, now float64) (SubscriptionID, [
 		return 0, nil, err
 	}
 	e.emit(evs)
+	if d := s.dur; d != nil {
+		d.subsDirty.Store(true)
+	}
 	return id, evs, nil
 }
 
@@ -464,7 +470,7 @@ func (s *Store) subscribeApply(sub Subscription, now float64) (SubscriptionID, [
 // events. Returns ErrNotFound (errors.Is-able) for an unknown id.
 func (s *Store) Unsubscribe(id SubscriptionID) error {
 	_, err := s.durableApply(wal.TypeUnsubscribe,
-		func() []byte { return wal.EncodeUnsubscribe(id) },
+		func(dst []byte) []byte { return wal.AppendUnsubscribe(dst, id) },
 		func() (bool, error) { return false, s.unsubscribeApply(id) })
 	return err
 }
@@ -489,6 +495,9 @@ func (s *Store) unsubscribeApply(id SubscriptionID) error {
 		sh.mu.Lock()
 		sh.rs.DropSub(id)
 		sh.mu.Unlock()
+	}
+	if d := s.dur; d != nil {
+		d.subsDirty.Store(true)
 	}
 	return nil
 }
@@ -553,7 +562,10 @@ func (s *Store) RefreshSubscriptions(now float64) ([]MonitorEvent, error) {
 	}
 	d.commitMu.RLock()
 	evs, err := s.refreshApply(now)
-	lsn, werr := d.wal.Append(wal.TypeRefresh, wal.EncodeRefresh(now))
+	buf := wal.GetBuf()
+	*buf = wal.AppendRefresh((*buf)[:0], now)
+	lsn, werr := d.wal.Append(wal.TypeRefresh, *buf)
+	wal.PutBuf(buf)
 	d.commitMu.RUnlock()
 	if werr != nil {
 		s.noteIOFault(werr)
@@ -574,6 +586,9 @@ func (s *Store) refreshApply(now float64) ([]MonitorEvent, error) {
 		return nil, nil
 	}
 	e.advance(now)
+	if d := s.dur; d != nil {
+		d.subsDirty.Store(true)
+	}
 	e.regMu.RLock()
 	ids := make([]SubscriptionID, 0, len(e.subs))
 	for id := range e.subs {
