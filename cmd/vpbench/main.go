@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig19", "experiment: store|concurrency|scan|drift|partition|monitor|durability|checkpoint|faults|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
+		exp      = flag.String("exp", "fig19", "experiment: store|concurrency|scan|drift|partition|monitor|durability|ingest|checkpoint|faults|dva|fig7|fig17|fig18|fig19|fig20|fig21|fig22|fig23|fig24|all")
 		objects  = flag.Int("objects", 20000, "number of moving objects")
 		queries  = flag.Int("queries", 200, "number of range queries")
 		duration = flag.Float64("duration", 120, "workload duration (ts)")
@@ -84,6 +84,8 @@ func main() {
 			return runMonitor(workload.Dataset(*dataset), sc, *seed, *procs, *subs, outFor("BENCH_monitor.json"))
 		case "durability":
 			return runDurability(workload.Dataset(*dataset), sc, *seed, *procs, outFor("BENCH_durability.json"))
+		case "ingest":
+			return runIngest(workload.Dataset(*dataset), sc, *seed, *procs, outFor("BENCH_ingest.json"))
 		case "checkpoint":
 			return runCheckpoint(workload.Dataset(*dataset), sc, *seed, *procs, outFor("BENCH_checkpoint.json"))
 		case "faults":
@@ -165,7 +167,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"store", "concurrency", "scan", "drift", "partition", "monitor", "durability", "checkpoint", "faults", "dva", "fig7", "fig17", "fig18", "fig19",
+		names = []string{"store", "concurrency", "scan", "drift", "partition", "monitor", "durability", "ingest", "checkpoint", "faults", "dva", "fig7", "fig17", "fig18", "fig19",
 			"fig20", "fig21", "fig22", "fig23", "fig24"}
 	}
 	for _, n := range names {

@@ -183,6 +183,11 @@ func (s *Store) Close() error {
 	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	// Drain the write coalescer first: every Report acknowledged before
+	// this point must reach the log before it is flushed and closed.
+	// (Reports that race Close past this barrier fail on the closed log,
+	// exactly like direct writes racing Close.)
+	s.coalFlush()
 	if d.scrubStop != nil {
 		close(d.scrubStop)
 		<-d.scrubDone
@@ -245,6 +250,76 @@ func (s *Store) durableApply(t wal.Type, encode func(dst []byte) []byte, apply f
 	return trip, nil
 }
 
+// durableApplyObject is durableApply specialized to the hot verbs whose
+// record is one encoded object (Report, Insert, Update): the encode step is
+// inlined over the pooled buffer and the apply half is a method expression
+// instead of a per-call closure, so the uncoalesced single-record path
+// allocates nothing per record in steady state.
+func (s *Store) durableApplyObject(t wal.Type, o Object, apply func(*Store, Object) (bool, error)) (bool, error) {
+	d := s.dur
+	if d == nil || d.recovering.Load() {
+		return apply(s, o)
+	}
+	if herr := s.writeAllowed(); herr != nil {
+		return false, herr
+	}
+	d.commitMu.RLock()
+	trip, err := apply(s, o)
+	if err != nil {
+		d.commitMu.RUnlock()
+		s.noteIOFault(err)
+		return false, err
+	}
+	buf := wal.GetBuf()
+	*buf = wal.AppendObject((*buf)[:0], o)
+	lsn, werr := d.wal.Append(t, *buf)
+	d.commitMu.RUnlock()
+	wal.PutBuf(buf)
+	if werr != nil {
+		s.noteIOFault(werr)
+		return false, werr
+	}
+	if cerr := d.wal.Commit(lsn); cerr != nil {
+		s.noteIOFault(cerr)
+		return false, cerr
+	}
+	d.noteRecords(s, 1)
+	return trip, nil
+}
+
+// durableApplyRemove is the same closure-free shape for Remove's ID-only
+// record.
+func (s *Store) durableApplyRemove(id ObjectID) error {
+	d := s.dur
+	if d == nil || d.recovering.Load() {
+		return s.applyRemove(id)
+	}
+	if herr := s.writeAllowed(); herr != nil {
+		return herr
+	}
+	d.commitMu.RLock()
+	if err := s.applyRemove(id); err != nil {
+		d.commitMu.RUnlock()
+		s.noteIOFault(err)
+		return err
+	}
+	buf := wal.GetBuf()
+	*buf = wal.AppendRemove((*buf)[:0], id)
+	lsn, werr := d.wal.Append(wal.TypeRemove, *buf)
+	d.commitMu.RUnlock()
+	wal.PutBuf(buf)
+	if werr != nil {
+		s.noteIOFault(werr)
+		return werr
+	}
+	if cerr := d.wal.Commit(lsn); cerr != nil {
+		s.noteIOFault(cerr)
+		return cerr
+	}
+	d.noteRecords(s, 1)
+	return nil
+}
+
 // reportBatchDurable is ReportBatch's durable path: apply the batch, log
 // exactly the records that landed as one batch record (concurrent batches
 // ride one fsync under the group-commit policy), then run maintenance.
@@ -252,10 +327,11 @@ func (s *Store) reportBatchDurable(d *durability, objs []Object) error {
 	if herr := s.writeAllowed(); herr != nil {
 		return herr
 	}
+	sc := s.getBatchScratch()
 	d.commitMu.RLock()
-	evalGroups, reported, trip, err := s.applyReportBatch(objs)
+	reported, trip, err := s.applyReportBatch(objs, sc)
 	n := 0
-	for _, g := range evalGroups {
+	for _, g := range sc.eval {
 		n += len(g)
 	}
 	var (
@@ -266,11 +342,12 @@ func (s *Store) reportBatchDurable(d *durability, objs []Object) error {
 		// Encode straight from the per-shard groups into a pooled buffer:
 		// no flattened intermediate slice, no per-batch payload allocation.
 		buf := wal.GetBuf()
-		*buf = wal.AppendReportBatch((*buf)[:0], evalGroups)
+		*buf = wal.AppendReportBatch((*buf)[:0], sc.eval)
 		lsn, werr = d.wal.Append(wal.TypeReportBatch, *buf)
 		wal.PutBuf(buf)
 	}
 	d.commitMu.RUnlock()
+	s.putBatchScratch(sc)
 	if werr != nil {
 		s.noteIOFault(werr)
 		return werr
@@ -378,6 +455,14 @@ type DurabilityStats struct {
 	// policy across the live buffer pools and the log — faults the clients
 	// never saw.
 	IORetries int64
+	// CoalescedBatches / CoalescedRecords / FlushBarriers mirror the write
+	// coalescer's counters (see WithWriteCoalescing and Store.IngestStats):
+	// drained batches, the Reports they carried, and the flush-barrier
+	// waits run by the non-Report write verbs, Checkpoint, and Close. All
+	// zero when coalescing is off.
+	CoalescedBatches int64
+	CoalescedRecords int64
+	FlushBarriers    int64
 }
 
 // DurabilityStats returns the durable-mode counters, and whether the Store
@@ -394,6 +479,7 @@ func (s *Store) DurabilityStats() (DurabilityStats, bool) {
 	s.healthMu.Lock()
 	reason := s.healthReason
 	s.healthMu.Unlock()
+	ing, _ := s.IngestStats()
 	return DurabilityStats{
 		WALAppendedLSN:       d.wal.AppendedLSN(),
 		WALDurableLSN:        d.wal.DurableLSN(),
@@ -413,6 +499,9 @@ func (s *Store) DurabilityStats() (DurabilityStats, bool) {
 		ScrubPasses:          d.scrubPasses.Load(),
 		ScrubCorruptions:     d.scrubCorrupt.Load(),
 		IORetries:            retries,
+		CoalescedBatches:     ing.CoalescedBatches,
+		CoalescedRecords:     ing.CoalescedRecords,
+		FlushBarriers:        ing.FlushBarriers,
 	}, true
 }
 
@@ -475,6 +564,13 @@ func (s *Store) Checkpoint() error {
 	if Health(s.health.Load()) == HealthFailed {
 		return s.healthErr(ErrFailed)
 	}
+	// Flush barrier: drain every Report enqueued before this call, so the
+	// capture's coverage is deterministic with respect to the queue. (A
+	// drain can never be split by the capture either way — it holds the
+	// commit lock's read side across its apply and its append — so this is
+	// the same cross-verb ordering rule the other barriers enforce, not a
+	// consistency requirement.)
+	s.coalFlush()
 	ck, err := s.checkpointLocked(d)
 	ev := MaintenanceEvent{Op: MaintCheckpoint, Err: err, SampleSize: len(ck.objects), Swapped: err == nil}
 	s.recordMaintenance(ev)

@@ -1,0 +1,140 @@
+// Package hist provides a fixed-footprint, lock-free latency histogram for
+// the ingest and (future) serve benchmarks: many writer goroutines Observe
+// concurrently, a reporter reads quantiles afterwards. Buckets are
+// logarithmic with 16 linear sub-buckets per power of two, so any recorded
+// duration is reproduced by Quantile with at most ~6% relative error while
+// the whole histogram stays under 8 KiB and never allocates after
+// construction — an Observe is one atomic add.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits is the per-octave linear resolution: 2^subBits sub-buckets per
+	// power of two bounds the relative quantile error at 2^-subBits.
+	subBits  = 4
+	subCount = 1 << subBits
+
+	// nBuckets covers every non-negative int64 nanosecond count: values
+	// below subCount get exact buckets, and each of the remaining octaves
+	// (top bit position subBits..62) contributes subCount buckets.
+	nBuckets = subCount + (63-subBits)*subCount
+)
+
+// Histogram is a concurrency-safe duration histogram. The zero value is
+// ready to use. Observe may race freely with other Observes; quantile reads
+// racing writers see some consistent-enough snapshot (each bucket is
+// individually atomic), which is what a live progress report wants — for
+// exact results, read after the writers are done.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds, for Mean
+	buckets [nBuckets]atomic.Int64
+}
+
+// bucketIndex maps a nanosecond count to its bucket. Values < subCount are
+// exact; above that, the top subBits+1 significant bits select the bucket.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	if ns < subCount {
+		return int(ns)
+	}
+	msb := bits.Len64(uint64(ns)) - 1 // >= subBits
+	shift := uint(msb - subBits)
+	// ns>>shift is in [subCount, 2*subCount); consecutive octaves tile the
+	// index space contiguously starting right after the exact region.
+	return (msb-subBits)*subCount + int(ns>>shift)
+}
+
+// bucketUpper returns the largest nanosecond count the bucket holds — the
+// conservative (upper-edge) value Quantile reports.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	e := uint((idx - subCount) / subCount)
+	sub := int64(idx % subCount)
+	return (subCount+sub+1)<<e - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of the recorded durations (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the upper edge of the
+// bucket holding the ceil(q*count)-th smallest observation; 0 when empty.
+// Quantile(1) is an upper bound on the maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return time.Duration(bucketUpper(nBuckets - 1))
+}
+
+// Percentiles returns the p50/p99/p99.9 latencies in one pass-friendly call.
+func (h *Histogram) Percentiles() (p50, p99, p999 time.Duration) {
+	return h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999)
+}
+
+// Merge adds every observation recorded in o into h (o is not modified).
+func (h *Histogram) Merge(o *Histogram) {
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := range h.buckets {
+		if v := o.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+}
+
+// Reset clears the histogram. Not safe to race with Observe.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}

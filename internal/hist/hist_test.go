@@ -1,0 +1,111 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every bucket's upper edge maps back to that bucket,
+// and indices are monotone in the value.
+func TestBucketRoundTrip(t *testing.T) {
+	for idx := 0; idx < nBuckets; idx++ {
+		v := bucketUpper(idx)
+		if got := bucketIndex(v); got != idx {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", idx, v, got)
+		}
+	}
+	prev := -1
+	for _, ns := range []int64{0, 1, 15, 16, 17, 31, 32, 1000, 1e6, 1e9, 1e12} {
+		idx := bucketIndex(ns)
+		if idx <= prev && ns > 0 {
+			t.Fatalf("bucketIndex not monotone at %d: %d <= %d", ns, idx, prev)
+		}
+		prev = idx
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatalf("negative duration must clamp to bucket 0")
+	}
+}
+
+// TestQuantileAccuracy: against a sorted reference sample, every reported
+// quantile must be >= the true value and within the 1/16 relative error the
+// sub-bucket resolution promises.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	n := 20000
+	vals := make([]int64, n)
+	for i := range vals {
+		// log-uniform over ~6 decades, the shape latency distributions have
+		vals[i] = int64(1 << uint(rng.Intn(40)))
+		vals[i] += rng.Int63n(vals[i] + 1)
+		h.Observe(time.Duration(vals[i]))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(n) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		truth := vals[rank-1]
+		got := int64(h.Quantile(q))
+		if got < truth {
+			t.Fatalf("q%.3f = %d below true value %d", q, got, truth)
+		}
+		if float64(got-truth) > float64(truth)/subCount+1 {
+			t.Fatalf("q%.3f = %d exceeds true value %d by more than 1/%d", q, got, truth, subCount)
+		}
+	}
+	if h.Count() != int64(n) {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+}
+
+func TestEmptyAndMean(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram must report zeros")
+	}
+	h.Observe(10 * time.Microsecond)
+	h.Observe(30 * time.Microsecond)
+	if got := h.Mean(); got != 20*time.Microsecond {
+		t.Fatalf("mean = %v, want 20µs", got)
+	}
+}
+
+// TestConcurrentObserveMerge: racing writers lose nothing, and Merge is the
+// sum of its parts.
+func TestConcurrentObserveMerge(t *testing.T) {
+	const workers, per = 8, 5000
+	parts := make([]Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				parts[w].Observe(time.Duration(rng.Int63n(int64(time.Millisecond))))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all Histogram
+	for w := range parts {
+		all.Merge(&parts[w])
+	}
+	if all.Count() != workers*per {
+		t.Fatalf("merged count = %d, want %d", all.Count(), workers*per)
+	}
+	p50, p99, p999 := all.Percentiles()
+	if p50 <= 0 || p99 < p50 || p999 < p99 {
+		t.Fatalf("percentiles not ordered: %v %v %v", p50, p99, p999)
+	}
+	all.Reset()
+	if all.Count() != 0 || all.Quantile(0.5) != 0 {
+		t.Fatalf("reset did not clear")
+	}
+}

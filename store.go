@@ -94,6 +94,15 @@ type Store struct {
 	// nil unless WithDataDir was given. See durability.go.
 	dur *durability
 
+	// coal is the leader-drained write coalescer; nil unless
+	// WithWriteCoalescing was given. See ingest.go.
+	coal *coalescer
+
+	// scratchPool recycles the per-shard grouping scratch of the batched
+	// write paths (applyReportBatch, the coalescer drain), so a steady
+	// stream of batches allocates no per-batch slices.
+	scratchPool sync.Pool
+
 	// pools tracks every live buffer pool (one per shard staging index, one
 	// per partition per shard after the cutover) so Stats can aggregate I/O
 	// counters across all of them. When a partition epoch is replaced — the
@@ -403,6 +412,9 @@ func Open(opts ...Option) (*Store, error) {
 				sh.sample = make([]Vec2, 0, cfg.autoN/len(s.shards)+1)
 			}
 		}
+	}
+	if cfg.coalesce {
+		s.coal = newCoalescer(s, cfg.coalWindow, cfg.coalMax)
 	}
 	if s.dur != nil {
 		if err := s.recover(); err != nil {
@@ -990,9 +1002,15 @@ func (s *Store) noteReports(n int) {
 // is applied and reports its outcome through LastMaintenanceError and the
 // maintenance hook instead.
 func (s *Store) Report(o Object) error {
-	trip, err := s.durableApply(wal.TypeReport,
-		func(dst []byte) []byte { return wal.AppendObject(dst, o) },
-		func() (bool, error) { return s.applyReport(o) })
+	// With WithWriteCoalescing on, concurrent Reports are drained in
+	// batches by an elected leader (see ingest.go); recovery replay
+	// bypasses the coalescer — replayed records must apply inline.
+	if c := s.coal; c != nil {
+		if d := s.dur; d == nil || !d.recovering.Load() {
+			return c.report(o)
+		}
+	}
+	trip, err := s.durableApplyObject(wal.TypeReport, o, (*Store).applyReport)
 	if err != nil {
 		return err
 	}
@@ -1043,24 +1061,90 @@ func (s *Store) ReportBatch(objs []Object) error {
 	if len(objs) == 0 {
 		return nil
 	}
+	// An explicit batch is a flush barrier for the coalescer: Reports
+	// enqueued before this call are acknowledged first, so per-object
+	// ordering across the two paths cannot invert.
+	s.coalFlush()
 	d := s.dur
 	if d == nil || d.recovering.Load() {
-		_, reported, trip, err := s.applyReportBatch(objs)
+		sc := s.getBatchScratch()
+		reported, trip, err := s.applyReportBatch(objs, sc)
+		s.putBatchScratch(sc)
 		return s.finishReportBatch(reported, trip, err)
 	}
 	return s.reportBatchDurable(d, objs)
 }
 
-// applyReportBatch is ReportBatch's in-memory half. It returns the per-shard
-// groups of records that actually landed (exactly what must be logged — on a
-// partial failure the applied records stay applied), the number of
+// batchScratch is the pooled per-shard scratch behind the batched write
+// paths: the shard-grouped records, the applied-prefix counts, the per-shard
+// first errors, the eval slices handed to the subscription engine (and the
+// WAL encoder on the durable path), plus the coalescer's flattened batch and
+// attribution cursors. The group slices are owned by the scratch — records
+// are always copied in, never aliased to caller memory — so returning a
+// scratch to the pool keeps its capacity without capturing caller slices.
+type batchScratch struct {
+	groups  [][]Object
+	eval    [][]Object
+	applied []int
+	errs    []error
+	cursor  []int
+	objs    []Object
+	// slots is the coalescer's drained batch: it lives in the scratch (not
+	// on the coalescer) so pipelined drains — one batch in its sync wait
+	// while the next applies — never share a backing array.
+	slots []*pendingSlot
+}
+
+// getBatchScratch hands out a scratch sized to the shard count (the count is
+// fixed for a Store's lifetime, so pooled scratches always fit).
+func (s *Store) getBatchScratch() *batchScratch {
+	sc, _ := s.scratchPool.Get().(*batchScratch)
+	if sc == nil {
+		n := len(s.shards)
+		sc = &batchScratch{
+			groups:  make([][]Object, n),
+			eval:    make([][]Object, n),
+			applied: make([]int, n),
+			errs:    make([]error, n),
+			cursor:  make([]int, n),
+		}
+	}
+	return sc
+}
+
+// putBatchScratch resets and recycles sc. The caller must be done with every
+// slice view into it (eval groups included).
+func (s *Store) putBatchScratch(sc *batchScratch) {
+	for i := range sc.groups {
+		sc.groups[i] = sc.groups[i][:0]
+		sc.eval[i] = nil
+		sc.applied[i] = 0
+		sc.errs[i] = nil
+		sc.cursor[i] = 0
+	}
+	sc.objs = sc.objs[:0]
+	for i := range sc.slots {
+		sc.slots[i] = nil
+	}
+	sc.slots = sc.slots[:0]
+	s.scratchPool.Put(sc)
+}
+
+// applyReportBatch is ReportBatch's in-memory half. It fills sc with the
+// per-shard groups of records that actually landed (sc.eval — exactly what
+// must be logged, since on a partial failure the applied records stay
+// applied; sc.applied/sc.errs carry the per-shard applied-prefix bookkeeping
+// the coalescer attributes per-record errors from) and returns the number of
 // post-partition reports, whether the batch tripped the bootstrap threshold,
 // and the first error.
-func (s *Store) applyReportBatch(objs []Object) (evalGroups [][]Object, reported int, trip bool, err error) {
-	groups := make([][]Object, len(s.shards))
+func (s *Store) applyReportBatch(objs []Object, sc *batchScratch) (reported int, trip bool, err error) {
+	groups := sc.groups
 	if len(s.shards) == 1 {
-		groups[0] = objs
+		groups[0] = append(groups[0][:0], objs...)
 	} else {
+		for i := range groups {
+			groups[i] = groups[i][:0]
+		}
 		for _, o := range objs {
 			i := s.shardIndex(o.ID)
 			groups[i] = append(groups[i], o)
@@ -1070,16 +1154,11 @@ func (s *Store) applyReportBatch(objs []Object) (evalGroups [][]Object, reported
 		tripped   atomic.Bool
 		nReported atomic.Int64 // post-partition reports, for the repartition cadence
 	)
-	// applied[i] counts how many of groups[i] landed before any error, so
+	// sc.applied[i] counts how many of groups[i] landed before any error, so
 	// the subscription engine evaluates exactly the records that are in
 	// the index — applied records stay applied on a partial failure.
-	applied := make([]int, len(s.shards))
-	// Write fan-out is bounded by GOMAXPROCS, independent of the query knob
-	// WithSearchParallelism: the final state is identical whatever order the
-	// groups land in (each shard applies its group in batch order), so
-	// there is nothing for a sequential setting to pin down. Callers who
-	// need fully serialized writes run WithShards(1).
-	err = parallel.Do(len(s.shards), 0, func(i int) error {
+	applied := sc.applied
+	worker := func(i int) error {
 		group := groups[i]
 		if len(group) == 0 {
 			return nil
@@ -1096,14 +1175,16 @@ func (s *Store) applyReportBatch(objs []Object) (evalGroups [][]Object, reported
 			nReported.Add(int64(n))
 			applied[i] = n
 			if err != nil {
-				return fmt.Errorf("vpindex: batch report: %w", err)
+				sc.errs[i] = fmt.Errorf("vpindex: batch report: %w", err)
+				return sc.errs[i]
 			}
 			return nil
 		}
 		for _, o := range group {
 			t, err := s.reportShardLocked(sh, o)
 			if err != nil {
-				return fmt.Errorf("vpindex: batch report of object %d: %w", o.ID, err)
+				sc.errs[i] = fmt.Errorf("vpindex: batch report of object %d: %w", o.ID, err)
+				return sc.errs[i]
 			}
 			applied[i]++
 			if t {
@@ -1111,18 +1192,27 @@ func (s *Store) applyReportBatch(objs []Object) (evalGroups [][]Object, reported
 			}
 		}
 		return nil
-	})
+	}
+	for i := range groups {
+		applied[i] = 0
+		sc.errs[i] = nil
+	}
+	// Write fan-out is bounded by GOMAXPROCS, independent of the query
+	// knob WithSearchParallelism: the final state is identical whatever
+	// order the groups land in (each shard applies its group in batch
+	// order), so there is nothing for a sequential setting to pin down.
+	// Callers who need fully serialized writes run WithShards(1).
+	err = parallel.Do(len(s.shards), 0, worker)
 	// Subscription deltas are computed after the shard locks are released,
 	// from the records the batch just applied, and emitted as one sorted
 	// batch — even when the batch failed partway, for the applied prefix.
-	evalGroups = make([][]Object, len(groups))
 	for i := range groups {
-		evalGroups[i] = groups[i][:applied[i]]
+		sc.eval[i] = groups[i][:applied[i]]
 	}
 	if e := s.subEng.Load(); e != nil {
-		e.noteBatch(evalGroups)
+		e.noteBatch(sc.eval)
 	}
-	return evalGroups, int(nReported.Load()), tripped.Load(), err
+	return int(nReported.Load()), tripped.Load(), err
 }
 
 // finishReportBatch runs ReportBatch's post-apply maintenance, preserving
@@ -1146,10 +1236,10 @@ func (s *Store) finishReportBatch(reported int, trip bool, err error) error {
 // no such object is indexed. The object leaves every subscription result
 // set it was in (evaluated after the shard lock is released).
 func (s *Store) Remove(id ObjectID) error {
-	_, err := s.durableApply(wal.TypeRemove,
-		func(dst []byte) []byte { return wal.AppendRemove(dst, id) },
-		func() (bool, error) { return false, s.applyRemove(id) })
-	return err
+	// Flush barrier: a coalesced Report of id enqueued before this call
+	// must land first, or the removal could be resurrected by it.
+	s.coalFlush()
+	return s.durableApplyRemove(id)
 }
 
 // applyRemove is Remove's in-memory half.
@@ -1488,11 +1578,12 @@ func (s *Store) IO() IOStats { return s.Stats().IOStats }
 // is already indexed returns ErrDuplicate. Application code should prefer
 // Report.
 func (s *Store) Insert(o Object) error {
+	// Flush barrier: strict duplicate rejection must observe every Report
+	// enqueued before this call.
+	s.coalFlush()
 	// A successful Insert is logged as a plain report record: the ID was
 	// absent, so replaying it as an upsert reproduces the insert exactly.
-	trip, err := s.durableApply(wal.TypeReport,
-		func(dst []byte) []byte { return wal.AppendObject(dst, o) },
-		func() (bool, error) { return s.applyInsert(o) })
+	trip, err := s.durableApplyObject(wal.TypeReport, o, (*Store).applyInsert)
 	if err != nil {
 		return err
 	}
@@ -1542,17 +1633,25 @@ func (s *Store) Update(old, new Object) error {
 	if new.ID != old.ID {
 		return fmt.Errorf("vpindex: update changes object id %d -> %d", old.ID, new.ID)
 	}
+	// Flush barrier: strict not-found rejection must observe every Report
+	// enqueued before this call.
+	s.coalFlush()
 	// A successful Update is logged as a plain report record: the ID was
 	// present, so replaying it as an upsert reproduces the update exactly.
-	trip, err := s.durableApply(wal.TypeReport,
-		func(dst []byte) []byte { return wal.AppendObject(dst, new) },
-		func() (bool, error) { return s.applyUpdate(old, new) })
+	// Only new's fields are consulted past the ID check above, so the
+	// update rides the shared single-object path.
+	trip, err := s.durableApplyObject(wal.TypeReport, new, applyUpdateByID)
 	if err != nil {
 		return err
 	}
 	s.afterReports(trip, 1)
 	return nil
 }
+
+// applyUpdateByID adapts applyUpdate to the single-object apply shape (the
+// old record's only consulted field is its ID, equal to o's by the check in
+// Update).
+func applyUpdateByID(s *Store, o Object) (bool, error) { return s.applyUpdate(o, o) }
 
 // applyUpdate is Update's in-memory half (strict not-found rejection).
 func (s *Store) applyUpdate(old, new Object) (bool, error) {

@@ -121,6 +121,20 @@ type subEngine struct {
 
 	stream  atomic.Pointer[eventStream]
 	dropped atomic.Int64
+
+	// notePool recycles noteBatch's per-shard delta scratch (see
+	// noteScratch) so sustained batched ingest does not allocate two
+	// slices per batch.
+	notePool sync.Pool
+}
+
+// noteScratch is noteBatch's pooled per-shard scratch: the per-shard event
+// and filter-growth slices the parallel reconcile writes into before the
+// merge. The inner slices are nilled on return to the pool — they alias
+// reconcile results that escape into the merged batch.
+type noteScratch struct {
+	per   [][]MonitorEvent
+	grows [][]Vec2
 }
 
 func newSubEngine(s *Store) *subEngine {
@@ -324,21 +338,31 @@ func (e *subEngine) noteBatch(groups [][]Object) {
 		return
 	}
 	now := e.advance(tmax)
-	per := make([][]MonitorEvent, len(groups))
-	grows := make([][]Vec2, len(groups))
+	// The per-shard delta slices are pooled batch to batch (the coalescer
+	// turns every drained batch into one of these calls, so this is on the
+	// sustained ingest path); only the merged slices below are per-call.
+	sc, _ := e.notePool.Get().(*noteScratch)
+	if sc == nil || len(sc.per) != len(groups) {
+		sc = &noteScratch{
+			per:   make([][]MonitorEvent, len(groups)),
+			grows: make([][]Vec2, len(groups)),
+		}
+	}
 	_ = parallel.Do(len(groups), 0, func(i int) error {
 		if len(groups[i]) == 0 {
 			return nil
 		}
-		per[i], grows[i] = e.reconcileShard(i, groups[i], nil, now)
+		sc.per[i], sc.grows[i] = e.reconcileShard(i, groups[i], nil, now)
 		return nil
 	})
 	var evs []MonitorEvent
 	var grow []Vec2
-	for i := range per {
-		evs = append(evs, per[i]...)
-		grow = append(grow, grows[i]...)
+	for i := range sc.per {
+		evs = append(evs, sc.per[i]...)
+		grow = append(grow, sc.grows[i]...)
+		sc.per[i], sc.grows[i] = nil, nil
 	}
+	e.notePool.Put(sc)
 	monitor.SortEvents(evs)
 	e.emit(evs)
 	e.growFilter(grow)
